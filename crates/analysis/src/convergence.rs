@@ -1,0 +1,127 @@
+//! Convergence trace analysis (the §8 open problem, quantified).
+//!
+//! Best-response dynamics in this game has no known potential function.
+//! [`TraceSummary`] inspects a per-round [`RoundTrace`] sequence and
+//! reports whether the social cost and the utilitarian welfare happened
+//! to decrease monotonically — and by how much they ever *increased* —
+//! which is exactly the evidence one wants when hunting for (or ruling
+//! out) a potential argument.
+
+use bbncg_core::dynamics::RoundTrace;
+
+/// Monotonicity report over one dynamics trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Rounds recorded (excluding the initial snapshot).
+    pub rounds: usize,
+    /// Total deviations applied.
+    pub total_improvements: usize,
+    /// Did the social diameter ever increase round-over-round?
+    pub social_monotone: bool,
+    /// Largest single-round increase of the social diameter (0 if
+    /// monotone).
+    pub max_social_increase: u64,
+    /// Did the utilitarian welfare (Σ player costs) ever increase?
+    pub welfare_monotone: bool,
+    /// Largest single-round increase of the welfare (0 if monotone).
+    pub max_welfare_increase: u64,
+}
+
+/// Summarize a trace from
+/// [`run_dynamics_traced`](bbncg_core::dynamics::run_dynamics_traced).
+pub fn summarize_trace(trace: &[RoundTrace]) -> TraceSummary {
+    let mut social_monotone = true;
+    let mut welfare_monotone = true;
+    let mut max_social_increase = 0u64;
+    let mut max_welfare_increase = 0u64;
+    for w in trace.windows(2) {
+        if w[1].social_diameter > w[0].social_diameter {
+            social_monotone = false;
+            max_social_increase =
+                max_social_increase.max(w[1].social_diameter - w[0].social_diameter);
+        }
+        if w[1].total_cost > w[0].total_cost {
+            welfare_monotone = false;
+            max_welfare_increase = max_welfare_increase.max(w[1].total_cost - w[0].total_cost);
+        }
+    }
+    TraceSummary {
+        rounds: trace.len().saturating_sub(1),
+        total_improvements: trace.iter().map(|t| t.improvements).sum(),
+        social_monotone,
+        max_social_increase,
+        welfare_monotone,
+        max_welfare_increase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::dynamics::{run_dynamics_traced, DynamicsConfig};
+    use bbncg_core::{BudgetVector, CostModel, Realization};
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn summary_of_synthetic_trace() {
+        let trace = vec![
+            RoundTrace {
+                round: 0,
+                social_diameter: 9,
+                total_cost: 100,
+                improvements: 0,
+            },
+            RoundTrace {
+                round: 1,
+                social_diameter: 4,
+                total_cost: 110, // welfare got worse
+                improvements: 3,
+            },
+            RoundTrace {
+                round: 2,
+                social_diameter: 4,
+                total_cost: 80,
+                improvements: 1,
+            },
+        ];
+        let s = summarize_trace(&trace);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.total_improvements, 4);
+        assert!(s.social_monotone);
+        assert!(!s.welfare_monotone);
+        assert_eq!(s.max_welfare_increase, 10);
+    }
+
+    #[test]
+    fn real_dynamics_traces_are_analyzable() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let budgets = BudgetVector::uniform(10, 1);
+        let initial =
+            Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+        let (report, trace) = run_dynamics_traced(
+            initial,
+            DynamicsConfig::exact(CostModel::Sum, 200),
+            &mut rng,
+        );
+        assert!(report.converged);
+        let s = summarize_trace(&trace);
+        assert_eq!(s.rounds, report.rounds);
+        assert_eq!(s.total_improvements, report.steps);
+    }
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let s = summarize_trace(&[]);
+        assert_eq!(s.rounds, 0);
+        assert!(s.social_monotone && s.welfare_monotone);
+        let one = vec![RoundTrace {
+            round: 0,
+            social_diameter: 5,
+            total_cost: 50,
+            improvements: 0,
+        }];
+        assert_eq!(summarize_trace(&one).rounds, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The Theorem 7.2 connectivity dichotomy.
+//!
+//! If every player's budget is at least `k`, then every SUM equilibrium
+//! either has diameter < 4 or is `k`-connected. The `e-connectivity`
+//! experiment samples SUM equilibria of min-budget-`k` instances and
+//! verifies the dichotomy with exact vertex connectivity (Menger
+//! max-flows).
+
+use bbncg_core::Realization;
+use bbncg_graph::vertex_connectivity;
+
+/// Result of checking the Theorem 7.2 dichotomy on one profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DichotomyReport {
+    /// Minimum budget over all players (the theorem's `k`).
+    pub min_budget: usize,
+    /// Social diameter (`n²` when disconnected).
+    pub diameter: u64,
+    /// Exact vertex connectivity κ(G).
+    pub connectivity: usize,
+    /// `diameter < 4 || connectivity ≥ min_budget`.
+    pub holds: bool,
+}
+
+/// Check the dichotomy for a profile (intended for SUM equilibria).
+pub fn connectivity_dichotomy(r: &Realization) -> DichotomyReport {
+    let min_budget = r.budgets().min_budget();
+    let diameter = r.social_diameter();
+    let connectivity = vertex_connectivity(r.csr());
+    DichotomyReport {
+        min_budget,
+        diameter,
+        connectivity,
+        holds: diameter < 4 || connectivity >= min_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_constructions::theorem23_equilibrium;
+    use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+    use bbncg_core::{BudgetVector, CostModel};
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem23_equilibria_satisfy_dichotomy() {
+        // The constructed equilibria have diameter ≤ 4; for diameter < 4
+        // the dichotomy is immediate, and the diameter-4 case-2 outputs
+        // have min budget 0, so the premise is vacuous (κ ≥ 0 always).
+        for budgets in [vec![1, 1, 1, 1], vec![2, 2, 2, 2, 2], vec![3, 3, 3, 3, 3, 3]] {
+            let c = theorem23_equilibrium(&BudgetVector::new(budgets));
+            let rep = connectivity_dichotomy(&c.realization);
+            assert!(rep.holds, "{rep:?}");
+        }
+    }
+
+    #[test]
+    fn sum_equilibria_from_dynamics_satisfy_dichotomy() {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for k in 1..=2usize {
+                let budgets = vec![k; 8];
+                let initial =
+                    Realization::new(generators::random_realization(&budgets, &mut rng));
+                let rep = run_dynamics(
+                    initial,
+                    DynamicsConfig::exact(CostModel::Sum, 100),
+                    &mut rng,
+                );
+                assert!(rep.converged);
+                let d = connectivity_dichotomy(&rep.state);
+                assert!(
+                    d.holds,
+                    "seed {seed}, k={k}: Theorem 7.2 dichotomy violated: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_cycle_with_unit_budgets_would_violate_for_k2() {
+        // A long directed cycle has diameter ≥ 4 and connectivity 2: the
+        // dichotomy *conclusion* holds for k ≤ 2 but fails for k = 3 —
+        // and indeed a budget-3 instance can never equilibrate there.
+        let r = Realization::new(generators::cycle(10));
+        let rep = connectivity_dichotomy(&r);
+        assert_eq!(rep.connectivity, 2);
+        assert_eq!(rep.min_budget, 1);
+        assert!(rep.holds);
+    }
+}

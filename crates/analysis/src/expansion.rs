@@ -1,0 +1,109 @@
+//! Neighbourhood expansion profiles (Theorem 6 / Theorem 6.9).
+//!
+//! The 2^O(√log n) diameter bound for SUM equilibria rests on an
+//! expansion property: with `f(r) = min_u |B_r(u)|`, inequality (3) of
+//! the paper forces `f(4r)` to grow by a `r / log n` factor until half
+//! the graph is covered. [`expansion_profile`] measures the exact `f(r)`
+//! series of a graph — the `t1-sum-general` experiment prints it next to
+//! the equilibrium diameters so the growth shape can be compared with
+//! the theorem's prediction.
+
+use bbncg_graph::{BfsScratch, Csr, NodeId};
+
+/// `f(r) = min_u |B_r(u)|` for `r = 0 ..= max_r`, computed from one
+/// full BFS per source (distance histogram + prefix sums), sources in
+/// parallel.
+pub fn expansion_profile(csr: &Csr, max_r: usize) -> Vec<usize> {
+    let n = csr.n();
+    if n == 0 {
+        return vec![0; max_r + 1];
+    }
+    // Per-source ball sizes, reduced by elementwise min across chunks.
+    let mins = bbncg_par::par_reduce(
+        &(0..n).collect::<Vec<usize>>(),
+        vec![usize::MAX; max_r + 1],
+        |_, &src| {
+            let mut scratch = BfsScratch::new(n);
+            scratch.run(csr, NodeId::new(src));
+            let mut hist = vec![0usize; max_r + 2];
+            for v in 0..n {
+                if let Some(d) = scratch.dist(NodeId::new(v)) {
+                    hist[(d as usize).min(max_r + 1)] += 1;
+                }
+            }
+            let mut balls = Vec::with_capacity(max_r + 1);
+            let mut acc = 0;
+            for r in 0..=max_r {
+                acc += hist[r];
+                balls.push(acc);
+            }
+            balls
+        },
+        |a, b| a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect(),
+    );
+    mins
+}
+
+/// Smallest radius `r` with `f(r) > n / 2` (the "half coverage" radius
+/// driving the Theorem 6.9 induction), or `None` if `max_r` is too
+/// small or the graph is disconnected.
+pub fn half_coverage_radius(csr: &Csr, max_r: usize) -> Option<usize> {
+    let n = csr.n();
+    expansion_profile(csr, max_r)
+        .into_iter()
+        .position(|f| 2 * f > n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::generators;
+
+    fn path_csr(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_expansion_is_linear() {
+        // On a path, the end vertices see |B_r| = r + 1.
+        let f = expansion_profile(&path_csr(10), 5);
+        assert_eq!(f, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn star_expansion_saturates() {
+        let csr = Csr::from_digraph(&generators::star(8));
+        let f = expansion_profile(&csr, 3);
+        assert_eq!(f[0], 1);
+        assert_eq!(f[1], 2); // a leaf's 1-ball: itself + the hub
+        assert_eq!(f[2], 8); // everything within 2
+        assert_eq!(f[3], 8);
+    }
+
+    #[test]
+    fn shift_graph_expands_fast() {
+        // The Theorem 5.3 graph: every ball multiplies by ~t per step.
+        let csr = generators::shift_graph(8, 3);
+        let f = expansion_profile(&csr, 3);
+        assert!(f[1] >= 8); // ≥ t − 1 + itself
+        assert_eq!(f[3], 512); // diameter 3 covers everything
+    }
+
+    #[test]
+    fn half_coverage() {
+        assert_eq!(half_coverage_radius(&path_csr(9), 8), Some(4));
+        let csr = Csr::from_digraph(&generators::star(9));
+        assert_eq!(half_coverage_radius(&csr, 4), Some(2));
+        // Radius budget too small:
+        assert_eq!(half_coverage_radius(&path_csr(9), 2), None);
+    }
+
+    #[test]
+    fn disconnected_graph_balls_stay_small() {
+        let csr = Csr::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let f = expansion_profile(&csr, 4);
+        assert_eq!(f, vec![1, 2, 2, 2, 2]);
+        assert_eq!(half_coverage_radius(&csr, 4), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! The longest-path decomposition of tree equilibria (Theorem 3.3,
+//! Figure 3).
+//!
+//! For a tree profile, take a diametral path `P = v₀ v₁ … v_d` and let
+//! `a(i)` be the number of vertices hanging off `P` at `vᵢ` (including
+//! `vᵢ`). Theorem 3.3's argument: if `vᵢ` owns the forward arc
+//! `vᵢ → vᵢ₊₁` then, in a SUM equilibrium, rerouting it to `vᵢ₊₂` must
+//! not pay, which forces
+//!
+//! ```text
+//!   a(i+1)  ≥  a(i+2) + a(i+3) + … + a(d)        (forward arcs)
+//!   a(i)    ≥  a(0)   + a(1)   + … + a(i−1)      (backward arcs, mirror)
+//! ```
+//!
+//! At least half the path arcs point one way, and the inequalities force
+//! the `a(·)` values to double geometrically along that direction —
+//! hence `d = O(log n)`. [`path_decomposition`] extracts the path and
+//! the `a(i)` sequence; [`PathDecomposition::violations`] counts how
+//! many of the equilibrium-implied inequalities fail (zero for every
+//! SUM tree equilibrium — asserted by the `t1-sum-tree` experiment).
+
+use bbncg_core::Realization;
+use bbncg_graph::{BfsScratch, NodeId};
+
+/// The decomposition of a tree profile along a diametral path.
+#[derive(Clone, Debug)]
+pub struct PathDecomposition {
+    /// A diametral path `v₀ … v_d` (d+1 vertices).
+    pub path: Vec<NodeId>,
+    /// `a(i)` = vertices attached to the path at `vᵢ` (incl. `vᵢ`).
+    pub attach: Vec<usize>,
+    /// Number of Theorem 3.3 inequalities that are violated.
+    pub violations: usize,
+    /// Number of inequalities checked (one per owned path arc with room
+    /// to reroute).
+    pub checked: usize,
+}
+
+impl PathDecomposition {
+    /// Path length `d` (= the tree's diameter).
+    pub fn d(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// The Theorem 3.3 bound: in a SUM equilibrium `d ≤ 2t` where `t` is
+    /// the majority arc direction count, and the doubling argument gives
+    /// `d = O(log n)`. This helper returns `2 · (log₂ n + 2)`, the
+    /// concrete bound implied by `2^(t−1) − 1 ≤ n`.
+    pub fn theorem33_bound(n: usize) -> usize {
+        2 * ((n as f64).log2().ceil() as usize + 2)
+    }
+}
+
+/// Decompose a **tree** profile along a diametral path. Returns `None`
+/// if the profile is not a connected tree.
+pub fn path_decomposition(r: &Realization) -> Option<PathDecomposition> {
+    let n = r.n();
+    if n == 0 || !r.is_connected() || r.graph().total_arcs() != n - 1 {
+        return None;
+    }
+    let csr = r.csr();
+    let mut bfs = BfsScratch::new(n);
+    // Double BFS: farthest from 0, then farthest from that.
+    bfs.run(csr, NodeId::new(0));
+    let u = *bfs.reached().last().unwrap();
+    bfs.run(csr, u);
+    let v = *bfs.reached().last().unwrap();
+    // Trace the u-v path by walking from v toward decreasing distance.
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != u {
+        let d = bfs.dist(cur).unwrap();
+        let parent = csr
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .find(|&w| bfs.dist(w) == Some(d - 1))
+            .expect("tree BFS parent exists");
+        path.push(parent);
+        cur = parent;
+    }
+    path.reverse(); // now u ... v
+
+    // a(i): each non-path vertex attaches to the unique nearest path
+    // vertex; in a tree, multi-source BFS from the path assigns each
+    // vertex to exactly one attachment point, recovered by walking the
+    // BFS parents.
+    let on_path = {
+        let mut mask = vec![false; n];
+        for &p in &path {
+            mask[p.index()] = true;
+        }
+        mask
+    };
+    let mut attach_of = vec![u32::MAX; n];
+    for (i, &p) in path.iter().enumerate() {
+        attach_of[p.index()] = i as u32;
+    }
+    bfs.run_multi(csr, &path);
+    // BFS order guarantees parents are resolved before children.
+    let order: Vec<NodeId> = bfs.reached().to_vec();
+    for &w in &order {
+        if on_path[w.index()] {
+            continue;
+        }
+        let d = bfs.dist(w).unwrap();
+        let parent = csr
+            .neighbors(w)
+            .iter()
+            .copied()
+            .find(|&x| bfs.dist(x) == Some(d - 1))
+            .expect("attachment parent exists");
+        attach_of[w.index()] = attach_of[parent.index()];
+    }
+    let mut attach = vec![0usize; path.len()];
+    for &a in &attach_of {
+        attach[a as usize] += 1;
+    }
+
+    // Check the Theorem 3.3 inequalities for each owned path arc.
+    let d = path.len() - 1;
+    let suffix: Vec<usize> = {
+        let mut s = vec![0usize; d + 2];
+        for i in (0..=d).rev() {
+            s[i] = s[i + 1] + attach[i];
+        }
+        s
+    };
+    let prefix: Vec<usize> = {
+        let mut s = vec![0usize; d + 2];
+        for i in 0..=d {
+            s[i + 1] = s[i] + attach[i];
+        }
+        s
+    };
+    let mut checked = 0;
+    let mut violations = 0;
+    for i in 0..d {
+        let (a, b) = (path[i], path[i + 1]);
+        if r.graph().has_arc(a, b) && i + 2 <= d {
+            // forward arc vᵢ → vᵢ₊₁, reroutable to vᵢ₊₂
+            checked += 1;
+            if attach[i + 1] < suffix[i + 2] {
+                violations += 1;
+            }
+        }
+        if r.graph().has_arc(b, a) && i >= 1 {
+            // backward arc vᵢ₊₁ → vᵢ, reroutable to vᵢ₋₁
+            checked += 1;
+            if attach[i] < prefix[i] {
+                violations += 1;
+            }
+        }
+    }
+    Some(PathDecomposition {
+        path,
+        attach,
+        violations,
+        checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::{CostModel, Realization};
+    use bbncg_graph::generators;
+
+    #[test]
+    fn binary_tree_decomposition_has_no_violations() {
+        for h in 1..=5 {
+            let r = Realization::new(generators::perfect_binary_tree(h));
+            let pd = path_decomposition(&r).unwrap();
+            assert_eq!(pd.d() as u32, 2 * h, "diametral path length");
+            assert_eq!(
+                pd.violations, 0,
+                "SUM equilibrium must satisfy all Theorem 3.3 inequalities"
+            );
+            if h >= 2 {
+                assert!(pd.checked > 0, "h={h} should have reroutable path arcs");
+            }
+            assert_eq!(pd.attach.iter().sum::<usize>(), r.n());
+        }
+    }
+
+    #[test]
+    fn directed_path_violates_doubling() {
+        // The path 0→1→…→7 is not a SUM equilibrium; its decomposition
+        // must show violated inequalities.
+        let r = Realization::new(generators::path(8));
+        let pd = path_decomposition(&r).unwrap();
+        assert_eq!(pd.d(), 7);
+        assert!(pd.violations > 0);
+        assert!(!bbncg_core::is_nash_equilibrium(&r, CostModel::Sum));
+    }
+
+    #[test]
+    fn spider_decomposition() {
+        let r = Realization::new(generators::spider(4));
+        let pd = path_decomposition(&r).unwrap();
+        assert_eq!(pd.d(), 8); // diameter 2k
+        assert_eq!(pd.attach.iter().sum::<usize>(), 13);
+        // The third leg (k-1 vertices beyond the hub's neighbor) hangs
+        // off the middle of the path.
+        let mid = pd.attach[4];
+        assert!(mid >= 1);
+    }
+
+    #[test]
+    fn non_tree_returns_none() {
+        let r = Realization::new(generators::cycle(5));
+        assert!(path_decomposition(&r).is_none());
+        let disconnected = Realization::new(bbncg_graph::OwnedDigraph::from_arcs(
+            4,
+            &[(0, 1), (2, 3)],
+        ));
+        assert!(path_decomposition(&disconnected).is_none());
+    }
+
+    #[test]
+    fn bound_grows_logarithmically() {
+        assert!(PathDecomposition::theorem33_bound(15) <= PathDecomposition::theorem33_bound(1023));
+        let r = Realization::new(generators::perfect_binary_tree(4));
+        let pd = path_decomposition(&r).unwrap();
+        assert!(pd.d() <= PathDecomposition::theorem33_bound(r.n()));
+    }
+}

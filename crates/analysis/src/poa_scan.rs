@@ -1,0 +1,143 @@
+//! Reusable price-of-anarchy scans: the programmatic API behind the
+//! Table 1 experiments, for downstream users who want the same series
+//! on their own instance families.
+
+use crate::sampling::{sample_equilibria, summarize};
+use bbncg_core::dynamics::DynamicsConfig;
+use bbncg_core::{opt_diameter_lower_bound, BudgetVector};
+
+/// One point of a PoA scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoAPoint {
+    /// Number of players.
+    pub n: usize,
+    /// Trajectories attempted / converged.
+    pub attempted: usize,
+    /// Converged trajectories.
+    pub converged: usize,
+    /// Worst equilibrium diameter observed.
+    pub worst_diameter: u64,
+    /// Best equilibrium diameter observed.
+    pub best_diameter: u64,
+    /// Lower bound on the optimal diameter of the instance.
+    pub opt_lower: u64,
+    /// `worst / opt_lower` — the empirical PoA estimate.
+    pub poa_estimate: f64,
+}
+
+/// Scan an instance family: for each `n` in `sizes`, build the budget
+/// vector with `family(n)`, sample `seeds` dynamics trajectories under
+/// `cfg`, and record the equilibrium diameter spread.
+///
+/// ```
+/// use bbncg_analysis::poa_scan::scan;
+/// use bbncg_core::dynamics::DynamicsConfig;
+/// use bbncg_core::{BudgetVector, CostModel};
+///
+/// // All-unit instances: the Table 1 Θ(1) row as an API call.
+/// let points = scan(
+///     &[6, 10],
+///     |n| BudgetVector::uniform(n, 1),
+///     DynamicsConfig::exact(CostModel::Sum, 200),
+///     4,
+/// );
+/// assert!(points.iter().all(|p| p.worst_diameter < 5)); // Thm 4.1
+/// ```
+pub fn scan(
+    sizes: &[usize],
+    family: impl Fn(usize) -> BudgetVector,
+    cfg: DynamicsConfig,
+    seeds: usize,
+) -> Vec<PoAPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let budgets = family(n);
+            assert_eq!(budgets.n(), n, "family must produce n-player instances");
+            let samples = sample_equilibria(&budgets, cfg, 0xBB5C + n as u64, seeds);
+            let stats = summarize(&samples);
+            let opt_lower = opt_diameter_lower_bound(&budgets);
+            let worst = if stats.converged > 0 { stats.max_diameter } else { 0 };
+            PoAPoint {
+                n,
+                attempted: stats.total,
+                converged: stats.converged,
+                worst_diameter: worst,
+                best_diameter: if stats.converged > 0 {
+                    stats.min_diameter
+                } else {
+                    0
+                },
+                opt_lower,
+                poa_estimate: if opt_lower == 0 || stats.converged == 0 {
+                    f64::NAN
+                } else {
+                    worst as f64 / opt_lower as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::CostModel;
+
+    #[test]
+    fn unit_family_scan_is_flat() {
+        let points = scan(
+            &[6, 8, 10],
+            |n| BudgetVector::uniform(n, 1),
+            DynamicsConfig::exact(CostModel::Sum, 200),
+            5,
+        );
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.converged, p.attempted);
+            assert!(p.worst_diameter < 5, "{p:?}");
+            assert!(p.best_diameter <= p.worst_diameter);
+            assert!(p.poa_estimate <= 2.5);
+        }
+    }
+
+    #[test]
+    fn tree_family_scan_grows_slowly() {
+        let points = scan(
+            &[8, 16],
+            |n| {
+                // Deterministic tree family: one hub with n/2 budget,
+                // the rest split.
+                let mut b = vec![0usize; n];
+                b[0] = n / 2;
+                let mut left = n - 1 - n / 2;
+                let mut i = 1;
+                while left > 0 {
+                    b[i] += 1;
+                    left -= 1;
+                    i = 1 + (i % (n - 1));
+                }
+                BudgetVector::new(b)
+            },
+            DynamicsConfig::exact(CostModel::Sum, 200),
+            3,
+        );
+        for p in &points {
+            assert!(p.converged > 0);
+            // Theorem 3.3: SUM tree equilibria are logarithmic.
+            let bound = 2 * ((p.n as f64).log2().ceil() as u64 + 2);
+            assert!(p.worst_diameter <= bound, "{p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "family must produce")]
+    fn wrong_family_size_is_rejected() {
+        scan(
+            &[5],
+            |_| BudgetVector::uniform(4, 1),
+            DynamicsConfig::exact(CostModel::Sum, 10),
+            1,
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Equilibrium sampling: drive random initial profiles to equilibrium,
+//! many seeds in parallel.
+//!
+//! This is the workhorse of the empirical Table 1 rows: the spread of
+//! equilibrium diameters reached by best-response dynamics from random
+//! starts estimates the price of anarchy of an instance class.
+
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig, DynamicsReport};
+use bbncg_core::{BudgetVector, Realization};
+use bbncg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampled trajectory.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Seed that generated the initial profile and drove the dynamics.
+    pub seed: u64,
+    /// The dynamics outcome.
+    pub report: DynamicsReport,
+}
+
+impl Sample {
+    /// Social diameter of the final state.
+    pub fn diameter(&self) -> u64 {
+        self.report.state.social_diameter()
+    }
+}
+
+/// Run `samples` independent dynamics trajectories of `cfg` on the
+/// instance `budgets`, seeds `base_seed .. base_seed + samples`, in
+/// parallel. Deterministic for fixed inputs regardless of thread count.
+pub fn sample_equilibria(
+    budgets: &BudgetVector,
+    cfg: DynamicsConfig,
+    base_seed: u64,
+    samples: usize,
+) -> Vec<Sample> {
+    bbncg_par::par_map_index(samples, |i| {
+        let seed = base_seed + i as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial =
+            Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+        let report = run_dynamics(initial, cfg, &mut rng);
+        Sample { seed, report }
+    })
+}
+
+/// Summary statistics over a batch of samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleStats {
+    /// Number of trajectories.
+    pub total: usize,
+    /// How many converged.
+    pub converged: usize,
+    /// How many revisited a profile (proved a best-response cycle).
+    pub cycled: usize,
+    /// Smallest final diameter among converged runs (`u64::MAX` if none).
+    pub min_diameter: u64,
+    /// Largest final diameter among converged runs (0 if none).
+    pub max_diameter: u64,
+    /// Mean rounds to convergence over converged runs.
+    pub mean_rounds: f64,
+    /// Mean applied deviations over converged runs.
+    pub mean_steps: f64,
+}
+
+/// Aggregate a batch of samples.
+pub fn summarize(samples: &[Sample]) -> SampleStats {
+    let total = samples.len();
+    let converged: Vec<&Sample> = samples.iter().filter(|s| s.report.converged).collect();
+    let cycled = samples.iter().filter(|s| s.report.cycled).count();
+    let min_diameter = converged.iter().map(|s| s.diameter()).min().unwrap_or(u64::MAX);
+    let max_diameter = converged.iter().map(|s| s.diameter()).max().unwrap_or(0);
+    let mean = |f: &dyn Fn(&Sample) -> usize| -> f64 {
+        if converged.is_empty() {
+            0.0
+        } else {
+            converged.iter().map(|s| f(s)).sum::<usize>() as f64 / converged.len() as f64
+        }
+    };
+    SampleStats {
+        total,
+        converged: converged.len(),
+        cycled,
+        min_diameter,
+        max_diameter,
+        mean_rounds: mean(&|s| s.report.rounds),
+        mean_steps: mean(&|s| s.report.steps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::{is_nash_equilibrium, CostModel};
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let budgets = BudgetVector::uniform(7, 1);
+        let cfg = DynamicsConfig::exact(CostModel::Sum, 100);
+        let a = sample_equilibria(&budgets, cfg, 10, 4);
+        let b = sample_equilibria(&budgets, cfg, 10, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.report.state, y.report.state);
+            assert_eq!(x.report.steps, y.report.steps);
+        }
+    }
+
+    #[test]
+    fn unit_budget_samples_converge_to_small_diameters() {
+        let budgets = BudgetVector::uniform(8, 1);
+        let cfg = DynamicsConfig::exact(CostModel::Sum, 200);
+        let samples = sample_equilibria(&budgets, cfg, 0, 6);
+        let stats = summarize(&samples);
+        assert_eq!(stats.converged, stats.total);
+        // Theorem 4.1: SUM all-unit equilibria have diameter < 5.
+        assert!(stats.max_diameter < 5, "{stats:?}");
+        for s in &samples {
+            assert!(is_nash_equilibrium(&s.report.state, CostModel::Sum));
+        }
+    }
+
+    #[test]
+    fn summary_handles_empty_and_unconverged() {
+        let stats = summarize(&[]);
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.min_diameter, u64::MAX);
+        let budgets = BudgetVector::uniform(6, 1);
+        // max_rounds = 0: nothing converges.
+        let cfg = DynamicsConfig::exact(CostModel::Sum, 0);
+        let stats = summarize(&sample_equilibria(&budgets, cfg, 0, 3));
+        assert_eq!(stats.converged, 0);
+        assert_eq!(stats.max_diameter, 0);
+    }
+}

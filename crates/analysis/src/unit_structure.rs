@@ -1,0 +1,181 @@
+//! Structure of `(1,…,1)-BG` equilibria (Theorems 4.1 and 4.2).
+//!
+//! Every realization of the all-unit game has exactly `n` arcs, so its
+//! underlying multigraph is a functional graph: connected equilibria are
+//! unicyclic. The theorems bound the shape tightly:
+//!
+//! * **Theorem 4.1 (SUM)**: connected, unique cycle of length ≤ 5, every
+//!   vertex on the cycle or adjacent to it;
+//! * **Theorem 4.2 (MAX)**: connected, unique cycle of length ≤ 7, every
+//!   vertex within distance 2 of the cycle.
+//!
+//! These imply diameters < 5 resp. < 8 and hence the Θ(1) price of
+//! anarchy of the all-unit row of Table 1. The `t1-unit` experiment
+//! drives random all-unit games to equilibrium and feeds them through
+//! [`unit_structure`].
+
+use bbncg_core::Realization;
+use bbncg_graph::{cycles, NodeId};
+
+/// Shape summary of an all-unit-budget profile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitStructure {
+    /// Is `U(G)` connected?
+    pub connected: bool,
+    /// The unique cycle (a brace counts as a 2-cycle), if the graph is
+    /// unicyclic.
+    pub cycle: Option<Vec<NodeId>>,
+    /// Largest distance from any vertex to the cycle (0 if no cycle).
+    pub max_dist_to_cycle: u32,
+    /// Number of braces.
+    pub braces: usize,
+    /// Diameter (`None` when disconnected).
+    pub diameter: Option<u32>,
+}
+
+impl UnitStructure {
+    /// Length of the unique cycle (0 when there is none).
+    pub fn cycle_len(&self) -> usize {
+        self.cycle.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Does the shape satisfy Theorem 4.1's conclusion (SUM version)?
+    pub fn satisfies_theorem41(&self) -> bool {
+        self.connected
+            && self.cycle.is_some()
+            && self.cycle_len() <= 5
+            && self.max_dist_to_cycle <= 1
+    }
+
+    /// Does the shape satisfy Theorem 4.2's conclusion (MAX version)?
+    pub fn satisfies_theorem42(&self) -> bool {
+        self.connected
+            && self.cycle.is_some()
+            && self.cycle_len() <= 7
+            && self.max_dist_to_cycle <= 2
+    }
+}
+
+/// Analyze the shape of a profile (intended for `(1,…,1)-BG`
+/// realizations, but total budget is not enforced).
+///
+/// ```
+/// use bbncg_analysis::unit_structure;
+/// use bbncg_core::Realization;
+/// use bbncg_graph::generators;
+///
+/// // A directed triangle with three pendants: cycle 3, everything
+/// // within distance 1 — the Theorem 4.1 shape.
+/// let r = Realization::new(generators::sunflower(3, &[1, 1, 1]));
+/// let s = unit_structure(&r);
+/// assert_eq!(s.cycle_len(), 3);
+/// assert!(s.satisfies_theorem41());
+/// ```
+pub fn unit_structure(r: &Realization) -> UnitStructure {
+    let csr = r.csr();
+    let connected = r.is_connected();
+    let cycle = cycles::unique_cycle(csr);
+    let max_dist_to_cycle = match &cycle {
+        Some(c) => cycles::distance_to_set(csr, c)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0),
+        None => 0,
+    };
+    UnitStructure {
+        connected,
+        cycle,
+        max_dist_to_cycle,
+        braces: r.graph().brace_count(),
+        diameter: r.diameter(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+    use bbncg_core::{is_nash_equilibrium, CostModel};
+    use bbncg_graph::{generators, OwnedDigraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn directed_triangle_structure() {
+        let r = Realization::new(generators::cycle(3));
+        let s = unit_structure(&r);
+        assert!(s.connected);
+        assert_eq!(s.cycle_len(), 3);
+        assert_eq!(s.max_dist_to_cycle, 0);
+        assert!(s.satisfies_theorem41());
+        assert!(s.satisfies_theorem42());
+    }
+
+    #[test]
+    fn long_cycle_violates_both() {
+        let r = Realization::new(generators::cycle(9));
+        let s = unit_structure(&r);
+        assert_eq!(s.cycle_len(), 9);
+        assert!(!s.satisfies_theorem41());
+        assert!(!s.satisfies_theorem42());
+        // ... consistent with Theorem 4.x: a long directed cycle is not
+        // an equilibrium.
+        assert!(!is_nash_equilibrium(&r, CostModel::Sum));
+        assert!(!is_nash_equilibrium(&r, CostModel::Max));
+    }
+
+    #[test]
+    fn sunflower_structure() {
+        // 5-cycle with a pendant at each cycle vertex, all unit budgets:
+        // pendant i+5 points at cycle vertex i.
+        let mut arcs: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        arcs.extend((0..5).map(|i| (i + 5, i)));
+        let r = Realization::new(OwnedDigraph::from_arcs(10, &arcs));
+        let s = unit_structure(&r);
+        assert_eq!(s.cycle_len(), 5);
+        assert_eq!(s.max_dist_to_cycle, 1);
+        assert!(s.satisfies_theorem41());
+        assert!(s.satisfies_theorem42());
+    }
+
+    #[test]
+    fn all_unit_equilibria_from_dynamics_satisfy_the_theorems() {
+        // The paper's Theorem 4.x end to end: drive random (1,...,1)
+        // instances to equilibrium, then check the structure.
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let budgets = vec![1usize; 9];
+            let initial =
+                Realization::new(generators::random_realization(&budgets, &mut rng));
+            for model in CostModel::ALL {
+                let rep = run_dynamics(
+                    initial.clone(),
+                    DynamicsConfig::exact(model, 200),
+                    &mut rng,
+                );
+                assert!(rep.converged, "seed {seed} {model:?} did not converge");
+                let s = unit_structure(&rep.state);
+                match model {
+                    CostModel::Sum => assert!(
+                        s.satisfies_theorem41(),
+                        "seed {seed}: SUM equilibrium violates Thm 4.1: {s:?}"
+                    ),
+                    CostModel::Max => assert!(
+                        s.satisfies_theorem42(),
+                        "seed {seed}: MAX equilibrium violates Thm 4.2: {s:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_profile_reported() {
+        let g = OwnedDigraph::from_arcs(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let s = unit_structure(&Realization::new(g));
+        assert!(!s.connected);
+        assert!(s.cycle.is_none()); // two cycles -> not unicyclic
+        assert!(!s.satisfies_theorem41());
+    }
+}

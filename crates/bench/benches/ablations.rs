@@ -1,0 +1,118 @@
+//! Ablation benches for the design decisions called out in DESIGN.md:
+//!
+//! * parallel vs serial whole-graph distance computations;
+//! * the patched-BFS deviation oracle vs full profile recomputation;
+//! * exact vs greedy vs swap best-response search;
+//! * BFS scratch reuse vs fresh allocation per run.
+
+use bbncg_core::{
+    best_swap_response, exact_best_response, greedy_best_response, CostModel, DeviationOracle,
+    Realization,
+};
+use bbncg_graph::{
+    distance_sums, distance_sums_par, eccentricities, eccentricities_par, generators, BfsScratch,
+    Csr, NodeId,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_parallel_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/apsp_parallelism");
+    g.sample_size(10);
+    let csr = generators::shift_graph(8, 3); // n = 512, m ≈ 3.7k
+    g.bench_function("eccentricities_serial_n512", |b| {
+        b.iter(|| black_box(eccentricities(&csr)))
+    });
+    g.bench_function("eccentricities_parallel_n512", |b| {
+        b.iter(|| black_box(eccentricities_par(&csr)))
+    });
+    g.bench_function("distance_sums_serial_n512", |b| {
+        b.iter(|| black_box(distance_sums(&csr)))
+    });
+    g.bench_function("distance_sums_parallel_n512", |b| {
+        b.iter(|| black_box(distance_sums_par(&csr)))
+    });
+    g.finish();
+}
+
+fn bench_oracle_vs_recompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/deviation_pricing");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let budgets = vec![2usize; 64];
+    let r = Realization::new(generators::random_realization(&budgets, &mut rng));
+    let u = NodeId::new(0);
+    let targets = vec![NodeId::new(5), NodeId::new(9)];
+    g.bench_function("patched_oracle_n64", |b| {
+        let mut oracle = DeviationOracle::new(&r, u, CostModel::Sum);
+        b.iter(|| black_box(oracle.cost_of(&targets)))
+    });
+    g.bench_function("full_recompute_n64", |b| {
+        b.iter(|| {
+            let dev = r.with_strategy(u, targets.clone());
+            black_box(dev.cost(u, CostModel::Sum))
+        })
+    });
+    g.finish();
+}
+
+fn bench_response_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/best_response_rules");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [16usize, 24] {
+        let budgets = vec![3usize; n];
+        let r = Realization::new(generators::random_realization(&budgets, &mut rng));
+        let u = NodeId::new(0);
+        g.bench_with_input(BenchmarkId::new("exact_b3", n), &r, |b, r| {
+            b.iter(|| black_box(exact_best_response(r, u, CostModel::Sum).cost))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_b3", n), &r, |b, r| {
+            b.iter(|| black_box(greedy_best_response(r, u, CostModel::Sum).cost))
+        });
+        g.bench_with_input(BenchmarkId::new("swap_b3", n), &r, |b, r| {
+            b.iter(|| black_box(best_swap_response(r, u, CostModel::Sum).unwrap().cost))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/bfs_scratch");
+    g.sample_size(10);
+    let tree = generators::perfect_binary_tree(9);
+    let csr = Csr::from_digraph(&tree);
+    let n = csr.n();
+    g.bench_function("reused_scratch_1023x32", |b| {
+        let mut scratch = BfsScratch::new(n);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for src in (0..n).step_by(32) {
+                acc += scratch.run(&csr, NodeId::new(src)).sum_dist;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("fresh_scratch_1023x32", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for src in (0..n).step_by(32) {
+                let mut scratch = BfsScratch::new(n);
+                acc += scratch.run(&csr, NodeId::new(src)).sum_dist;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_distances,
+    bench_oracle_vs_recompute,
+    bench_response_rules,
+    bench_scratch_reuse
+);
+criterion_main!(benches);

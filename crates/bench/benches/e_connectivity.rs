@@ -1,0 +1,45 @@
+//! Benches for `E-connectivity` (Thm 7.2): exact vertex connectivity on
+//! equilibrium graphs.
+
+use bbncg_analysis::connectivity_dichotomy;
+use bbncg_constructions::theorem23_equilibrium;
+use bbncg_core::BudgetVector;
+use bbncg_graph::{generators, vertex_connectivity, Csr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_vertex_connectivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_connectivity/vertex_connectivity");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let eq = theorem23_equilibrium(&BudgetVector::uniform(n, 3)).realization;
+        g.bench_with_input(
+            BenchmarkId::new("theorem23_uniform3", n),
+            &eq,
+            |b, eq| b.iter(|| black_box(vertex_connectivity(eq.csr()))),
+        );
+    }
+    let csr = generators::shift_graph(4, 2);
+    g.bench_function("shift_k2", |b| {
+        b.iter(|| black_box(vertex_connectivity(&csr)))
+    });
+    let cyc: Vec<(usize, usize)> = (0..64).map(|i| (i, (i + 1) % 64)).collect();
+    let csr = Csr::from_edges(64, &cyc);
+    g.bench_function("cycle64", |b| {
+        b.iter(|| black_box(vertex_connectivity(&csr)))
+    });
+    g.finish();
+}
+
+fn bench_dichotomy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_connectivity/dichotomy_check");
+    g.sample_size(10);
+    let eq = theorem23_equilibrium(&BudgetVector::uniform(32, 3)).realization;
+    g.bench_function("theorem23_n32_k3", |b| {
+        b.iter(|| black_box(connectivity_dichotomy(&eq).holds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vertex_connectivity, bench_dichotomy);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Benches for `E-convergence` (§8): how response rule and player order
+//! affect time-to-equilibrium.
+
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg_core::{BudgetVector, CostModel, Realization};
+use bbncg_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_convergence/rules");
+    g.sample_size(10);
+    let n = 20usize;
+    for (rule, name) in [
+        (ResponseRule::ExactBest, "exact"),
+        (ResponseRule::Greedy, "greedy"),
+        (ResponseRule::BestSwap, "swap"),
+    ] {
+        g.bench_function(BenchmarkId::new("uniform2_n20_sum", name), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let budgets = BudgetVector::uniform(n, 2);
+                let initial = Realization::new(generators::random_realization(
+                    budgets.as_slice(),
+                    &mut rng,
+                ));
+                let cfg = DynamicsConfig {
+                    model: CostModel::Sum,
+                    order: PlayerOrder::RoundRobin,
+                    rule,
+                    max_rounds: 400,
+                };
+                black_box(run_dynamics(initial, cfg, &mut rng).steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_convergence/orders");
+    g.sample_size(10);
+    for (order, name) in [
+        (PlayerOrder::RoundRobin, "round_robin"),
+        (PlayerOrder::RandomPermutation, "random_perm"),
+    ] {
+        g.bench_function(BenchmarkId::new("unit_n32_max", name), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let budgets = BudgetVector::uniform(32, 1);
+                let initial = Realization::new(generators::random_realization(
+                    budgets.as_slice(),
+                    &mut rng,
+                ));
+                let cfg = DynamicsConfig {
+                    model: CostModel::Max,
+                    order,
+                    rule: ResponseRule::ExactBest,
+                    max_rounds: 400,
+                };
+                black_box(run_dynamics(initial, cfg, &mut rng).rounds)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rules, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benches for `E-exact-poa`: exhaustive profile enumeration with exact
+//! Nash verification — the most search-intensive kernel in the
+//! workspace.
+
+use bbncg_core::{decode_profile, exact_game_stats, profile_count, BudgetVector, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_profile_decoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_exact_poa/decode");
+    g.sample_size(20);
+    let b = BudgetVector::uniform(6, 1);
+    let total = profile_count(&b);
+    g.bench_function("decode_all_n6_unit", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for idx in 0..total {
+                acc += decode_profile(&b, idx).total_arcs();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_exact_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_exact_poa/exact_stats");
+    g.sample_size(10);
+    for n in [4usize, 5] {
+        let b = BudgetVector::uniform(n, 1);
+        for model in CostModel::ALL {
+            let id = format!("unit_n{}_{}", n, model.label());
+            g.bench_function(BenchmarkId::from_parameter(id), |bch| {
+                bch.iter(|| black_box(exact_game_stats(&b, model, 1_000_000).equilibria))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile_decoding, bench_exact_stats);
+criterion_main!(benches);

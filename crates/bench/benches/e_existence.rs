@@ -1,0 +1,42 @@
+//! Benches for `E-existence` (Thm 2.3): equilibrium construction and
+//! verification cost as instance size grows.
+
+use bbncg_constructions::theorem23_equilibrium;
+use bbncg_core::{is_nash_equilibrium, BudgetVector, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_existence_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_existence/construct");
+    g.sample_size(20);
+    for n in [16usize, 64, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let budgets = BudgetVector::random_in_range(n, 0, 3, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &budgets, |b, budgets| {
+            b.iter(|| black_box(theorem23_equilibrium(budgets).realization.n()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_existence/exact_nash_verify");
+    g.sample_size(10);
+    for n in [10usize, 14, 18] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let budgets = BudgetVector::random_in_range(n, 0, 3, &mut rng);
+        let eq = theorem23_equilibrium(&budgets).realization;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &eq, |b, eq| {
+            b.iter(|| {
+                assert!(is_nash_equilibrium(eq, CostModel::Sum));
+                black_box(())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_existence_scaling, bench_verify_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benches for `E-nphard` (Thm 2.1): the exact best-response solver vs
+//! the facility heuristics on reduction instances — the practical face
+//! of NP-hardness.
+
+use bbncg_core::{exact_best_response, greedy_best_response, CostModel};
+use bbncg_facility::{kcenter_greedy, reduction_instance};
+use bbncg_graph::{generators, Csr, DistanceMatrix, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn grid_csr() -> Csr {
+    let (n, edges) = generators::grid_edges(5, 4);
+    Csr::from_edges(n, &edges)
+}
+
+fn bench_best_response_vs_facility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_nphard/solvers");
+    g.sample_size(10);
+    let csr = grid_csr();
+    let n = csr.n();
+    for k in [2usize, 3] {
+        let r = reduction_instance(&csr, k);
+        let player = NodeId::new(n);
+        g.bench_with_input(BenchmarkId::new("exact_br_max", k), &k, |b, _| {
+            b.iter(|| black_box(exact_best_response(&r, player, CostModel::Max).cost))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_br_max", k), &k, |b, _| {
+            b.iter(|| black_box(greedy_best_response(&r, player, CostModel::Max).cost))
+        });
+        g.bench_with_input(BenchmarkId::new("kcenter_greedy", k), &k, |b, &k| {
+            b.iter(|| {
+                let dm = DistanceMatrix::compute(&csr);
+                black_box(kcenter_greedy(&dm, k, NodeId::new(0)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_best_response_vs_facility);
+criterion_main!(benches);

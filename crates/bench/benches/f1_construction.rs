@@ -1,0 +1,45 @@
+//! Benches for `F1-construction` / `E-existence` (Thm 2.3): the
+//! equilibrium construction across its three cases, and full Nash
+//! verification of the Figure 1 instance.
+
+use bbncg_constructions::{figure1_budgets, theorem23_equilibrium};
+use bbncg_core::{is_nash_equilibrium, BudgetVector, CostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_construction/theorem23");
+    g.sample_size(20);
+    let fig1 = figure1_budgets();
+    g.bench_function("case2_figure1_n22", |b| {
+        b.iter(|| black_box(theorem23_equilibrium(&fig1).realization.n()))
+    });
+    let case1 = BudgetVector::new(vec![2; 64]);
+    g.bench_function("case1_uniform2_n64", |b| {
+        b.iter(|| black_box(theorem23_equilibrium(&case1).realization.n()))
+    });
+    let case3 = BudgetVector::new({
+        let mut v = vec![0usize; 40];
+        v.extend_from_slice(&[1; 20]);
+        v
+    });
+    g.bench_function("case3_disconnected_n60", |b| {
+        b.iter(|| black_box(theorem23_equilibrium(&case3).realization.kappa()))
+    });
+    g.finish();
+}
+
+fn bench_figure1_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_construction/verify");
+    g.sample_size(10);
+    let eq = theorem23_equilibrium(&figure1_budgets()).realization;
+    for model in CostModel::ALL {
+        g.bench_function(format!("exact_nash_{}", model.label()), |b| {
+            b.iter(|| black_box(is_nash_equilibrium(&eq, model)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_figure1_verification);
+criterion_main!(benches);

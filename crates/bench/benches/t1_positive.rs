@@ -1,0 +1,46 @@
+//! Benches for `T1-pos-max` (Lemma 5.2 / Thm 5.3): shift-graph
+//! construction, all-positive orientation, and certificate inputs.
+
+use bbncg_constructions::shift_equilibrium;
+use bbncg_core::{is_nash_equilibrium, CostModel};
+use bbncg_graph::{generators, BfsScratch, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_shift_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_pos_max/shift_equilibrium");
+    g.sample_size(10);
+    for k in [2u32, 3] {
+        g.bench_with_input(BenchmarkId::new("construct", k), &k, |b, &k| {
+            b.iter(|| black_box(shift_equilibrium(k).realization.n()))
+        });
+    }
+    g.bench_function("graph_only_k4", |b| {
+        b.iter(|| black_box(generators::shift_graph_edges(16, 4).1.len()))
+    });
+    g.finish();
+}
+
+fn bench_shift_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_pos_max/verification");
+    g.sample_size(10);
+    let eq2 = shift_equilibrium(2);
+    g.bench_function("exact_nash_k2", |b| {
+        b.iter(|| black_box(is_nash_equilibrium(&eq2.realization, CostModel::Max)))
+    });
+    let eq3 = shift_equilibrium(3);
+    g.bench_function("sampled_ecc_k3", |b| {
+        let mut scratch = BfsScratch::new(eq3.realization.n());
+        b.iter(|| {
+            let mut m = 0;
+            for src in [0usize, 100, 511] {
+                m = m.max(scratch.run(eq3.realization.csr(), NodeId::new(src)).max_dist);
+            }
+            black_box(m)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shift_construction, bench_shift_verification);
+criterion_main!(benches);

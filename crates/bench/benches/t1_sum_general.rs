@@ -1,0 +1,53 @@
+//! Benches for `T1-sum-general` (Thm 6.9): SUM dynamics on general
+//! budget profiles and the expansion-profile analyzer.
+
+use bbncg_analysis::expansion_profile;
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+use bbncg_core::{BudgetVector, CostModel, Realization};
+use bbncg_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sum_dynamics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_sum_general/dynamics");
+    g.sample_size(10);
+    for n in [12usize, 20] {
+        g.bench_with_input(BenchmarkId::new("uniform2", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let budgets = BudgetVector::uniform(n, 2);
+                let initial = Realization::new(generators::random_realization(
+                    budgets.as_slice(),
+                    &mut rng,
+                ));
+                let rep = run_dynamics(
+                    initial,
+                    DynamicsConfig::exact(CostModel::Sum, 300),
+                    &mut rng,
+                );
+                black_box(rep.state.social_diameter())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_sum_general/expansion_profile");
+    g.sample_size(10);
+    let csr = generators::shift_graph(8, 3);
+    g.bench_function("shift_k3_r3", |b| {
+        b.iter(|| black_box(expansion_profile(&csr, 3)))
+    });
+    let tree = generators::perfect_binary_tree(8);
+    let csr = bbncg_graph::Csr::from_digraph(&tree);
+    g.bench_function("binary_tree_h8_r16", |b| {
+        b.iter(|| black_box(expansion_profile(&csr, 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sum_dynamics, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benches for `T1-max-tree` (Thm 3.2 spider) and `T1-sum-tree`
+//! (Thm 3.3/3.4 binary tree): construction, verification, and the
+//! Figure 3 path decomposition.
+
+use bbncg_analysis::path_decomposition;
+use bbncg_constructions::{binary_tree_equilibrium, spider_equilibrium};
+use bbncg_core::{is_nash_equilibrium, is_swap_equilibrium, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_spider(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_max_tree/spider");
+    g.sample_size(10);
+    for k in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("construct+diameter", k), &k, |b, &k| {
+            b.iter(|| {
+                let eq = spider_equilibrium(k);
+                black_box(eq.realization.diameter())
+            })
+        });
+    }
+    for k in [4usize, 16] {
+        let eq = spider_equilibrium(k);
+        g.bench_with_input(BenchmarkId::new("swap_verify_max", k), &eq, |b, eq| {
+            b.iter(|| black_box(is_swap_equilibrium(&eq.realization, CostModel::Max)))
+        });
+    }
+    let eq = spider_equilibrium(4);
+    g.bench_function("exact_nash_verify_max_k4", |b| {
+        b.iter(|| black_box(is_nash_equilibrium(&eq.realization, CostModel::Max)))
+    });
+    g.finish();
+}
+
+fn bench_binary_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_sum_tree/binary_tree");
+    g.sample_size(10);
+    for h in [4u32, 7, 9] {
+        g.bench_with_input(BenchmarkId::new("construct+diameter", h), &h, |b, &h| {
+            b.iter(|| {
+                let eq = binary_tree_equilibrium(h);
+                black_box(eq.realization.diameter())
+            })
+        });
+    }
+    for h in [4u32, 7] {
+        let eq = binary_tree_equilibrium(h);
+        g.bench_with_input(BenchmarkId::new("path_decomposition", h), &eq, |b, eq| {
+            b.iter(|| black_box(path_decomposition(&eq.realization)))
+        });
+    }
+    let eq = binary_tree_equilibrium(4);
+    g.bench_function("exact_nash_verify_sum_h4", |b| {
+        b.iter(|| black_box(is_nash_equilibrium(&eq.realization, CostModel::Sum)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spider, bench_binary_tree);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benches for `T1-unit` (Thm 4.1/4.2): all-unit dynamics to
+//! equilibrium and the cycle-structure analyzer.
+
+use bbncg_analysis::unit_structure;
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+use bbncg_core::{BudgetVector, CostModel, Realization};
+use bbncg_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_unit_dynamics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_unit/dynamics_to_equilibrium");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        for model in CostModel::ALL {
+            let id = format!("{}/n{}", model.label(), n);
+            g.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let budgets = BudgetVector::uniform(n, 1);
+                    let initial = Realization::new(generators::random_realization(
+                        budgets.as_slice(),
+                        &mut rng,
+                    ));
+                    let rep = run_dynamics(initial, DynamicsConfig::exact(model, 300), &mut rng);
+                    assert!(rep.converged);
+                    black_box(rep.steps)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_structure_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_unit/structure_analyzer");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let budgets = BudgetVector::uniform(64, 1);
+    let initial = Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+    let rep = run_dynamics(
+        initial,
+        DynamicsConfig::exact(CostModel::Sum, 300),
+        &mut rng,
+    );
+    g.bench_function("unit_structure_n64", |b| {
+        b.iter(|| black_box(unit_structure(&rep.state)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_unit_dynamics, bench_structure_analysis);
+criterion_main!(benches);

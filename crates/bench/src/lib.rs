@@ -1,0 +1,18 @@
+//! Benchmark harness and experiment implementations for the `bbncg`
+//! reproduction.
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper (ids in DESIGN.md §4); run them with
+//!
+//! ```text
+//! cargo run -p bbncg-bench --release --bin experiments            # all
+//! cargo run -p bbncg-bench --release --bin experiments -- t1-unit # one
+//! cargo run -p bbncg-bench --release --bin experiments -- --csv … # CSV
+//! ```
+//!
+//! The Criterion benches under `benches/` measure the computational
+//! kernels of each experiment plus the ablations called out in
+//! DESIGN.md (parallel vs serial APSP, exact vs greedy vs swap best
+//! response, patched-BFS oracle vs full recomputation).
+
+pub mod experiments;

@@ -1,0 +1,13 @@
+//! The `bbncg` command-line tool. All logic lives in [`bbncg_cli`];
+//! this shell prints the result or the error and sets the exit code.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match bbncg_cli::dispatch(&raw) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

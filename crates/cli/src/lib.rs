@@ -1,0 +1,512 @@
+//! Command implementations for the `bbncg` command-line tool.
+//!
+//! Each subcommand is a pure function from parsed arguments to a
+//! printable report (`Result<String, String>`), so the whole surface is
+//! unit-testable without spawning processes. The `bbncg` binary is a
+//! thin shell around [`dispatch`].
+//!
+//! ```text
+//! bbncg construct --budgets 1,1,2,0            # Theorem 2.3 equilibrium
+//! bbncg construct --spider 5                   # Figure 2 spider
+//! bbncg construct --btree 4 | bbncg verify -   # build then check
+//! bbncg verify saved.bbncg --model max
+//! bbncg best-response saved.bbncg --player 2 --model sum
+//! bbncg dynamics --budgets 1,1,1,1,1 --seed 7 --model sum --rule exact
+//! bbncg analyze saved.bbncg
+//! bbncg exact-poa --budgets 1,1,1,1 --model max
+//! bbncg dot saved.bbncg
+//! ```
+
+use bbncg_analysis::{connectivity_dichotomy, path_decomposition, unit_structure};
+use bbncg_constructions::{
+    binary_tree_equilibrium, shift_equilibrium, spider_equilibrium, theorem23_equilibrium,
+};
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg_core::{
+    best_swap_response, exact_best_response, exact_game_stats, greedy_best_response,
+    is_nash_equilibrium, is_swap_equilibrium, parse_realization, write_realization, BudgetVector,
+    CostModel, Realization,
+};
+use bbncg_graph::{dot, generators, GraphMetrics, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Parsed command-line flags: `--key value` pairs plus positional args.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+/// Switch-style flags (no value).
+const SWITCHES: &[&str] = &["--swap", "--trace", "--help"];
+
+impl Args {
+    /// Parse raw arguments (everything after the subcommand).
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if SWITCHES.contains(&a.as_str()) {
+                args.switches.push(a.clone());
+            } else if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                args.flags.push((key.to_string(), value.clone()));
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Is the switch present?
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// First positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+}
+
+fn parse_budgets(s: &str) -> Result<BudgetVector, String> {
+    let budgets: Vec<usize> = s
+        .split(',')
+        .map(|t| t.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("cannot parse budgets {s:?}: {e}"))?;
+    if budgets.is_empty() {
+        return Err("budgets must be non-empty".into());
+    }
+    let n = budgets.len();
+    if budgets.iter().any(|&b| b >= n) {
+        return Err(format!("every budget must be < n = {n}"));
+    }
+    Ok(BudgetVector::new(budgets))
+}
+
+fn parse_model(args: &Args) -> Result<CostModel, String> {
+    match args.get("model").unwrap_or("sum") {
+        "sum" | "SUM" => Ok(CostModel::Sum),
+        "max" | "MAX" => Ok(CostModel::Max),
+        other => Err(format!("unknown --model {other:?} (sum|max)")),
+    }
+}
+
+fn load_realization(path: &str) -> Result<Realization, String> {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    parse_realization(&text).map_err(|e| e.to_string())
+}
+
+/// `bbncg construct` — build a named equilibrium and print it in the
+/// `bbncg v1` format (pipe into a file or another subcommand).
+pub fn cmd_construct(args: &Args) -> Result<String, String> {
+    let r = if let Some(b) = args.get("budgets") {
+        let budgets = parse_budgets(b)?;
+        theorem23_equilibrium(&budgets).realization
+    } else if let Some(k) = args.get("spider") {
+        let k: usize = k.parse().map_err(|e| format!("--spider: {e}"))?;
+        spider_equilibrium(k).realization
+    } else if let Some(h) = args.get("btree") {
+        let h: u32 = h.parse().map_err(|e| format!("--btree: {e}"))?;
+        binary_tree_equilibrium(h).realization
+    } else if let Some(k) = args.get("shift") {
+        let k: u32 = k.parse().map_err(|e| format!("--shift: {e}"))?;
+        if k > 3 {
+            return Err("--shift k > 3 produces > 500k-line files; refusing".into());
+        }
+        shift_equilibrium(k).realization
+    } else {
+        return Err("construct needs --budgets LIST, --spider K, --btree H, or --shift K".into());
+    };
+    Ok(write_realization(&r))
+}
+
+/// `bbncg verify FILE` — Nash / swap verification with a cost report.
+pub fn cmd_verify(args: &Args) -> Result<String, String> {
+    let path = args.positional(0).ok_or("verify needs a FILE (or -)")?;
+    let r = load_realization(path)?;
+    let model = parse_model(args)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "n = {}, arcs = {}, budgets = {:?}",
+        r.n(),
+        r.graph().total_arcs(),
+        r.budgets().as_slice()
+    );
+    let _ = writeln!(out, "social diameter = {}", r.social_diameter());
+    if args.has("--swap") {
+        let ok = is_swap_equilibrium(&r, model);
+        let _ = writeln!(out, "swap equilibrium ({}) = {}", model.label(), ok);
+    } else {
+        let ok = is_nash_equilibrium(&r, model);
+        let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
+        if !ok {
+            if let Some(v) = bbncg_core::find_violation(&r, model) {
+                let _ = writeln!(
+                    out,
+                    "violator: player {} can improve {} -> {}",
+                    v.player, v.current_cost, v.best_cost
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `bbncg best-response FILE --player I` — one player's best response.
+pub fn cmd_best_response(args: &Args) -> Result<String, String> {
+    let path = args.positional(0).ok_or("best-response needs a FILE")?;
+    let r = load_realization(path)?;
+    let model = parse_model(args)?;
+    let player: usize = args
+        .get("player")
+        .ok_or("--player is required")?
+        .parse()
+        .map_err(|e| format!("--player: {e}"))?;
+    if player >= r.n() {
+        return Err(format!("player {player} out of range (n = {})", r.n()));
+    }
+    let u = NodeId::new(player);
+    let current = r.cost(u, model);
+    let br = match args.get("rule").unwrap_or("exact") {
+        "exact" => exact_best_response(&r, u, model),
+        "greedy" => greedy_best_response(&r, u, model),
+        "swap" => best_swap_response(&r, u, model)
+            .ok_or("player owns no arcs; swap rule inapplicable")?,
+        other => return Err(format!("unknown --rule {other:?} (exact|greedy|swap)")),
+    };
+    let targets: Vec<String> = br.targets.iter().map(|t| t.to_string()).collect();
+    Ok(format!(
+        "player {player} ({}): current cost {current}, best {} via [{}]{}\n",
+        model.label(),
+        br.cost,
+        targets.join(", "),
+        if br.cost < current { "  (improves)" } else { "  (already optimal)" }
+    ))
+}
+
+/// `bbncg dynamics --budgets LIST` — run dynamics from a random start
+/// (or `FILE` positional) and print the outcome; the final profile goes
+/// to stdout after the report when `--emit` is `profile`.
+pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
+    let model = parse_model(args)?;
+    let seed: u64 = args
+        .get("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let rounds: usize = args
+        .get("rounds")
+        .unwrap_or("300")
+        .parse()
+        .map_err(|e| format!("--rounds: {e}"))?;
+    let rule = match args.get("rule").unwrap_or("exact") {
+        "exact" => ResponseRule::ExactBest,
+        "better" => ResponseRule::FirstImproving,
+        "greedy" => ResponseRule::Greedy,
+        "swap" => ResponseRule::BestSwap,
+        other => return Err(format!("unknown --rule {other:?} (exact|better|greedy|swap)")),
+    };
+    let order = match args.get("order").unwrap_or("rr") {
+        "rr" | "round-robin" => PlayerOrder::RoundRobin,
+        "random" => PlayerOrder::RandomPermutation,
+        other => return Err(format!("unknown --order {other:?} (rr|random)")),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = if let Some(path) = args.positional(0) {
+        load_realization(path)?
+    } else {
+        let budgets = parse_budgets(args.get("budgets").ok_or("need --budgets or a FILE")?)?;
+        Realization::new(generators::random_realization(budgets.as_slice(), &mut rng))
+    };
+    let cfg = DynamicsConfig {
+        model,
+        order,
+        rule,
+        max_rounds: rounds,
+    };
+    let report = run_dynamics(initial, cfg, &mut rng);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "converged = {}, cycled = {}, rounds = {}, deviations = {}",
+        report.converged, report.cycled, report.rounds, report.steps
+    );
+    let _ = writeln!(out, "final diameter = {}", report.state.social_diameter());
+    if args.get("emit") == Some("profile") {
+        out.push_str(&write_realization(&report.state));
+    }
+    Ok(out)
+}
+
+/// `bbncg analyze FILE` — structural report: metrics, unit structure,
+/// connectivity dichotomy, tree decomposition when applicable.
+pub fn cmd_analyze(args: &Args) -> Result<String, String> {
+    let path = args.positional(0).ok_or("analyze needs a FILE (or -)")?;
+    let r = load_realization(path)?;
+    let mut out = String::new();
+    let m = GraphMetrics::compute(r.csr());
+    let _ = writeln!(
+        out,
+        "n = {}, edges = {}, connected = {}, diameter = {}, radius = {}",
+        m.n, m.m, m.connected, m.diameter, m.radius
+    );
+    let _ = writeln!(
+        out,
+        "mean distance = {:.3}, Wiener index = {}, degrees {}..{}",
+        m.mean_distance, m.wiener_index, m.min_degree, m.max_degree
+    );
+    let us = unit_structure(&r);
+    if let Some(cycle) = &us.cycle {
+        let _ = writeln!(
+            out,
+            "unicyclic: cycle length {}, max distance to cycle {}, braces {}",
+            cycle.len(),
+            us.max_dist_to_cycle,
+            us.braces
+        );
+        let _ = writeln!(
+            out,
+            "Thm 4.1 shape (SUM caps): {}, Thm 4.2 shape (MAX caps): {}",
+            us.satisfies_theorem41(),
+            us.satisfies_theorem42()
+        );
+    }
+    if let Some(pd) = path_decomposition(&r) {
+        let _ = writeln!(
+            out,
+            "tree: diametral path length {}, Thm 3.3 inequality violations {}/{}",
+            pd.d(),
+            pd.violations,
+            pd.checked
+        );
+    }
+    let d = connectivity_dichotomy(&r);
+    let _ = writeln!(
+        out,
+        "vertex connectivity = {}, min budget = {}, Thm 7.2 dichotomy holds = {}",
+        d.connectivity, d.min_budget, d.holds
+    );
+    Ok(out)
+}
+
+/// `bbncg exact-poa --budgets LIST` — exhaustive exact PoA/PoS.
+pub fn cmd_exact_poa(args: &Args) -> Result<String, String> {
+    let budgets = parse_budgets(args.get("budgets").ok_or("--budgets is required")?)?;
+    let model = parse_model(args)?;
+    let limit: u64 = args
+        .get("limit")
+        .unwrap_or("2000000")
+        .parse()
+        .map_err(|e| format!("--limit: {e}"))?;
+    let total = bbncg_core::profile_count(&budgets);
+    if total > limit {
+        return Err(format!(
+            "instance has {total} profiles > limit {limit}; raise --limit or shrink the instance"
+        ));
+    }
+    let s = exact_game_stats(&budgets, model, limit);
+    Ok(format!(
+        "profiles = {}, equilibria = {}, opt diameter = {}\n\
+         best equilibrium = {}, worst equilibrium = {}\n\
+         exact PoS = {:.3}, exact PoA = {:.3}\n",
+        s.profiles,
+        s.equilibria,
+        s.opt_diameter,
+        s.best_equilibrium_diameter,
+        s.worst_equilibrium_diameter,
+        s.pos(),
+        s.poa()
+    ))
+}
+
+/// `bbncg dot FILE` — DOT rendering of a saved profile.
+pub fn cmd_dot(args: &Args) -> Result<String, String> {
+    let path = args.positional(0).ok_or("dot needs a FILE (or -)")?;
+    let r = load_realization(path)?;
+    Ok(dot::digraph_to_dot(r.graph(), "bbncg", |u| {
+        format!("v{}", u.index())
+    }))
+}
+
+/// Usage text.
+pub const USAGE: &str = "bbncg — bounded budget network creation games (Ehsani et al., SPAA 2011)
+
+USAGE: bbncg <COMMAND> [ARGS]
+
+COMMANDS:
+  construct       --budgets 1,1,2,0 | --spider K | --btree H | --shift K
+  verify          FILE [--model sum|max] [--swap]
+  best-response   FILE --player I [--model sum|max] [--rule exact|greedy|swap]
+  dynamics        [FILE] --budgets LIST [--model sum|max] [--seed S]
+                  [--rule exact|better|greedy|swap] [--order rr|random]
+                  [--rounds N] [--emit profile]
+  analyze         FILE
+  exact-poa       --budgets LIST [--model sum|max] [--limit N]
+  dot             FILE
+
+Profiles use the plain-text `bbncg v1` format; FILE may be `-` (stdin).
+";
+
+/// Dispatch a full command line (without the program name).
+pub fn dispatch(raw: &[String]) -> Result<String, String> {
+    let (cmd, rest) = raw.split_first().ok_or(USAGE.to_string())?;
+    let args = Args::parse(rest)?;
+    if args.has("--help") {
+        return Ok(USAGE.to_string());
+    }
+    match cmd.as_str() {
+        "construct" => cmd_construct(&args),
+        "verify" => cmd_verify(&args),
+        "best-response" => cmd_best_response(&args),
+        "dynamics" => cmd_dynamics(&args),
+        "analyze" => cmd_analyze(&args),
+        "exact-poa" => cmd_exact_poa(&args),
+        "dot" => cmd_dot(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        dispatch(&raw)
+    }
+
+    #[test]
+    fn construct_theorem23_roundtrips_through_verify() {
+        let profile = run(&["construct", "--budgets", "1,1,2,0"]).unwrap();
+        assert!(profile.starts_with("bbncg v1"));
+        // Write to a temp file and verify.
+        let path = std::env::temp_dir().join("bbncg_cli_test_1.bbncg");
+        std::fs::write(&path, &profile).unwrap();
+        let report = run(&["verify", path.to_str().unwrap(), "--model", "max"]).unwrap();
+        assert!(report.contains("Nash equilibrium (MAX) = true"), "{report}");
+        let report = run(&["verify", path.to_str().unwrap(), "--model", "sum"]).unwrap();
+        assert!(report.contains("Nash equilibrium (SUM) = true"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn construct_spider_and_analyze() {
+        let profile = run(&["construct", "--spider", "3"]).unwrap();
+        let path = std::env::temp_dir().join("bbncg_cli_test_2.bbncg");
+        std::fs::write(&path, &profile).unwrap();
+        let report = run(&["analyze", path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("n = 10"));
+        assert!(report.contains("diametral path length 6"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamics_reports_convergence() {
+        let report = run(&[
+            "dynamics", "--budgets", "1,1,1,1,1", "--seed", "3", "--model", "sum",
+        ])
+        .unwrap();
+        assert!(report.contains("converged = true"), "{report}");
+    }
+
+    #[test]
+    fn dynamics_emits_loadable_profile() {
+        let out = run(&[
+            "dynamics", "--budgets", "1,1,1,1", "--emit", "profile",
+        ])
+        .unwrap();
+        let profile_start = out.find("bbncg v1").unwrap();
+        let r = bbncg_core::parse_realization(&out[profile_start..]).unwrap();
+        assert_eq!(r.n(), 4);
+    }
+
+    #[test]
+    fn exact_poa_reports_ratios() {
+        let report = run(&["exact-poa", "--budgets", "1,1,1", "--model", "max"]).unwrap();
+        assert!(report.contains("profiles = 8"));
+        assert!(report.contains("exact PoA = 1.000"));
+    }
+
+    #[test]
+    fn best_response_identifies_improvement() {
+        // A directed path is not an equilibrium: player 0 can improve.
+        let r = Realization::new(generators::path(5));
+        let path = std::env::temp_dir().join("bbncg_cli_test_3.bbncg");
+        std::fs::write(&path, write_realization(&r)).unwrap();
+        let report = run(&[
+            "best-response", path.to_str().unwrap(), "--player", "0", "--model", "sum",
+        ])
+        .unwrap();
+        assert!(report.contains("(improves)"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dot_renders() {
+        let profile = run(&["construct", "--btree", "2"]).unwrap();
+        let path = std::env::temp_dir().join("bbncg_cli_test_4.bbncg");
+        std::fs::write(&path, &profile).unwrap();
+        let dot = run(&["dot", path.to_str().unwrap()]).unwrap();
+        assert!(dot.starts_with("digraph bbncg"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(run(&["construct"]).unwrap_err().contains("--budgets"));
+        assert!(run(&["verify"]).unwrap_err().contains("FILE"));
+        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run(&["exact-poa", "--budgets", "9,9"])
+            .unwrap_err()
+            .contains("budget"));
+        assert!(run(&["dynamics", "--budgets", "1,1", "--rule", "quantum"])
+            .unwrap_err()
+            .contains("unknown --rule"));
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&["verify", "--help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn args_parser_basics() {
+        let raw: Vec<String> = ["a.txt", "--model", "max", "--swap"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&raw).unwrap();
+        assert_eq!(args.positional(0), Some("a.txt"));
+        assert_eq!(args.get("model"), Some("max"));
+        assert!(args.has("--swap"));
+        assert!(Args::parse(&["--model".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests spawning the real `bbncg` binary: exit codes,
+//! stdin piping, and subcommand chaining.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bbncg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bbncg"))
+}
+
+#[test]
+fn construct_then_verify_through_a_pipe() {
+    let construct = bbncg()
+        .args(["construct", "--budgets", "1,1,1,0,2"])
+        .output()
+        .expect("spawn construct");
+    assert!(construct.status.success());
+    let profile = String::from_utf8(construct.stdout).unwrap();
+    assert!(profile.starts_with("bbncg v1"));
+
+    let mut verify = bbncg()
+        .args(["verify", "-", "--model", "sum"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn verify");
+    verify
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(profile.as_bytes())
+        .unwrap();
+    let out = verify.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("Nash equilibrium (SUM) = true"), "{report}");
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = bbncg().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = bbncg().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("COMMANDS"));
+}
+
+#[test]
+fn dynamics_emit_profile_feeds_analyze() {
+    let dynamics = bbncg()
+        .args([
+            "dynamics", "--budgets", "1,1,1,1,1,1", "--seed", "5", "--emit", "profile",
+        ])
+        .output()
+        .unwrap();
+    assert!(dynamics.status.success());
+    let text = String::from_utf8(dynamics.stdout).unwrap();
+    let profile = &text[text.find("bbncg v1").unwrap()..];
+
+    let mut analyze = bbncg()
+        .args(["analyze", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    analyze
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(profile.as_bytes())
+        .unwrap();
+    let out = analyze.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("vertex connectivity"), "{report}");
+}
+
+#[test]
+fn malformed_profile_is_rejected_cleanly() {
+    let mut verify = bbncg()
+        .args(["verify", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    verify
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"this is not a profile")
+        .unwrap();
+    let out = verify.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("header"), "{err}");
+}

@@ -1,0 +1,257 @@
+//! The Theorem 5.3 / Lemma 5.2 shift-graph equilibrium.
+//!
+//! The paper's most surprising construction: instances where **every**
+//! player has a positive budget yet MAX equilibria with diameter
+//! `√(log n)` exist — so giving everyone budget (vs. the all-unit game,
+//! whose equilibria have diameter O(1)) can *hurt* the network, a
+//! Braess-like non-monotonicity.
+//!
+//! Lemma 5.2: let `U` be the shift graph on `{0,…,t−1}^k` (see
+//! [`bbncg_graph::generators::shift_graph`]). If `(2t)^k − 1 <
+//! t^k(2t−1)` then *any* orientation `G` with `U(G) = U` is a MAX
+//! equilibrium — the argument is purely expansion-based (Lemma 5.1): no
+//! single player's ≤ 2t incident edges can bring every vertex within
+//! distance `k − 1`, so no deviation reduces any local diameter below
+//! `k`. Theorem 5.3 instantiates `t = 2^k`, giving `n = 2^(k²)` and
+//! diameter `k = √(log n)`.
+//!
+//! To realize the theorem we must orient every edge so each vertex owns
+//! at least one arc (all budgets positive). This module does so with a
+//! vertex-to-edge matching (greedy pass + Kuhn augmentation), which
+//! always succeeds because every vertex has degree ≥ t − 1 ≥ 2 and the
+//! graph has more edges than vertices.
+
+use bbncg_core::Realization;
+use bbncg_graph::generators::shift_graph_edges;
+use bbncg_graph::{NodeId, OwnedDigraph};
+
+/// Output of [`shift_equilibrium`].
+#[derive(Clone, Debug)]
+pub struct ShiftEquilibrium {
+    /// The oriented shift graph — a MAX equilibrium with all budgets ≥ 1.
+    pub realization: Realization,
+    /// Alphabet size `t`.
+    pub t: usize,
+    /// Word length `k` (= the graph's diameter).
+    pub k: u32,
+}
+
+/// Does the Lemma 5.2 hypothesis `(2t)^k − 1 < t^k(2t − 1)` hold?
+/// Computed in `u128`; `false` on overflow (the hypothesis concerns
+/// sizes far below that).
+pub fn lemma52_condition(t: usize, k: u32) -> bool {
+    let lhs = match (2 * t as u128).checked_pow(k) {
+        Some(x) => x - 1,
+        None => return false,
+    };
+    let rhs = match (t as u128)
+        .checked_pow(k)
+        .and_then(|x| x.checked_mul(2 * t as u128 - 1))
+    {
+        Some(x) => x,
+        None => return false,
+    };
+    lhs < rhs
+}
+
+/// Orient every undirected edge so that each vertex owns at least one
+/// arc. Panics if impossible (some component has fewer edges than
+/// vertices — never the case for shift graphs).
+fn orient_all_positive(n: usize, edges: &[(usize, usize)]) -> OwnedDigraph {
+    // Vertex-edge incidence.
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        incident[u].push(e as u32);
+        incident[v].push(e as u32);
+    }
+    // owner[e] = vertex matched to edge e (the arc's tail), or NONE.
+    const NONE: u32 = u32::MAX;
+    let mut owner = vec![NONE; edges.len()];
+    let mut matched_edge = vec![NONE; n];
+
+    // Greedy pass: claim any unclaimed incident edge.
+    for v in 0..n {
+        for &e in &incident[v] {
+            if owner[e as usize] == NONE {
+                owner[e as usize] = v as u32;
+                matched_edge[v] = e;
+                break;
+            }
+        }
+    }
+    // Kuhn augmentation for the (rare) leftovers.
+    fn augment(
+        v: usize,
+        incident: &[Vec<u32>],
+        owner: &mut [u32],
+        matched_edge: &mut [u32],
+        visited: &mut [bool],
+    ) -> bool {
+        const NONE: u32 = u32::MAX;
+        for &e in &incident[v] {
+            let e = e as usize;
+            if visited[e] {
+                continue;
+            }
+            visited[e] = true;
+            let holder = owner[e];
+            if holder == NONE
+                || augment(holder as usize, incident, owner, matched_edge, visited)
+            {
+                owner[e] = v as u32;
+                matched_edge[v] = e as u32;
+                return true;
+            }
+        }
+        false
+    }
+    for v in 0..n {
+        if matched_edge[v] == NONE {
+            let mut visited = vec![false; edges.len()];
+            let ok = augment(v, &incident, &mut owner, &mut matched_edge, &mut visited);
+            assert!(
+                ok,
+                "no all-positive orientation exists (vertex {v} cannot be matched)"
+            );
+        }
+    }
+    // Matched edges are owned by their matched vertex; the rest go from
+    // the smaller to the larger endpoint.
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let tail = if matched_edge[u] == e as u32 && owner[e] == u as u32 {
+            u
+        } else if matched_edge[v] == e as u32 && owner[e] == v as u32 {
+            v
+        } else {
+            u.min(v)
+        };
+        let head = if tail == u { v } else { u };
+        out[tail].push(NodeId::new(head));
+    }
+    OwnedDigraph::from_out_lists(out)
+}
+
+/// The Theorem 5.3 equilibrium for word length `k`: the shift graph with
+/// `t = 2^k`, `n = 2^(k²)` vertices, oriented all-positive. A MAX
+/// equilibrium with diameter `k = √(log₂ n)`.
+///
+/// Sizes: k=2 → n=16, k=3 → n=512, k=4 → n=65 536. Keep `k ≤ 4`.
+pub fn shift_equilibrium(k: u32) -> ShiftEquilibrium {
+    shift_equilibrium_with(1usize << k, k)
+}
+
+/// Lemma 5.2 equilibrium for general `(t, k)` satisfying the lemma's
+/// hypothesis.
+///
+/// # Panics
+/// Panics if `(2t)^k − 1 < t^k(2t−1)` fails or `t ≤ k` (the diameter-k
+/// argument requires more symbols than positions).
+pub fn shift_equilibrium_with(t: usize, k: u32) -> ShiftEquilibrium {
+    assert!(
+        lemma52_condition(t, k),
+        "Lemma 5.2 hypothesis fails for t={t}, k={k}"
+    );
+    assert!(t > k as usize, "need t > k for diameter exactly k");
+    let (n, edges) = shift_graph_edges(t, k);
+    let g = orient_all_positive(n, &edges);
+    ShiftEquilibrium {
+        realization: Realization::new(g),
+        t,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::{is_nash_equilibrium, CostModel};
+
+    #[test]
+    fn condition_holds_for_theorem_53_parameters() {
+        for k in 2..=6 {
+            assert!(lemma52_condition(1usize << k, k), "t=2^k, k={k}");
+        }
+        // And fails when t is tiny relative to k.
+        assert!(!lemma52_condition(2, 8));
+    }
+
+    #[test]
+    fn k2_instance_shape() {
+        let eq = shift_equilibrium(2);
+        let r = &eq.realization;
+        assert_eq!(r.n(), 16);
+        assert_eq!(r.diameter(), Some(2));
+        // All budgets positive (the point of Theorem 5.3).
+        assert!(r.budgets().min_budget() >= 1);
+        // Every edge oriented exactly once: arcs = edges of U.
+        assert_eq!(r.graph().brace_count(), 0);
+    }
+
+    #[test]
+    fn k2_instance_is_an_exact_max_equilibrium() {
+        // n = 16, budgets ≤ 2t = 8: exhaustive Nash verification is
+        // feasible and confirms Lemma 5.2 end to end.
+        let eq = shift_equilibrium(2);
+        assert!(is_nash_equilibrium(&eq.realization, CostModel::Max));
+    }
+
+    #[test]
+    fn k3_instance_shape_and_certificate() {
+        let eq = shift_equilibrium(3);
+        let r = &eq.realization;
+        assert_eq!(r.n(), 512);
+        assert_eq!(r.diameter(), Some(3));
+        assert!(r.budgets().min_budget() >= 1);
+        // Lemma 5.2 certificate inputs: max degree ≤ 2t and the
+        // counting condition — together they prove equilibrium without
+        // search.
+        assert!(r.csr().max_degree() <= 2 * eq.t);
+        assert!(lemma52_condition(eq.t, eq.k));
+    }
+
+    #[test]
+    fn k3_sampled_players_cannot_improve_by_swaps() {
+        use bbncg_core::best_swap_response;
+        let eq = shift_equilibrium(3);
+        let r = &eq.realization;
+        for u in [0usize, 17, 255, 511] {
+            let u = NodeId::new(u);
+            let current = r.cost(u, CostModel::Max);
+            assert_eq!(current, 3);
+            if let Some(best) = best_swap_response(r, u, CostModel::Max) {
+                assert!(best.cost >= current, "player {u} improved by a swap");
+            }
+        }
+    }
+
+    #[test]
+    fn general_t_k_instance() {
+        // t = 5, k = 2: (10)^2 − 1 = 99 < 25·9 = 225.
+        let eq = shift_equilibrium_with(5, 2);
+        assert_eq!(eq.realization.n(), 25);
+        assert_eq!(eq.realization.diameter(), Some(2));
+        assert!(eq.realization.budgets().min_budget() >= 1);
+        assert!(is_nash_equilibrium(&eq.realization, CostModel::Max));
+    }
+
+    #[test]
+    #[should_panic(expected = "hypothesis fails")]
+    fn rejects_bad_parameters() {
+        shift_equilibrium_with(2, 8);
+    }
+
+    #[test]
+    fn orientation_covers_every_edge_once() {
+        let (n, edges) = bbncg_graph::generators::shift_graph_edges(4, 2);
+        let g = orient_all_positive(n, &edges);
+        assert_eq!(g.total_arcs(), edges.len());
+        for &(u, v) in &edges {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            assert!(g.has_arc(u, v) ^ g.has_arc(v, u));
+        }
+        for u in 0..n {
+            assert!(g.out_degree(NodeId::new(u)) >= 1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Tree equilibria: the Theorem 3.2 spider and the Theorem 3.4 perfect
+//! binary tree.
+//!
+//! Both are Tree-BG instances (Σb = n − 1). The spider is a MAX
+//! equilibrium of diameter `2k = Θ(n)` — the witness for the Θ(n) price
+//! of anarchy of MAX tree instances (Table 1, row "Trees", MAX; Figure
+//! 2). The perfect binary tree is a SUM equilibrium of diameter
+//! `2·height = Θ(log n)` — the matching lower bound for the O(log n)
+//! upper bound of Theorem 3.3 (Table 1, row "Trees", SUM).
+
+use bbncg_core::Realization;
+use bbncg_graph::generators;
+
+/// A construction together with the diameter the paper guarantees for
+/// it.
+#[derive(Clone, Debug)]
+pub struct ConstructedEquilibrium {
+    /// The equilibrium profile.
+    pub realization: Realization,
+    /// Its exact diameter (proved, and asserted in tests).
+    pub diameter: u32,
+}
+
+/// The Theorem 3.2 spider with legs of length `k` (`n = 3k + 1`): a MAX
+/// equilibrium with diameter `2k`.
+///
+/// Why it is an equilibrium (paper's argument): the hub and leg tips
+/// have no budget; an interior leg vertex that rewires its single arc
+/// within its own leg changes nothing and rewiring elsewhere
+/// disconnects the graph; a leg head (budget 2) must keep one arc into
+/// its own leg and its best second arc is the middle of the remaining
+/// path — which is exactly the hub.
+pub fn spider_equilibrium(k: usize) -> ConstructedEquilibrium {
+    ConstructedEquilibrium {
+        realization: Realization::new(generators::spider(k)),
+        diameter: 2 * k as u32,
+    }
+}
+
+/// The Theorem 3.4 perfect binary tree of the given height
+/// (`n = 2^(height+1) − 1`): a SUM equilibrium with diameter
+/// `2·height = Θ(log n)`.
+///
+/// Why it is an equilibrium: each internal vertex must keep one arc
+/// into each of its two child subtrees (connectivity), and within a
+/// subtree the root of that subtree minimizes the total distance to the
+/// subtree — so pointing at the two children is optimal; leaves have no
+/// budget.
+pub fn binary_tree_equilibrium(height: u32) -> ConstructedEquilibrium {
+    ConstructedEquilibrium {
+        realization: Realization::new(generators::perfect_binary_tree(height)),
+        diameter: 2 * height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_core::{is_nash_equilibrium, CostModel};
+
+    #[test]
+    fn spider_diameter_is_2k() {
+        for k in 1..=6 {
+            let c = spider_equilibrium(k);
+            assert_eq!(c.realization.diameter(), Some(c.diameter));
+            assert!(c.realization.budgets().is_tree_instance());
+        }
+    }
+
+    #[test]
+    fn spider_is_max_equilibrium_exact() {
+        // Exact Nash verification for k up to 5 (n = 16).
+        for k in 1..=5 {
+            let c = spider_equilibrium(k);
+            assert!(
+                is_nash_equilibrium(&c.realization, CostModel::Max),
+                "spider k={k} must be a MAX equilibrium"
+            );
+        }
+    }
+
+    #[test]
+    fn spider_is_not_a_sum_equilibrium_for_large_k() {
+        // The Θ(n) diameter is a MAX phenomenon: under SUM, a long leg
+        // violates Theorem 3.3's O(log n) bound, so some vertex must
+        // want to deviate.
+        let c = spider_equilibrium(5);
+        assert!(!is_nash_equilibrium(&c.realization, CostModel::Sum));
+    }
+
+    #[test]
+    fn binary_tree_diameter_is_2h() {
+        for h in 0..=4 {
+            let c = binary_tree_equilibrium(h);
+            assert_eq!(c.realization.diameter(), Some(c.diameter));
+            assert!(c.realization.budgets().is_tree_instance());
+        }
+    }
+
+    #[test]
+    fn binary_tree_is_sum_equilibrium_exact() {
+        for h in 1..=3 {
+            let c = binary_tree_equilibrium(h);
+            assert!(
+                is_nash_equilibrium(&c.realization, CostModel::Sum),
+                "binary tree h={h} must be a SUM equilibrium"
+            );
+        }
+    }
+}

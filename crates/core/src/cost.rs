@@ -1,0 +1,153 @@
+//! The SUM and MAX cost functions.
+//!
+//! For a vertex `u` of a realization `G` with underlying graph `U(G)`
+//! having `κ` connected components (paper §1.2):
+//!
+//! * **SUM**: `c(u) = Σᵥ dist(u, v)` where cross-component distances are
+//!   `C_inf = n²`;
+//! * **MAX**: `c(u) = max_v dist(u, v) + (κ − 1)·n²`; when `U(G)` is
+//!   disconnected the first term is `n²` for *every* vertex, so the MAX
+//!   cost of any vertex in a κ-component graph is `κ·n²`.
+//!
+//! Both choices make every player strictly prefer reducing the number of
+//! components, which is what drives the connectivity lemmas (3.1, 7.1).
+
+use bbncg_graph::{BfsScratch, Csr, NodeId};
+
+/// Which of the paper's two games is being played.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostModel {
+    /// Cost = sum of distances (paper's SUM version).
+    Sum,
+    /// Cost = local diameter + disconnection penalty (paper's MAX
+    /// version).
+    Max,
+}
+
+impl CostModel {
+    /// Both models, for experiment sweeps.
+    pub const ALL: [CostModel; 2] = [CostModel::Sum, CostModel::Max];
+
+    /// Short label used in experiment tables ("SUM" / "MAX").
+    pub fn label(self) -> &'static str {
+        match self {
+            CostModel::Sum => "SUM",
+            CostModel::Max => "MAX",
+        }
+    }
+}
+
+/// `C_inf = n²` as used by both cost functions.
+#[inline]
+pub fn c_inf(n: usize) -> u64 {
+    (n as u64) * (n as u64)
+}
+
+/// Cost of vertex `u` given a BFS from `u` already run in `scratch`,
+/// and the total component count `kappa` of the graph.
+///
+/// Factoring the cost out of the BFS lets the best-response oracle reuse
+/// one patched BFS for either model.
+pub fn cost_from_bfs(
+    model: CostModel,
+    n: usize,
+    kappa: usize,
+    visited: usize,
+    max_dist: u32,
+    sum_dist: u64,
+) -> u64 {
+    let cinf = c_inf(n);
+    match model {
+        CostModel::Sum => sum_dist + (n - visited) as u64 * cinf,
+        CostModel::Max => {
+            let local_diameter = if visited == n {
+                max_dist as u64
+            } else {
+                cinf
+            };
+            local_diameter + (kappa as u64 - 1) * cinf
+        }
+    }
+}
+
+/// Cost of vertex `u` in the graph `csr` with `kappa` components,
+/// running a fresh BFS in `scratch`.
+pub fn vertex_cost(
+    model: CostModel,
+    csr: &Csr,
+    kappa: usize,
+    u: NodeId,
+    scratch: &mut BfsScratch,
+) -> u64 {
+    let stats = scratch.run(csr, u);
+    cost_from_bfs(
+        model,
+        csr.n(),
+        kappa,
+        stats.visited,
+        stats.max_dist,
+        stats.sum_dist,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sum_cost_on_path() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        assert_eq!(vertex_cost(CostModel::Sum, &csr, 1, v(0), &mut s), 6);
+        assert_eq!(vertex_cost(CostModel::Sum, &csr, 1, v(1), &mut s), 4);
+    }
+
+    #[test]
+    fn max_cost_on_path() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        assert_eq!(vertex_cost(CostModel::Max, &csr, 1, v(0), &mut s), 3);
+        assert_eq!(vertex_cost(CostModel::Max, &csr, 1, v(2), &mut s), 2);
+    }
+
+    #[test]
+    fn disconnected_sum_pays_cinf_per_missing_vertex() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        // From v0: dist 1 to v1, two unreachable vertices at 16 each.
+        assert_eq!(vertex_cost(CostModel::Sum, &csr, 2, v(0), &mut s), 1 + 32);
+    }
+
+    #[test]
+    fn disconnected_max_is_kappa_cinf() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut s = BfsScratch::new(4);
+        // κ = 2, n² = 16: every vertex costs 2·16 = 32.
+        for u in 0..4 {
+            assert_eq!(vertex_cost(CostModel::Max, &csr, 2, v(u), &mut s), 32);
+        }
+    }
+
+    #[test]
+    fn max_cost_strictly_prefers_fewer_components() {
+        // Paper's design requirement: merging components always wins.
+        // 5 isolated vertices (κ=5) vs a path on 5 vertices (κ=1).
+        let iso = Csr::from_edges(5, &[]);
+        let path = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut s = BfsScratch::new(5);
+        let worst_connected = vertex_cost(CostModel::Max, &path, 1, v(0), &mut s);
+        let best_isolated = vertex_cost(CostModel::Max, &iso, 5, v(0), &mut s);
+        assert!(worst_connected < best_isolated);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CostModel::Sum.label(), "SUM");
+        assert_eq!(CostModel::Max.label(), "MAX");
+        assert_eq!(CostModel::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Best-response dynamics.
+//!
+//! The paper's concluding section asks: *if the game starts from an
+//! arbitrary position and players keep improving, does it converge to an
+//! equilibrium, and how fast?* (Laoutaris et al. exhibit a best-response
+//! loop in the directed variant.) This module implements the dynamics
+//! lab used to study that question empirically: configurable player
+//! order, response rule, and iteration budget, with state-hash cycle
+//! detection.
+//!
+//! A **round** activates each player once (in the configured order); a
+//! **step** is one applied deviation. The dynamics has *converged* when
+//! a complete round passes with no player able to strictly improve —
+//! which is exactly the Nash condition for the `Best`/`FirstImproving`
+//! rules and the swap-equilibrium condition for `BestSwap`.
+
+use crate::best_response::{
+    best_swap_response, exact_best_response, first_improving_response, greedy_best_response,
+};
+use crate::cost::CostModel;
+use crate::realization::Realization;
+use bbncg_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Order in which players are activated within a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlayerOrder {
+    /// `0, 1, …, n−1` every round (deterministic).
+    RoundRobin,
+    /// A fresh uniform permutation each round.
+    RandomPermutation,
+}
+
+/// What move an activated player makes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseRule {
+    /// Exact best response (exponential per activation; small instances).
+    ExactBest,
+    /// First strictly improving strategy in lexicographic order
+    /// ("better-response dynamics"; same convergence criterion as
+    /// `ExactBest`, cheaper when improvements abound).
+    FirstImproving,
+    /// Greedy-heuristic response; applied only when it strictly improves.
+    Greedy,
+    /// Best single-arc swap (polynomial; the scalable rule).
+    BestSwap,
+}
+
+/// Dynamics configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicsConfig {
+    /// Cost model being played.
+    pub model: CostModel,
+    /// Activation order.
+    pub order: PlayerOrder,
+    /// Move rule.
+    pub rule: ResponseRule,
+    /// Stop after this many rounds even without convergence.
+    pub max_rounds: usize,
+}
+
+impl DynamicsConfig {
+    /// Round-robin exact best response under `model`, bounded rounds.
+    pub fn exact(model: CostModel, max_rounds: usize) -> Self {
+        DynamicsConfig {
+            model,
+            order: PlayerOrder::RoundRobin,
+            rule: ResponseRule::ExactBest,
+            max_rounds,
+        }
+    }
+
+    /// Round-robin best-swap dynamics under `model`.
+    pub fn swap(model: CostModel, max_rounds: usize) -> Self {
+        DynamicsConfig {
+            model,
+            order: PlayerOrder::RoundRobin,
+            rule: ResponseRule::BestSwap,
+            max_rounds,
+        }
+    }
+}
+
+/// Outcome of a dynamics run.
+#[derive(Clone, Debug)]
+pub struct DynamicsReport {
+    /// Final profile.
+    pub state: Realization,
+    /// Did a full round pass with no improving move?
+    pub converged: bool,
+    /// Number of applied deviations.
+    pub steps: usize,
+    /// Number of completed rounds.
+    pub rounds: usize,
+    /// Was a previously seen profile revisited? (Only tracked for
+    /// deterministic round-robin order, where revisiting proves a cycle
+    /// — the answer to the paper's §8 convergence question is "no" for
+    /// that trajectory.)
+    pub cycled: bool,
+}
+
+fn profile_hash(r: &Realization) -> u64 {
+    let mut h = DefaultHasher::new();
+    r.graph().hash(&mut h);
+    h.finish()
+}
+
+/// One row of a dynamics trace: the state of the world after a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Round number (1-based; round 0 records the initial state).
+    pub round: usize,
+    /// Social cost (diameter, `n²` when disconnected) after the round.
+    pub social_diameter: u64,
+    /// Sum of all players' costs after the round (utilitarian welfare;
+    /// **not** guaranteed monotone — the game is not a potential game
+    /// in any obvious sense, and the trace lets experiments watch it).
+    pub total_cost: u64,
+    /// Deviations applied during the round.
+    pub improvements: usize,
+}
+
+/// Run the dynamics from `initial` until convergence, a detected cycle,
+/// or `cfg.max_rounds`.
+///
+/// ```
+/// use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+/// use bbncg_core::{is_nash_equilibrium, CostModel, Realization};
+/// use bbncg_graph::generators;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let start = Realization::new(generators::path(6));
+/// let report = run_dynamics(start, DynamicsConfig::exact(CostModel::Sum, 100), &mut rng);
+/// assert!(report.converged);
+/// assert!(is_nash_equilibrium(&report.state, CostModel::Sum));
+/// ```
+pub fn run_dynamics(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+) -> DynamicsReport {
+    run_dynamics_impl(initial, cfg, rng, None).0
+}
+
+/// [`run_dynamics`] that also records a per-round [`RoundTrace`]
+/// (including a row for the initial state).
+pub fn run_dynamics_traced(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+) -> (DynamicsReport, Vec<RoundTrace>) {
+    let mut trace = Vec::new();
+    let report = run_dynamics_impl(initial, cfg, rng, Some(&mut trace)).0;
+    (report, trace)
+}
+
+fn snapshot(state: &Realization, cfg: DynamicsConfig, round: usize, improvements: usize) -> RoundTrace {
+    RoundTrace {
+        round,
+        social_diameter: state.social_diameter(),
+        total_cost: state.costs(cfg.model).iter().sum(),
+        improvements,
+    }
+}
+
+fn run_dynamics_impl(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+    mut trace: Option<&mut Vec<RoundTrace>>,
+) -> (DynamicsReport, ()) {
+    let n = initial.n();
+    let mut state = initial;
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+    let mut seen: HashSet<u64> = HashSet::new();
+    let track_cycles = cfg.order == PlayerOrder::RoundRobin;
+    if track_cycles {
+        seen.insert(profile_hash(&state));
+    }
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(snapshot(&state, cfg, 0, 0));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    while rounds < cfg.max_rounds {
+        if cfg.order == PlayerOrder::RandomPermutation {
+            order.shuffle(rng);
+        }
+        let mut round_improvements = 0usize;
+        for &i in &order {
+            let u = NodeId::new(i);
+            if state.graph().out_degree(u) == 0 {
+                continue;
+            }
+            let current = state.cost(u, cfg.model);
+            let candidate = match cfg.rule {
+                ResponseRule::ExactBest => Some(exact_best_response(&state, u, cfg.model)),
+                ResponseRule::FirstImproving => first_improving_response(&state, u, cfg.model),
+                ResponseRule::Greedy => Some(greedy_best_response(&state, u, cfg.model)),
+                ResponseRule::BestSwap => best_swap_response(&state, u, cfg.model),
+            };
+            if let Some(best) = candidate {
+                if best.cost < current {
+                    state.set_strategy(u, best.targets);
+                    steps += 1;
+                    round_improvements += 1;
+                }
+            }
+        }
+        rounds += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(snapshot(&state, cfg, rounds, round_improvements));
+        }
+        if round_improvements == 0 {
+            return (
+                DynamicsReport {
+                    state,
+                    converged: true,
+                    steps,
+                    rounds,
+                    cycled: false,
+                },
+                (),
+            );
+        }
+        if track_cycles && !seen.insert(profile_hash(&state)) {
+            return (
+                DynamicsReport {
+                    state,
+                    converged: false,
+                    steps,
+                    rounds,
+                    cycled: true,
+                },
+                (),
+            );
+        }
+    }
+    (
+        DynamicsReport {
+            state,
+            converged: false,
+            steps,
+            rounds,
+            cycled: false,
+        },
+        (),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{is_nash_equilibrium, is_swap_equilibrium};
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_converges_to_equilibrium_sum() {
+        let initial = Realization::new(generators::path(6));
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = run_dynamics(
+            initial,
+            DynamicsConfig::exact(CostModel::Sum, 50),
+            &mut rng,
+        );
+        assert!(report.converged);
+        assert!(is_nash_equilibrium(&report.state, CostModel::Sum));
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn path_converges_to_equilibrium_max() {
+        let initial = Realization::new(generators::path(6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = run_dynamics(
+            initial,
+            DynamicsConfig::exact(CostModel::Max, 50),
+            &mut rng,
+        );
+        assert!(report.converged);
+        assert!(is_nash_equilibrium(&report.state, CostModel::Max));
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point() {
+        // Star: already an equilibrium; dynamics must converge in one
+        // round with zero steps.
+        let initial = Realization::new(generators::star(6));
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = run_dynamics(
+            initial.clone(),
+            DynamicsConfig::exact(CostModel::Sum, 10),
+            &mut rng,
+        );
+        assert!(report.converged);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.state, initial);
+    }
+
+    #[test]
+    fn swap_dynamics_reaches_swap_equilibrium() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let budgets = vec![1usize; 8];
+        let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+        let report = run_dynamics(initial, DynamicsConfig::swap(CostModel::Sum, 100), &mut rng);
+        assert!(report.converged);
+        assert!(is_swap_equilibrium(&report.state, CostModel::Sum));
+    }
+
+    #[test]
+    fn random_order_also_converges_on_unit_budgets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let budgets = vec![1usize; 7];
+        let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+        let cfg = DynamicsConfig {
+            model: CostModel::Max,
+            order: PlayerOrder::RandomPermutation,
+            rule: ResponseRule::ExactBest,
+            max_rounds: 100,
+        };
+        let report = run_dynamics(initial, cfg, &mut rng);
+        assert!(report.converged);
+        assert!(is_nash_equilibrium(&report.state, CostModel::Max));
+    }
+
+    #[test]
+    fn first_improving_rule_converges_to_nash() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let budgets = vec![1usize; 8];
+        let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+        let cfg = DynamicsConfig {
+            model: CostModel::Sum,
+            order: PlayerOrder::RoundRobin,
+            rule: ResponseRule::FirstImproving,
+            max_rounds: 300,
+        };
+        let report = run_dynamics(initial, cfg, &mut rng);
+        assert!(report.converged);
+        assert!(is_nash_equilibrium(&report.state, CostModel::Sum));
+    }
+
+    #[test]
+    fn trace_records_rounds_and_final_state() {
+        let initial = Realization::new(generators::path(6));
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = DynamicsConfig::exact(CostModel::Sum, 50);
+        let (report, trace) = run_dynamics_traced(initial, cfg, &mut rng);
+        assert!(report.converged);
+        // One row per completed round plus the initial snapshot.
+        assert_eq!(trace.len(), report.rounds + 1);
+        assert_eq!(trace[0].round, 0);
+        // Final snapshot matches the final state.
+        let last = trace.last().unwrap();
+        assert_eq!(last.social_diameter, report.state.social_diameter());
+        assert_eq!(last.improvements, 0); // converged on a quiet round
+        // Social diameter never gets worse than the start on this
+        // instance (not a general law; a sanity anchor for the trace).
+        assert!(last.social_diameter <= trace[0].social_diameter);
+    }
+
+    #[test]
+    fn max_rounds_bounds_work() {
+        let initial = Realization::new(generators::path(8));
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = run_dynamics(initial, DynamicsConfig::exact(CostModel::Sum, 0), &mut rng);
+        assert!(!report.converged);
+        assert_eq!(report.rounds, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Nash equilibrium verification and certificates.
+//!
+//! A profile is a (pure) Nash equilibrium when *no* player can strictly
+//! decrease its cost by any unilateral strategy change. Verification is
+//! exact — each player's full deviation space is searched (with early
+//! exit on the first improvement) — and runs players in parallel.
+//!
+//! For large structured instances where exact search is infeasible the
+//! paper's own certificates are implemented: [`lemma22_certifies`]
+//! (local diameter ≤ 2 without braces, or = 1, implies best response in
+//! both versions) and the swap-equilibrium relaxation
+//! ([`is_swap_equilibrium`]) matching Alon et al.'s move set.
+
+use crate::best_response::{best_swap_response, exact_best_response_cost};
+use crate::cost::CostModel;
+use crate::realization::Realization;
+use bbncg_graph::{BfsScratch, NodeId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A profitable unilateral deviation, refuting equilibrium.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The player that can improve.
+    pub player: NodeId,
+    /// Its current cost.
+    pub current_cost: u64,
+    /// The cost of its best response.
+    pub best_cost: u64,
+}
+
+/// Is player `u` playing a best response? Exact (enumerates deviations,
+/// early-exits on the first strict improvement).
+pub fn is_best_response(r: &Realization, u: NodeId, model: CostModel) -> bool {
+    if r.graph().out_degree(u) == 0 {
+        return true; // the empty strategy is the only strategy
+    }
+    let current = r.cost(u, model);
+    let best = exact_best_response_cost(r, u, model, Some(current));
+    best >= current
+}
+
+/// Is the profile a Nash equilibrium under `model`? Exact; players are
+/// verified in parallel, with a shared flag to stop early once any
+/// violation is found.
+///
+/// ```
+/// use bbncg_core::{is_nash_equilibrium, CostModel, Realization};
+/// use bbncg_graph::generators;
+///
+/// // A star is an equilibrium in both versions; a long directed path
+/// // is not.
+/// let star = Realization::new(generators::star(6));
+/// assert!(is_nash_equilibrium(&star, CostModel::Sum));
+/// let path = Realization::new(generators::path(6));
+/// assert!(!is_nash_equilibrium(&path, CostModel::Sum));
+/// ```
+pub fn is_nash_equilibrium(r: &Realization, model: CostModel) -> bool {
+    let n = r.n();
+    let refuted = AtomicBool::new(false);
+    let flags = bbncg_par::par_map_index(n, |i| {
+        if refuted.load(Ordering::Relaxed) {
+            return true; // skip work; overall answer already false
+        }
+        let ok = is_best_response(r, NodeId::new(i), model);
+        if !ok {
+            refuted.store(true, Ordering::Relaxed);
+        }
+        ok
+    });
+    flags.into_iter().all(|ok| ok)
+}
+
+/// First player (in id order) with a profitable deviation, with its
+/// current and best costs. Deterministic; `None` means equilibrium.
+pub fn find_violation(r: &Realization, model: CostModel) -> Option<Violation> {
+    let mut scratch = BfsScratch::new(r.n());
+    for i in 0..r.n() {
+        let u = NodeId::new(i);
+        if r.graph().out_degree(u) == 0 {
+            continue;
+        }
+        let current = r.cost_with(u, model, &mut scratch);
+        let best = exact_best_response_cost(r, u, model, Some(current));
+        if best < current {
+            return Some(Violation {
+                player: u,
+                current_cost: current,
+                best_cost: best,
+            });
+        }
+    }
+    None
+}
+
+/// Is the profile a **swap equilibrium**: no player can improve by
+/// replacing a single owned arc's target? This is the coarser
+/// equilibrium notion of Alon et al.'s basic network creation games;
+/// every Nash equilibrium of the budget game is also a swap equilibrium.
+pub fn is_swap_equilibrium(r: &Realization, model: CostModel) -> bool {
+    let n = r.n();
+    let refuted = AtomicBool::new(false);
+    let flags = bbncg_par::par_map_index(n, |i| {
+        if refuted.load(Ordering::Relaxed) {
+            return true;
+        }
+        let u = NodeId::new(i);
+        let ok = match best_swap_response(r, u, model) {
+            None => true,
+            Some(best) => best.cost >= r.cost(u, model),
+        };
+        if !ok {
+            refuted.store(true, Ordering::Relaxed);
+        }
+        ok
+    });
+    flags.into_iter().all(|ok| ok)
+}
+
+/// How far the profile is from equilibrium: the largest cost
+/// improvement any single player could realize (0 iff Nash). Exact,
+/// parallel over players — the "best-response gap" used by convergence
+/// experiments as a progress measure.
+pub fn best_response_gap(r: &Realization, model: CostModel) -> u64 {
+    let n = r.n();
+    let gaps = bbncg_par::par_map_index(n, |i| {
+        let u = NodeId::new(i);
+        if r.graph().out_degree(u) == 0 {
+            return 0;
+        }
+        let current = r.cost(u, model);
+        let best = exact_best_response_cost(r, u, model, None);
+        current.saturating_sub(best)
+    });
+    gaps.into_iter().max().unwrap_or(0)
+}
+
+/// Lemma 2.2 certificate for one player: if `c_MAX(u) = 1`, or
+/// `c_MAX(u) ≤ 2` and `u` is in no brace, then `u` is playing a best
+/// response in **both** versions. Returns whether the certificate
+/// applies (false means "no certificate", not "not a best response").
+pub fn lemma22_certifies(r: &Realization, u: NodeId) -> bool {
+    if !r.is_connected() {
+        return false; // local diameter is n², certificate never applies
+    }
+    let mut scratch = BfsScratch::new(r.n());
+    let ecc = scratch.run(r.csr(), u).max_dist;
+    if ecc <= 1 {
+        return true;
+    }
+    if ecc == 2 {
+        let in_brace = r
+            .graph()
+            .out(u)
+            .iter()
+            .any(|&t| r.graph().has_arc(t, u));
+        return !in_brace;
+    }
+    false
+}
+
+/// Do all players carry the Lemma 2.2 certificate? If so the profile is
+/// a Nash equilibrium in both versions without any search.
+pub fn lemma22_certifies_all(r: &Realization) -> bool {
+    let n = r.n();
+    let flags = bbncg_par::par_map_index(n, |i| lemma22_certifies(r, NodeId::new(i)));
+    flags.into_iter().all(|ok| ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::OwnedDigraph;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn star_is_equilibrium_in_both_versions() {
+        // Center 0 owns arcs to everyone: local diameter 1 for center,
+        // 2 for leaves (no braces, leaves have no budget).
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let r = Realization::new(g);
+        assert!(lemma22_certifies_all(&r));
+        assert!(is_nash_equilibrium(&r, CostModel::Sum));
+        assert!(is_nash_equilibrium(&r, CostModel::Max));
+    }
+
+    #[test]
+    fn long_path_is_not_an_equilibrium() {
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = Realization::new(g);
+        for model in CostModel::ALL {
+            assert!(!is_nash_equilibrium(&r, model));
+            let viol = find_violation(&r, model).unwrap();
+            assert!(viol.best_cost < viol.current_cost);
+        }
+    }
+
+    #[test]
+    fn directed_triangle_is_equilibrium() {
+        // Cycle on 3 vertices, each with budget 1: diameter 1 graph.
+        let g = OwnedDigraph::from_arcs(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = Realization::new(g);
+        assert!(lemma22_certifies_all(&r));
+        assert!(is_nash_equilibrium(&r, CostModel::Sum));
+        assert!(is_nash_equilibrium(&r, CostModel::Max));
+    }
+
+    #[test]
+    fn brace_blocks_lemma22_but_not_equilibrium_check() {
+        // Two vertices with a brace: local diameter 1 -> certificate by
+        // the ecc = 1 clause despite the brace.
+        let g = OwnedDigraph::from_arcs(2, &[(0, 1), (1, 0)]);
+        let r = Realization::new(g);
+        assert!(lemma22_certifies(&r, v(0)));
+        assert!(is_nash_equilibrium(&r, CostModel::Sum));
+    }
+
+    #[test]
+    fn brace_with_distance_two_vertex_is_refutable() {
+        // 0 <-> 1 brace plus 2 -> 1: vertex 0 would rather link v2.
+        let g = OwnedDigraph::from_arcs(3, &[(0, 1), (1, 0), (2, 1)]);
+        let r = Realization::new(g);
+        assert!(!lemma22_certifies(&r, v(0)));
+        // Theorem 4.1's argument: swapping the brace arc to v2 gives 0
+        // distance-1 access to both others.
+        assert!(!is_nash_equilibrium(&r, CostModel::Sum));
+    }
+
+    #[test]
+    fn swap_equilibrium_is_implied_by_nash() {
+        let g = OwnedDigraph::from_arcs(4, &[(0, 1), (0, 2), (0, 3)]);
+        let r = Realization::new(g);
+        assert!(is_nash_equilibrium(&r, CostModel::Sum));
+        assert!(is_swap_equilibrium(&r, CostModel::Sum));
+    }
+
+    #[test]
+    fn gap_is_zero_exactly_at_equilibrium() {
+        let star = Realization::new(OwnedDigraph::from_arcs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]));
+        assert_eq!(best_response_gap(&star, CostModel::Sum), 0);
+        let path = Realization::new(OwnedDigraph::from_arcs(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        ));
+        let gap = best_response_gap(&path, CostModel::Sum);
+        assert!(gap > 0);
+        // The gap equals the best single player's improvement.
+        let viol = find_violation(&path, CostModel::Sum).unwrap();
+        assert!(gap >= viol.current_cost - viol.best_cost);
+    }
+
+    #[test]
+    fn disconnected_profile_is_never_an_equilibrium_when_connectable() {
+        // Lemma 3.1: with sum of budgets >= n-1, equilibria are
+        // connected. Two 2-cycles: any owner can rewire across.
+        let g = OwnedDigraph::from_arcs(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let r = Realization::new(g);
+        assert!(!is_nash_equilibrium(&r, CostModel::Sum));
+        assert!(!is_nash_equilibrium(&r, CostModel::Max));
+    }
+}

@@ -1,0 +1,235 @@
+//! Plain-text serialization of game profiles.
+//!
+//! A tiny line-oriented format so equilibria found by experiments can
+//! be saved, diffed, and reloaded without external dependencies:
+//!
+//! ```text
+//! bbncg v1
+//! n 4
+//! budgets 1 1 1 1
+//! arcs
+//! 0 1
+//! 1 2
+//! 2 3
+//! 3 0
+//! ```
+//!
+//! Arc lines are `owner target`. Budgets are implied by the arcs but
+//! written explicitly so a truncated file fails loudly.
+
+use crate::realization::Realization;
+use bbncg_graph::OwnedDigraph;
+use std::fmt;
+
+/// Errors from [`parse_realization`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong `bbncg v1` header.
+    BadHeader,
+    /// Structurally invalid line, with its 1-based number.
+    BadLine(usize, String),
+    /// The arc list does not realize the declared budgets.
+    BudgetMismatch {
+        /// Player whose arc count differs.
+        player: usize,
+        /// Budget declared in the header.
+        declared: usize,
+        /// Arcs actually listed.
+        actual: usize,
+    },
+    /// A vertex index ≥ n, a self-loop, or a duplicate arc.
+    BadArc(usize, usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing `bbncg v1` header"),
+            ParseError::BadLine(ln, s) => write!(f, "line {ln}: cannot parse {s:?}"),
+            ParseError::BudgetMismatch {
+                player,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "player {player}: declared budget {declared} but {actual} arcs listed"
+            ),
+            ParseError::BadArc(u, v) => write!(f, "invalid arc {u} -> {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a realization (stable output: arcs in owner order).
+pub fn write_realization(r: &Realization) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "bbncg v1");
+    let _ = writeln!(out, "n {}", r.n());
+    let budgets: Vec<String> = r
+        .budgets()
+        .as_slice()
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    let _ = writeln!(out, "budgets {}", budgets.join(" "));
+    let _ = writeln!(out, "arcs");
+    for (u, v) in r.graph().arcs() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+/// Parse a realization written by [`write_realization`].
+pub fn parse_realization(text: &str) -> Result<Realization, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim());
+    if header != Some("bbncg v1") {
+        return Err(ParseError::BadHeader);
+    }
+    let (ln, nline) = lines.next().ok_or(ParseError::BadHeader)?;
+    let n: usize = nline
+        .trim()
+        .strip_prefix("n ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| ParseError::BadLine(ln + 1, nline.to_string()))?;
+    let (ln, bline) = lines.next().ok_or(ParseError::BadHeader)?;
+    let budgets: Vec<usize> = bline
+        .trim()
+        .strip_prefix("budgets ")
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| t.parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()
+        .ok()
+        .flatten()
+        .ok_or_else(|| ParseError::BadLine(ln + 1, bline.to_string()))?;
+    if budgets.len() != n {
+        return Err(ParseError::BadLine(ln + 1, bline.to_string()));
+    }
+    let (ln, aline) = lines.next().ok_or(ParseError::BadHeader)?;
+    if aline.trim() != "arcs" {
+        return Err(ParseError::BadLine(ln + 1, aline.to_string()));
+    }
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    for (ln, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (u, v) = match (it.next(), it.next(), it.next()) {
+            (Some(u), Some(v), None) => (
+                u.parse::<usize>()
+                    .map_err(|_| ParseError::BadLine(ln + 1, line.to_string()))?,
+                v.parse::<usize>()
+                    .map_err(|_| ParseError::BadLine(ln + 1, line.to_string()))?,
+            ),
+            _ => return Err(ParseError::BadLine(ln + 1, line.to_string())),
+        };
+        if u >= n || v >= n || u == v || arcs.contains(&(u, v)) {
+            return Err(ParseError::BadArc(u, v));
+        }
+        arcs.push((u, v));
+    }
+    // Check budgets before building (so mismatches report nicely).
+    let mut counts = vec![0usize; n];
+    for &(u, _) in &arcs {
+        counts[u] += 1;
+    }
+    for (player, (&declared, &actual)) in budgets.iter().zip(&counts).enumerate() {
+        if declared != actual {
+            return Err(ParseError::BudgetMismatch {
+                player,
+                declared,
+                actual,
+            });
+        }
+    }
+    Ok(Realization::new(OwnedDigraph::from_arcs(n, &arcs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_realizations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 5, 12] {
+            let budgets: Vec<usize> = (0..n).map(|i| i % 3).collect();
+            let r = Realization::new(generators::random_realization(&budgets, &mut rng));
+            let text = write_realization(&r);
+            let back = parse_realization(&text).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(parse_realization("nope"), Err(ParseError::BadHeader));
+        assert_eq!(parse_realization(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_garbled_counts() {
+        let text = "bbncg v1\nn x\nbudgets 1\narcs\n";
+        assert!(matches!(
+            parse_realization(text),
+            Err(ParseError::BadLine(2, _))
+        ));
+        let text = "bbncg v1\nn 2\nbudgets 1\narcs\n"; // wrong length
+        assert!(matches!(
+            parse_realization(text),
+            Err(ParseError::BadLine(3, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_budget_mismatch() {
+        let text = "bbncg v1\nn 2\nbudgets 1 1\narcs\n0 1\n";
+        assert_eq!(
+            parse_realization(text),
+            Err(ParseError::BudgetMismatch {
+                player: 1,
+                declared: 1,
+                actual: 0
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arcs() {
+        let text = "bbncg v1\nn 2\nbudgets 1 0\narcs\n0 5\n";
+        assert_eq!(parse_realization(text), Err(ParseError::BadArc(0, 5)));
+        let text = "bbncg v1\nn 2\nbudgets 2 0\narcs\n0 1\n0 1\n";
+        assert_eq!(parse_realization(text), Err(ParseError::BadArc(0, 1)));
+        let text = "bbncg v1\nn 2\nbudgets 1 0\narcs\n1 1\n";
+        assert_eq!(parse_realization(text), Err(ParseError::BadArc(1, 1)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ParseError::BudgetMismatch {
+            player: 3,
+            declared: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("player 3"));
+        assert!(ParseError::BadHeader.to_string().contains("header"));
+    }
+
+    #[test]
+    fn whitespace_and_blank_lines_tolerated() {
+        let text = "bbncg v1\nn 3\nbudgets 1 1 1\narcs\n0 1\n\n1 2\n  2 0  \n";
+        let r = parse_realization(text).unwrap();
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.graph().total_arcs(), 3);
+    }
+}

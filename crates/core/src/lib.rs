@@ -1,0 +1,65 @@
+//! The bounded-budget network creation game (the paper's primary
+//! contribution).
+//!
+//! Implements `(b₁,…,bₙ)-BG` of Ehsani et al. (SPAA 2011): each player
+//! `i` owns exactly `bᵢ` arcs to other players and pays either its sum
+//! of distances (SUM) or its local diameter (MAX) in the undirected
+//! underlying graph, with cross-component distance `C_inf = n²`.
+//!
+//! Layer map:
+//!
+//! * [`budget`] — budget vectors and Table 1 instance classes;
+//! * [`cost`] — the two cost functions;
+//! * [`realization`] — strategy profiles as ownership digraphs with
+//!   cached undirected views;
+//! * [`oracle`] — O(n+m), allocation-free pricing of candidate
+//!   deviations (the engine under everything else);
+//! * [`best_response`] — exact (NP-hard, Theorem 2.1), greedy, and
+//!   swap-restricted solvers;
+//! * [`equilibrium`] — exact Nash verification, swap equilibria, and the
+//!   Lemma 2.2 certificate;
+//! * [`dynamics`] — best-response dynamics with cycle detection (the §8
+//!   convergence question);
+//! * [`poa`] — social cost and price-of-anarchy bookkeeping.
+
+#![warn(missing_docs)]
+// Index loops here typically walk several parallel arrays at once;
+// the index form is clearer than zipped iterators in those spots.
+#![allow(clippy::needless_range_loop)]
+
+pub mod best_response;
+pub mod budget;
+pub mod cost;
+pub mod dynamics;
+pub mod enumerate;
+pub mod io;
+pub mod equilibrium;
+pub mod oracle;
+pub mod poa;
+pub mod realization;
+pub mod weighted;
+
+pub use best_response::{
+    first_improving_response,
+    best_swap_response, exact_best_response, exact_best_response_cost, greedy_best_response,
+    ScoredStrategy, MAX_EXACT_CANDIDATES,
+};
+pub use budget::{BudgetVector, InstanceClass};
+pub use cost::{c_inf, vertex_cost, CostModel};
+pub use dynamics::{
+    run_dynamics, run_dynamics_traced, DynamicsConfig, DynamicsReport, PlayerOrder, ResponseRule,
+    RoundTrace,
+};
+pub use enumerate::{
+    decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,
+};
+pub use io::{parse_realization, write_realization, ParseError};
+pub use equilibrium::{
+    best_response_gap,
+    find_violation, is_best_response, is_nash_equilibrium, is_swap_equilibrium, lemma22_certifies,
+    lemma22_certifies_all, Violation,
+};
+pub use oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
+pub use poa::{opt_diameter_lower_bound, social_cost, PoAEstimate};
+pub use realization::Realization;
+pub use weighted::WeightedGraph;

@@ -1,0 +1,125 @@
+//! Social cost and price-of-anarchy accounting.
+//!
+//! The paper's social cost is the diameter of the created network
+//! (`n²` when disconnected). The price of anarchy of an instance is
+//! `max diam(equilibrium) / min diam(realization)`, the price of
+//! stability the same with `min` on top. Minimum-diameter realizations
+//! are produced constructively (Theorem 2.3) by the `constructions`
+//! crate; this module provides the instance-level *lower* bound for the
+//! denominator and the ratio bookkeeping.
+
+use crate::budget::BudgetVector;
+use crate::realization::Realization;
+
+/// Social cost of a profile: `diam(U(G))`, or `C_inf = n²` when
+/// disconnected.
+pub fn social_cost(r: &Realization) -> u64 {
+    r.social_diameter()
+}
+
+/// A lower bound on `min { diam(G) : G realizes budgets }`:
+///
+/// * if `Σb < n − 1` every realization is disconnected → `n²` (and the
+///   bound is tight);
+/// * if `Σb < n(n−1)/2` some pair is non-adjacent in any realization →
+///   diameter ≥ 2;
+/// * otherwise ≥ 1 (only `n ≤ 1` gives 0).
+pub fn opt_diameter_lower_bound(b: &BudgetVector) -> u64 {
+    let n = b.n();
+    if n <= 1 {
+        return 0;
+    }
+    let total = b.total() as u64;
+    if total < (n as u64 - 1) {
+        return b.c_inf();
+    }
+    if total < (n as u64) * (n as u64 - 1) / 2 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Bookkeeping for an empirical price-of-anarchy estimate on one
+/// instance: the worst and best equilibrium diameters observed and the
+/// bracket `[opt_lower, opt_upper]` for the optimum diameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoAEstimate {
+    /// Largest equilibrium social cost observed.
+    pub worst_equilibrium: u64,
+    /// Smallest equilibrium social cost observed.
+    pub best_equilibrium: u64,
+    /// Lower bound on the optimal diameter.
+    pub opt_lower: u64,
+    /// Upper bound on the optimal diameter (diameter of an explicit
+    /// realization, e.g. the Theorem 2.3 construction).
+    pub opt_upper: u64,
+}
+
+impl PoAEstimate {
+    /// Lower bound on the instance's price of anarchy implied by the
+    /// observations: `worst_equilibrium / opt_upper`.
+    pub fn poa_lower(&self) -> f64 {
+        self.worst_equilibrium as f64 / self.opt_upper as f64
+    }
+
+    /// Upper bound on the price of anarchy *restricted to the observed
+    /// equilibria*: `worst_equilibrium / opt_lower`.
+    pub fn poa_upper(&self) -> f64 {
+        self.worst_equilibrium as f64 / self.opt_lower as f64
+    }
+
+    /// Lower bound on the price of stability implied by the
+    /// observations: `best_equilibrium / opt_upper`.
+    pub fn pos_lower(&self) -> f64 {
+        self.best_equilibrium as f64 / self.opt_upper as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::{generators, OwnedDigraph};
+
+    #[test]
+    fn social_cost_matches_diameter() {
+        let r = Realization::new(generators::path(5));
+        assert_eq!(social_cost(&r), 4);
+        let r = Realization::new(OwnedDigraph::from_arcs(4, &[(0, 1), (2, 3)]));
+        assert_eq!(social_cost(&r), 16);
+    }
+
+    #[test]
+    fn opt_lower_bound_cases() {
+        // Disconnected instance.
+        assert_eq!(
+            opt_diameter_lower_bound(&BudgetVector::new(vec![0, 1, 0, 0])),
+            16
+        );
+        // Connectable but sparse.
+        assert_eq!(
+            opt_diameter_lower_bound(&BudgetVector::new(vec![1, 1, 1, 0])),
+            2
+        );
+        // Enough for a complete graph: K4 needs 6 arcs.
+        assert_eq!(
+            opt_diameter_lower_bound(&BudgetVector::new(vec![2, 2, 1, 1])),
+            1
+        );
+        // Trivial instances.
+        assert_eq!(opt_diameter_lower_bound(&BudgetVector::new(vec![0])), 0);
+    }
+
+    #[test]
+    fn poa_estimate_ratios() {
+        let e = PoAEstimate {
+            worst_equilibrium: 8,
+            best_equilibrium: 4,
+            opt_lower: 2,
+            opt_upper: 4,
+        };
+        assert_eq!(e.poa_lower(), 2.0);
+        assert_eq!(e.poa_upper(), 4.0);
+        assert_eq!(e.pos_lower(), 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests: every dynamics rule drives small games to the
+//! stability notion it targets, and dynamics outcomes agree with
+//! exhaustive enumeration.
+
+use bbncg_core::dynamics::{
+    run_dynamics, run_dynamics_traced, DynamicsConfig, PlayerOrder, ResponseRule,
+};
+use bbncg_core::{
+    exact_game_stats, is_nash_equilibrium, is_swap_equilibrium, BudgetVector, CostModel,
+    Realization,
+};
+use bbncg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_start(budgets: &BudgetVector, seed: u64) -> Realization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng))
+}
+
+#[test]
+fn every_rule_reaches_its_stability_notion() {
+    let budgets = BudgetVector::new(vec![1, 1, 2, 1, 1, 0, 2]);
+    for model in CostModel::ALL {
+        for rule in [
+            ResponseRule::ExactBest,
+            ResponseRule::FirstImproving,
+            ResponseRule::Greedy,
+            ResponseRule::BestSwap,
+        ] {
+            for seed in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64(100 + seed);
+                let cfg = DynamicsConfig {
+                    model,
+                    order: PlayerOrder::RoundRobin,
+                    rule,
+                    max_rounds: 500,
+                };
+                let rep = run_dynamics(random_start(&budgets, seed), cfg, &mut rng);
+                assert!(rep.converged, "{model:?} {rule:?} seed {seed}");
+                match rule {
+                    // Exact and better-response convergence == Nash.
+                    ResponseRule::ExactBest | ResponseRule::FirstImproving => {
+                        assert!(
+                            is_nash_equilibrium(&rep.state, model),
+                            "{model:?} {rule:?} seed {seed}"
+                        );
+                    }
+                    // Swap convergence == swap equilibrium (weaker).
+                    ResponseRule::BestSwap => {
+                        assert!(is_swap_equilibrium(&rep.state, model));
+                    }
+                    // Greedy convergence means greedy found no strict
+                    // improvement; it is at least swap-stable in
+                    // practice but carries no guarantee — only check
+                    // convergence itself.
+                    ResponseRule::Greedy => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamics_outcomes_lie_in_the_enumerated_equilibrium_range() {
+    // Cross-validation of two independent components: the dynamics
+    // engine and the exhaustive enumerator.
+    let budgets = BudgetVector::uniform(5, 1);
+    for model in CostModel::ALL {
+        let stats = exact_game_stats(&budgets, model, 100_000);
+        assert!(stats.equilibria > 0);
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rep = run_dynamics(
+                random_start(&budgets, seed),
+                DynamicsConfig::exact(model, 300),
+                &mut rng,
+            );
+            assert!(rep.converged);
+            let d = rep.state.social_diameter();
+            assert!(
+                d >= stats.best_equilibrium_diameter && d <= stats.worst_equilibrium_diameter,
+                "dynamics produced diameter {d} outside enumerated range \
+                 [{}, {}] ({model:?})",
+                stats.best_equilibrium_diameter,
+                stats.worst_equilibrium_diameter
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_and_untraced_dynamics_agree() {
+    let budgets = BudgetVector::uniform(8, 1);
+    for model in CostModel::ALL {
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let cfg = DynamicsConfig::exact(model, 200);
+        let plain = run_dynamics(random_start(&budgets, 4), cfg, &mut rng1);
+        let (traced, trace) = run_dynamics_traced(random_start(&budgets, 4), cfg, &mut rng2);
+        assert_eq!(plain.state, traced.state);
+        assert_eq!(plain.steps, traced.steps);
+        assert_eq!(trace.len(), traced.rounds + 1);
+    }
+}
+
+#[test]
+fn zero_budget_players_never_block_convergence() {
+    let budgets = BudgetVector::new(vec![0, 0, 0, 3, 3]);
+    for model in CostModel::ALL {
+        let mut rng = StdRng::seed_from_u64(12);
+        let rep = run_dynamics(
+            random_start(&budgets, 12),
+            DynamicsConfig::exact(model, 200),
+            &mut rng,
+        );
+        assert!(rep.converged);
+        assert!(is_nash_equilibrium(&rep.state, model));
+    }
+}

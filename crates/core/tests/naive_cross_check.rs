@@ -1,0 +1,158 @@
+//! Cross-checks of the optimized game engine against a from-scratch
+//! naive implementation written independently in this test file: costs
+//! by Floyd–Warshall, Nash verification by materializing every deviated
+//! profile. Any bug in the deviation oracle, the patched BFS, or the κ
+//! bookkeeping shows up here.
+
+use bbncg_core::oracle::CombinationOdometer;
+use bbncg_core::{is_nash_equilibrium, BudgetVector, CostModel, Realization};
+use bbncg_graph::{generators, NodeId, OwnedDigraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const INF: u64 = u64::MAX / 4;
+
+fn naive_distances(g: &OwnedDigraph) -> Vec<Vec<u64>> {
+    let n = g.n();
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for (u, v) in g.arcs() {
+        d[u.index()][v.index()] = 1;
+        d[v.index()][u.index()] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let alt = d[i][k] + d[k][j];
+                if alt < d[i][j] {
+                    d[i][j] = alt;
+                }
+            }
+        }
+    }
+    d
+}
+
+fn naive_kappa(g: &OwnedDigraph) -> u64 {
+    let d = naive_distances(g);
+    let n = g.n();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for u in 0..n {
+        if label[u] != usize::MAX {
+            continue;
+        }
+        for (v, lv) in label.iter_mut().enumerate() {
+            if d[u][v] < INF {
+                *lv = count;
+            }
+        }
+        count += 1;
+    }
+    count as u64
+}
+
+fn naive_cost(g: &OwnedDigraph, u: usize, model: CostModel) -> u64 {
+    let n = g.n() as u64;
+    let cinf = n * n;
+    let d = naive_distances(g);
+    match model {
+        CostModel::Sum => (0..g.n())
+            .map(|v| if d[u][v] >= INF { cinf } else { d[u][v] })
+            .sum(),
+        CostModel::Max => {
+            let local = (0..g.n())
+                .map(|v| if d[u][v] >= INF { cinf } else { d[u][v] })
+                .max()
+                .unwrap_or(0);
+            // If anything is unreachable the local diameter is n².
+            let local = if local >= cinf { cinf } else { local };
+            local + (naive_kappa(g) - 1) * cinf
+        }
+    }
+}
+
+fn naive_is_nash(g: &OwnedDigraph, model: CostModel) -> bool {
+    let n = g.n();
+    for u in 0..n {
+        let b = g.out_degree(NodeId::new(u));
+        if b == 0 {
+            continue;
+        }
+        let current = naive_cost(g, u, model);
+        let pool: Vec<usize> = (0..n).filter(|&t| t != u).collect();
+        let mut od = CombinationOdometer::new(pool.len(), b);
+        loop {
+            let targets: Vec<NodeId> =
+                od.indices().iter().map(|&i| NodeId::new(pool[i])).collect();
+            let mut dev = g.clone();
+            dev.set_out(NodeId::new(u), targets);
+            if naive_cost(&dev, u, model) < current {
+                return false;
+            }
+            if !od.advance() {
+                break;
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn costs_match_naive_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..30 {
+        let n = 3 + (trial % 6);
+        let budgets: Vec<usize> = (0..n).map(|i| (i + trial) % 3 % n.max(1)).collect();
+        let g = generators::random_realization(&budgets, &mut rng);
+        let r = Realization::new(g.clone());
+        for model in CostModel::ALL {
+            for u in 0..n {
+                assert_eq!(
+                    r.cost(NodeId::new(u), model),
+                    naive_cost(&g, u, model),
+                    "trial {trial}, model {model:?}, player {u}, budgets {budgets:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nash_verdicts_match_naive_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for trial in 0..20 {
+        let n = 3 + (trial % 4);
+        let budgets: Vec<usize> = (0..n).map(|i| [1, 0, 2][(i + trial) % 3].min(n - 1)).collect();
+        let g = generators::random_realization(&budgets, &mut rng);
+        let r = Realization::new(g.clone());
+        for model in CostModel::ALL {
+            assert_eq!(
+                is_nash_equilibrium(&r, model),
+                naive_is_nash(&g, model),
+                "trial {trial}, model {model:?}, budgets {budgets:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nash_verdicts_match_naive_on_all_unit_profiles_n4() {
+    // Exhaustive: every profile of (1,1,1,1)-BG, both models, both
+    // engines. 81 profiles x 2 models.
+    let b = BudgetVector::uniform(4, 1);
+    let total = bbncg_core::profile_count(&b);
+    for idx in 0..total {
+        let g = bbncg_core::decode_profile(&b, idx);
+        let r = Realization::new(g.clone());
+        for model in CostModel::ALL {
+            assert_eq!(
+                is_nash_equilibrium(&r, model),
+                naive_is_nash(&g, model),
+                "profile {idx}, model {model:?}"
+            );
+        }
+    }
+}

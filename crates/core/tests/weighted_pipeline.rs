@@ -1,0 +1,99 @@
+//! Integration test: the full Section 6 pipeline on *dynamics-found*
+//! SUM equilibria (not just the textbook constructions) — every
+//! equilibrium must survive each proof step.
+
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+use bbncg_core::{BudgetVector, CostModel, Realization, WeightedGraph};
+use bbncg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sum_equilibrium(budgets: &[usize], seed: u64) -> Option<Realization> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = Realization::new(generators::random_realization(budgets, &mut rng));
+    let rep = run_dynamics(initial, DynamicsConfig::exact(CostModel::Sum, 300), &mut rng);
+    rep.converged.then_some(rep.state)
+}
+
+#[test]
+fn sampled_sum_equilibria_are_weak_equilibria() {
+    // Nash ⟹ weak equilibrium: must hold for every sampled profile.
+    for seed in 0..4u64 {
+        let budgets = BudgetVector::random_tree(8, &mut StdRng::seed_from_u64(seed));
+        if let Some(eq) = sum_equilibrium(budgets.as_slice(), seed) {
+            let wg = WeightedGraph::unit(eq.graph().clone());
+            assert!(
+                wg.is_weak_equilibrium(),
+                "seed {seed}: Nash equilibrium is not weak-stable?!"
+            );
+        }
+    }
+}
+
+#[test]
+fn folding_sampled_tree_equilibria_preserves_weak_equilibrium() {
+    // The Corollary 6.3 step on real equilibria: fold poor leaves and
+    // re-check weak stability of the weighted remainder.
+    let mut checked = 0;
+    for seed in 10..18u64 {
+        let budgets = BudgetVector::random_tree(9, &mut StdRng::seed_from_u64(seed));
+        let Some(eq) = sum_equilibrium(budgets.as_slice(), seed) else {
+            continue;
+        };
+        let wg = WeightedGraph::unit(eq.graph().clone());
+        let (folded, _) = wg.fold_poor_leaves();
+        assert_eq!(folded.total_weight(), wg.total_weight());
+        if folded.n() > 1 {
+            assert!(
+                folded.is_weak_equilibrium(),
+                "seed {seed}: folding broke weak equilibrium (n' = {})",
+                folded.n()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 4, "too few equilibria sampled");
+}
+
+#[test]
+fn rich_leaves_of_sampled_equilibria_obey_lemma_6_4() {
+    for seed in 30..38u64 {
+        let budgets = BudgetVector::random_tree(10, &mut StdRng::seed_from_u64(seed));
+        let Some(eq) = sum_equilibrium(budgets.as_slice(), seed) else {
+            continue;
+        };
+        let wg = WeightedGraph::unit(eq.graph().clone());
+        if let Some(d) = wg.max_rich_leaf_distance() {
+            assert!(d <= 2, "seed {seed}: rich leaves at distance {d} > 2");
+        }
+    }
+}
+
+#[test]
+fn contraction_counts_of_sampled_equilibria_respect_lemma_6_5() {
+    use bbncg_graph::NodeId;
+    for seed in 50..58u64 {
+        let budgets = BudgetVector::random_tree(10, &mut StdRng::seed_from_u64(seed));
+        let Some(eq) = sum_equilibrium(budgets.as_slice(), seed) else {
+            continue;
+        };
+        if eq.graph().total_arcs() != eq.n() - 1 {
+            continue; // not a tree (shouldn't happen for tree instances)
+        }
+        let wg = WeightedGraph::unit(eq.graph().clone());
+        // Check a few endpoint pairs.
+        for (a, b) in [(0usize, eq.n() - 1), (1, eq.n() / 2)] {
+            if a == b {
+                continue;
+            }
+            if let Some((contractible, bound)) =
+                wg.path_contraction_stats(NodeId::new(a), NodeId::new(b))
+            {
+                assert!(
+                    contractible <= bound,
+                    "seed {seed}: {contractible} contractible edges > Lemma 6.5 bound {bound}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the directed BBC baseline game.
+
+use bbncg_directed::{directed_best_response, directed_is_nash, DirectedRealization};
+use bbncg_graph::{generators, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `cost_with_strategy` prices deviations identically to applying
+    /// them.
+    #[test]
+    fn deviation_pricing_is_consistent(n in 3usize..9, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| 1 + i % 2).collect();
+        let r = DirectedRealization::new(generators::random_realization(&budgets, &mut rng));
+        for u in 0..n {
+            let u = NodeId::new(u);
+            let b = r.graph().out_degree(u);
+            // Deterministic candidate: the b smallest non-self ids.
+            let targets: Vec<NodeId> = (0..n)
+                .map(NodeId::new)
+                .filter(|&t| t != u)
+                .take(b)
+                .collect();
+            let priced = r.cost_with_strategy(u, &targets);
+            let mut applied = r.clone();
+            applied.set_strategy(u, targets);
+            prop_assert_eq!(priced, applied.cost(u));
+        }
+    }
+
+    /// The best response never costs more than the current strategy,
+    /// and applying it makes the player stable.
+    #[test]
+    fn best_response_is_optimal(n in 3usize..8, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets = vec![1usize; n];
+        let r = DirectedRealization::new(generators::random_realization(&budgets, &mut rng));
+        let u = NodeId::new(0);
+        let br = directed_best_response(&r, u);
+        prop_assert!(br.cost <= r.cost(u));
+        let mut applied = r.clone();
+        applied.set_strategy(u, br.targets);
+        prop_assert_eq!(applied.cost(u), br.cost);
+        prop_assert!(bbncg_directed::directed_is_best_response(&applied, u));
+    }
+
+    /// Directed costs dominate undirected SUM costs on the same arcs
+    /// (one-way links can only hurt).
+    #[test]
+    fn directed_cost_dominates_undirected(n in 3usize..9, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let g = generators::random_realization(&budgets, &mut rng);
+        let directed = DirectedRealization::new(g.clone());
+        let undirected = bbncg_core::Realization::new(g);
+        for u in 0..n {
+            let u = NodeId::new(u);
+            prop_assert!(
+                directed.cost(u) >= undirected.cost(u, bbncg_core::CostModel::Sum)
+            );
+        }
+    }
+
+    /// The directed cycle is always a Nash equilibrium of the directed
+    /// unit game.
+    #[test]
+    fn directed_cycle_is_always_nash(n in 3usize..8) {
+        let r = DirectedRealization::new(generators::cycle(n));
+        prop_assert!(directed_is_nash(&r));
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact k-center via radius binary search + distance-r dominating-set
+//! branch and bound.
+//!
+//! [`kcenter_exact`](crate::kcenter_exact) enumerates all `C(n, k)`
+//! center sets, which dies quickly as `n` grows. The classic stronger
+//! exact approach: binary-search the optimal radius `r*` over the
+//! distinct distance values, deciding each candidate radius `r` with a
+//! set-cover search — "is there a set of ≤ k centers whose distance-r
+//! balls cover V?" — pruned by always branching on the vertex with the
+//! fewest candidate centers. Still exponential in the worst case
+//! (k-center is NP-hard; Theorem 2.1 builds on exactly that), but
+//! handles the reduction experiments at sizes enumeration cannot.
+
+use bbncg_graph::{DistanceMatrix, NodeId, UNREACHED};
+
+/// Fixed-size bitset over vertices.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    fn empty(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        let full_words = self.len / 64;
+        if self.words[..full_words].iter().any(|&w| w != u64::MAX) {
+            return false;
+        }
+        let rem = self.len % 64;
+        rem == 0 || self.words[full_words] == (1u64 << rem) - 1
+    }
+
+    fn first_unset(&self) -> Option<usize> {
+        (0..self.len).find(|&i| !self.get(i))
+    }
+}
+
+/// Decide: is there a center set of size ≤ `k` whose distance-`r` balls
+/// cover every vertex? Returns such a set (sorted) if one exists.
+pub fn kcenter_decision(dm: &DistanceMatrix, k: usize, r: u32) -> Option<Vec<NodeId>> {
+    let n = dm.n();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // ball[c] = set of vertices covered by a center at c.
+    let balls: Vec<BitSet> = (0..n)
+        .map(|c| {
+            let mut b = BitSet::empty(n);
+            for v in 0..n {
+                let d = dm.dist(NodeId::new(c), NodeId::new(v));
+                if d != UNREACHED && d <= r {
+                    b.set(v);
+                }
+            }
+            b
+        })
+        .collect();
+    // coverers[v] = candidate centers covering v.
+    let coverers: Vec<Vec<usize>> = (0..n)
+        .map(|v| (0..n).filter(|&c| balls[c].get(v)).collect())
+        .collect();
+    if coverers.iter().any(Vec::is_empty) {
+        return None; // some vertex unreachable within r from everywhere
+    }
+
+    fn search(
+        covered: &BitSet,
+        chosen: &mut Vec<usize>,
+        k: usize,
+        balls: &[BitSet],
+        coverers: &[Vec<usize>],
+    ) -> bool {
+        if covered.is_full() {
+            return true;
+        }
+        if chosen.len() == k {
+            return false;
+        }
+        // Branch on the uncovered vertex with the fewest candidate
+        // centers (fail-first ordering).
+        let mut pick = covered.first_unset().unwrap();
+        let mut best_deg = usize::MAX;
+        for v in 0..covered.len {
+            if !covered.get(v) && coverers[v].len() < best_deg {
+                best_deg = coverers[v].len();
+                pick = v;
+            }
+        }
+        for &c in &coverers[pick] {
+            let mut next = covered.clone();
+            next.union_with(&balls[c]);
+            chosen.push(c);
+            if search(&next, chosen, k, balls, coverers) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    let covered = BitSet::empty(n);
+    let mut chosen = Vec::with_capacity(k);
+    if search(&covered, &mut chosen, k, &balls, &coverers) {
+        let mut out: Vec<NodeId> = chosen.into_iter().map(NodeId::new).collect();
+        out.sort_unstable();
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Exact k-center by binary search over the distinct distances, each
+/// decided with [`kcenter_decision`]. Returns `(centers, radius)`;
+/// radius is [`UNREACHED`] when even `r = ∞` cannot cover (never for
+/// `k ≥ 1` on any graph, since balls include their center).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn kcenter_branch_bound(dm: &DistanceMatrix, k: usize) -> (Vec<NodeId>, u32) {
+    let n = dm.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    // Candidate radii: distinct finite distances (0 included).
+    let mut radii: Vec<u32> = Vec::new();
+    for u in 0..n {
+        for &d in dm.row(NodeId::new(u)) {
+            if d != UNREACHED {
+                radii.push(d);
+            }
+        }
+    }
+    radii.sort_unstable();
+    radii.dedup();
+    // Binary search the smallest feasible radius.
+    let mut lo = 0usize;
+    let mut hi = radii.len() - 1;
+    // If even the largest finite radius fails (disconnected & k too
+    // small), report UNREACHED.
+    if kcenter_decision(dm, k, radii[hi]).is_none() {
+        return (Vec::new(), UNREACHED);
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if kcenter_decision(dm, k, radii[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let centers = kcenter_decision(dm, k, radii[lo]).expect("feasible by search");
+    (centers, radii[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcenter::{covering_radius, kcenter_exact};
+    use bbncg_graph::{generators, Csr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_dm(n: usize) -> DistanceMatrix {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        DistanceMatrix::compute(&Csr::from_edges(n, &edges))
+    }
+
+    #[test]
+    fn matches_enumeration_on_paths() {
+        for n in [5usize, 8, 11] {
+            let dm = path_dm(n);
+            for k in 1..=3 {
+                let (_, enum_r) = kcenter_exact(&dm, k);
+                let (centers, bb_r) = kcenter_branch_bound(&dm, k);
+                assert_eq!(bb_r, enum_r, "n={n}, k={k}");
+                assert_eq!(covering_radius(&dm, &centers), bb_r);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [8usize, 12] {
+            let edges = generators::random_connected_edges(n, n / 2, &mut rng);
+            let dm = DistanceMatrix::compute(&Csr::from_edges(n, &edges));
+            for k in 1..=3 {
+                let (_, enum_r) = kcenter_exact(&dm, k);
+                let (_, bb_r) = kcenter_branch_bound(&dm, k);
+                assert_eq!(bb_r, enum_r, "n={n}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scales_past_enumeration_comfort() {
+        // 6x6 grid, k = 4: C(36, 4) = 58 905 is still enumerable, but
+        // B&B should agree and is the scalable path.
+        let (n, edges) = generators::grid_edges(6, 6);
+        let dm = DistanceMatrix::compute(&Csr::from_edges(n, &edges));
+        let (_, enum_r) = kcenter_exact(&dm, 4);
+        let (centers, r) = kcenter_branch_bound(&dm, 4);
+        assert_eq!(r, enum_r);
+        assert_eq!(covering_radius(&dm, &centers), r);
+    }
+
+    #[test]
+    fn decision_radius_zero() {
+        let dm = path_dm(4);
+        assert!(kcenter_decision(&dm, 4, 0).is_some());
+        assert!(kcenter_decision(&dm, 3, 0).is_none());
+    }
+
+    #[test]
+    fn disconnected_needs_one_center_per_component() {
+        let dm = DistanceMatrix::compute(&Csr::from_edges(4, &[(0, 1), (2, 3)]));
+        let (_, r1) = kcenter_branch_bound(&dm, 1);
+        assert_eq!(r1, UNREACHED);
+        let (centers, r2) = kcenter_branch_bound(&dm, 2);
+        assert_eq!(r2, 1);
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn bitset_edge_cases() {
+        let mut b = BitSet::empty(64);
+        assert!(!b.is_full());
+        for i in 0..64 {
+            b.set(i);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.first_unset(), None);
+        let mut b = BitSet::empty(65);
+        for i in 0..64 {
+            b.set(i);
+        }
+        assert!(!b.is_full());
+        assert_eq!(b.first_unset(), Some(64));
+    }
+}

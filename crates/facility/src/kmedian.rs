@@ -1,0 +1,202 @@
+//! The (vertex) k-median problem on graph metrics.
+//!
+//! Choose `k` centers minimizing the **sum** of distances from every
+//! vertex to its nearest center. NP-hard; Theorem 2.1 reduces it to
+//! best-response computation in the SUM version of the game.
+//!
+//! Solvers: marginal greedy, single-swap local search (the classic
+//! constant-factor heuristic), and exact enumeration for small
+//! instances.
+
+use bbncg_core::oracle::{enumeration_count, CombinationOdometer};
+use bbncg_graph::{DistanceMatrix, NodeId, UNREACHED};
+
+/// Largest exact-enumeration budget (`C(n, k)` candidate sets).
+pub const MAX_EXACT_SETS: u64 = 20_000_000;
+
+/// `Σ_v min_{c ∈ centers} dist(v, c)` — the k-median objective.
+/// Unreachable vertices contribute `n²` each (mirroring the game's
+/// `C_inf` convention; the Theorem 2.1 identity is exact whenever the
+/// optima connect every component, and both objectives prefer
+/// connecting whenever `k` allows it).
+pub fn assignment_cost(dm: &DistanceMatrix, centers: &[NodeId]) -> u64 {
+    assert!(!centers.is_empty(), "need at least one center");
+    let n = dm.n();
+    let cinf = (n as u64) * (n as u64);
+    let mut total = 0u64;
+    for v in 0..n {
+        let v = NodeId::new(v);
+        let best = centers.iter().map(|&c| dm.dist(v, c)).min().unwrap();
+        total += if best == UNREACHED { cinf } else { best as u64 };
+    }
+    total
+}
+
+/// Marginal greedy: repeatedly add the center that decreases the
+/// objective the most (ties toward the smallest id).
+pub fn kmedian_greedy(dm: &DistanceMatrix, k: usize) -> Vec<NodeId> {
+    let n = dm.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    let cinf = (n as u64) * (n as u64);
+    let mut nearest = vec![u64::MAX; n];
+    let mut centers: Vec<NodeId> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..n {
+            let cid = NodeId::new(c);
+            if centers.contains(&cid) {
+                continue;
+            }
+            let mut total = 0u64;
+            for x in 0..n {
+                let d = dm.dist(NodeId::new(x), cid);
+                let d = if d == UNREACHED { cinf } else { d as u64 };
+                total += d.min(nearest[x]);
+            }
+            if best.is_none_or(|(t, _)| total < t) {
+                best = Some((total, c));
+            }
+        }
+        let (_, c) = best.expect("candidate pool nonempty");
+        let cid = NodeId::new(c);
+        centers.push(cid);
+        for x in 0..n {
+            let d = dm.dist(NodeId::new(x), cid);
+            let d = if d == UNREACHED { cinf } else { d as u64 };
+            nearest[x] = nearest[x].min(d);
+        }
+    }
+    centers.sort_unstable();
+    centers
+}
+
+/// Single-swap local search started from the greedy solution: while
+/// some (center, non-center) swap strictly improves the objective,
+/// apply the best such swap. Polynomial per iteration; the classic
+/// 5-approximation neighbourhood.
+pub fn kmedian_local_search(dm: &DistanceMatrix, k: usize) -> (Vec<NodeId>, u64) {
+    let n = dm.n();
+    let mut centers = kmedian_greedy(dm, k);
+    let mut cost = assignment_cost(dm, &centers);
+    loop {
+        let mut best_swap: Option<(u64, usize, NodeId)> = None;
+        for i in 0..centers.len() {
+            let old = centers[i];
+            for c in 0..n {
+                let cid = NodeId::new(c);
+                if centers.contains(&cid) {
+                    continue;
+                }
+                centers[i] = cid;
+                let trial = assignment_cost(dm, &centers);
+                if trial < cost && best_swap.is_none_or(|(t, _, _)| trial < t) {
+                    best_swap = Some((trial, i, cid));
+                }
+                centers[i] = old;
+            }
+        }
+        match best_swap {
+            Some((new_cost, i, cid)) => {
+                centers[i] = cid;
+                cost = new_cost;
+            }
+            None => break,
+        }
+    }
+    centers.sort_unstable();
+    (centers, cost)
+}
+
+/// Exact k-median by exhaustive enumeration (lexicographically first
+/// optimum); guard: `C(n, k)` ≤ [`MAX_EXACT_SETS`].
+pub fn kmedian_exact(dm: &DistanceMatrix, k: usize) -> (Vec<NodeId>, u64) {
+    let n = dm.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    let count = enumeration_count(n, k);
+    assert!(
+        count <= MAX_EXACT_SETS,
+        "exact k-median would enumerate {count} sets"
+    );
+    let mut od = CombinationOdometer::new(n, k);
+    let mut best: Option<(Vec<NodeId>, u64)> = None;
+    loop {
+        let centers: Vec<NodeId> = od.indices().iter().map(|&i| NodeId::new(i)).collect();
+        let cost = assignment_cost(dm, &centers);
+        if best.as_ref().is_none_or(|&(_, c)| cost < c) {
+            best = Some((centers, cost));
+        }
+        if !od.advance() {
+            break;
+        }
+    }
+    best.expect("at least one center set exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::{generators, Csr};
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_dm(n: usize) -> DistanceMatrix {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        DistanceMatrix::compute(&Csr::from_edges(n, &edges))
+    }
+
+    #[test]
+    fn cost_on_path() {
+        let dm = path_dm(5);
+        assert_eq!(assignment_cost(&dm, &[v(2)]), 1 + 1 + 2 + 2);
+        assert_eq!(assignment_cost(&dm, &[v(0), v(4)]), 4); // dists 0,1,2,1,0
+    }
+
+    #[test]
+    fn exact_1_median_of_star() {
+        let g = generators::star(6);
+        let dm = DistanceMatrix::compute(&Csr::from_digraph(&g));
+        let (centers, cost) = kmedian_exact(&dm, 1);
+        assert_eq!(centers, vec![v(0)]);
+        assert_eq!(cost, 5);
+    }
+
+    #[test]
+    fn local_search_matches_exact_on_small_grids() {
+        let (n, edges) = generators::grid_edges(4, 3);
+        let dm = DistanceMatrix::compute(&Csr::from_edges(n, &edges));
+        for k in 1..=3 {
+            let (_, opt) = kmedian_exact(&dm, k);
+            let (_, ls) = kmedian_local_search(&dm, k);
+            assert!(ls >= opt);
+            assert!(
+                ls <= opt * 5,
+                "local search {ls} not within 5x of optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_full_k_covers_everything() {
+        let dm = path_dm(4);
+        let centers = kmedian_greedy(&dm, 4);
+        assert_eq!(assignment_cost(&dm, &centers), 0);
+    }
+
+    #[test]
+    fn disconnected_pays_cinf() {
+        let dm = DistanceMatrix::compute(&Csr::from_edges(3, &[(0, 1)]));
+        assert_eq!(assignment_cost(&dm, &[v(0)]), 1 + 9);
+        assert_eq!(assignment_cost(&dm, &[v(0), v(2)]), 1);
+    }
+
+    #[test]
+    fn exact_2_median_on_path() {
+        let dm = path_dm(6);
+        let (centers, cost) = kmedian_exact(&dm, 2);
+        // {1, 4}: costs 1,0,1 | 1,0,1 = 4 — optimal.
+        assert_eq!(cost, 4);
+        assert_eq!(centers, vec![v(1), v(4)]);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Theorem 2.1 reductions: facility location ⇌ best response.
+//!
+//! Given an undirected graph `H` on `n` vertices and an integer `k`,
+//! build the game instance with `n + 1` players where players `1..n`
+//! realize `H` (each edge oriented arbitrarily — their equilibrium
+//! status is irrelevant) and the new player has budget `k`. Then:
+//!
+//! * a best response of the new player in the **MAX** version is an
+//!   optimal **k-center** of `H`, with `c_MAX = 1 + radius`;
+//! * a best response in the **SUM** version is an optimal **k-median**,
+//!   with `c_SUM = n + cost` (each of the `n` old vertices is one step
+//!   beyond its nearest center).
+//!
+//! The identities hold because every shortest path from the new vertex
+//! enters `H` through one of its `k` arcs, and the new vertex shortcuts
+//! no `H`-distance *to itself*. Tests cross-validate the exact
+//! best-response solver against the exact facility solvers — an
+//! end-to-end check of both the game engine and the reduction.
+
+use crate::kcenter::covering_radius;
+use crate::kmedian::assignment_cost;
+use bbncg_core::{exact_best_response, CostModel, Realization};
+use bbncg_graph::{Csr, DistanceMatrix, NodeId, OwnedDigraph};
+
+/// Build the reduction instance: `H`'s edges oriented from the smaller
+/// to the larger endpoint, plus a new player `n` owning `k` arcs to the
+/// placeholder targets `0..k`.
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn reduction_instance(h: &Csr, k: usize) -> Realization {
+    let n = h.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    let mut g = OwnedDigraph::empty(n + 1);
+    for (u, v) in h.simple_edges() {
+        g.add_arc(u, v);
+    }
+    for t in 0..k {
+        g.add_arc(NodeId::new(n), NodeId::new(t));
+    }
+    Realization::new(g)
+}
+
+/// Solve k-center on `H` by computing the new player's exact best
+/// response in the MAX version. Returns `(centers, radius)`.
+pub fn kcenter_via_best_response(h: &Csr, k: usize) -> (Vec<NodeId>, u32) {
+    let n = h.n();
+    let r = reduction_instance(h, k);
+    let br = exact_best_response(&r, NodeId::new(n), CostModel::Max);
+    let radius = (br.cost - 1) as u32;
+    (br.targets, radius)
+}
+
+/// Solve k-median on `H` by computing the new player's exact best
+/// response in the SUM version. Returns `(centers, total_cost)`.
+pub fn kmedian_via_best_response(h: &Csr, k: usize) -> (Vec<NodeId>, u64) {
+    let n = h.n();
+    let r = reduction_instance(h, k);
+    let br = exact_best_response(&r, NodeId::new(n), CostModel::Sum);
+    let cost = br.cost - n as u64;
+    (br.targets, cost)
+}
+
+/// Verify the reduction identities on one graph: the best-response
+/// optimum must equal the facility optimum under both objectives.
+/// Returns `(kcenter_radius, kmedian_cost)`.
+///
+/// # Panics
+/// Panics if either identity fails — used directly by tests and the
+/// `e-nphard` experiment.
+pub fn verify_reduction(h: &Csr, k: usize) -> (u32, u64) {
+    let dm = DistanceMatrix::compute(h);
+    let (br_centers, br_radius) = kcenter_via_best_response(h, k);
+    let (_, opt_radius) = crate::kcenter::kcenter_exact(&dm, k);
+    assert_eq!(
+        br_radius, opt_radius,
+        "k-center radius mismatch: best-response {br_radius} vs exact {opt_radius}"
+    );
+    assert_eq!(
+        covering_radius(&dm, &br_centers),
+        opt_radius,
+        "best-response centers are not optimal k-center centers"
+    );
+    let (brm_centers, brm_cost) = kmedian_via_best_response(h, k);
+    let (_, opt_cost) = crate::kmedian::kmedian_exact(&dm, k);
+    assert_eq!(
+        brm_cost, opt_cost,
+        "k-median cost mismatch: best-response {brm_cost} vs exact {opt_cost}"
+    );
+    assert_eq!(
+        assignment_cost(&dm, &brm_centers),
+        opt_cost,
+        "best-response centers are not optimal k-median centers"
+    );
+    (opt_radius, opt_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduction_instance_shape() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = reduction_instance(&csr, 2);
+        assert_eq!(r.n(), 5);
+        assert_eq!(r.graph().out_degree(NodeId::new(4)), 2);
+        assert_eq!(r.graph().total_arcs(), 3 + 2);
+    }
+
+    #[test]
+    fn identities_on_paths_and_cycles() {
+        for n in [5usize, 8] {
+            let path: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let csr = Csr::from_edges(n, &path);
+            for k in 1..=3 {
+                verify_reduction(&csr, k);
+            }
+            let cycle: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+            let csr = Csr::from_edges(n, &cycle);
+            for k in 1..=3 {
+                verify_reduction(&csr, k);
+            }
+        }
+    }
+
+    #[test]
+    fn identities_on_grid() {
+        let (n, edges) = generators::grid_edges(3, 3);
+        let csr = Csr::from_edges(n, &edges);
+        for k in 1..=3 {
+            verify_reduction(&csr, k);
+        }
+    }
+
+    #[test]
+    fn identities_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [6usize, 9, 12] {
+            let edges = generators::random_tree_edges(n, &mut rng);
+            let csr = Csr::from_edges(n, &edges);
+            for k in 1..=2 {
+                verify_reduction(&csr, k);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reduction_still_exact() {
+        // With k ≥ number of components, the best response connects all
+        // of them; the C_inf conventions on both sides line up.
+        let csr = Csr::from_edges(5, &[(0, 1), (2, 3)]);
+        verify_reduction(&csr, 3);
+    }
+
+    #[test]
+    fn one_center_on_star() {
+        let g = generators::star(7);
+        let csr = Csr::from_digraph(&g);
+        let (centers, radius) = kcenter_via_best_response(&csr, 1);
+        assert_eq!(centers, vec![NodeId::new(0)]);
+        assert_eq!(radius, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Connected components of the undirected underlying graph.
+//!
+//! The game's cost functions penalize disconnection through the number of
+//! components κ (the `(κ−1)·n²` term of the MAX cost) and through the
+//! `C_inf = n²` cross-component distance, so component counting sits on
+//! the hot path of cost evaluation.
+
+use crate::bfs::BfsScratch;
+use crate::csr::Csr;
+use crate::node::NodeId;
+
+/// Component labelling: `label[v]` ∈ `0..count`, assigned in order of
+/// first discovery (vertex 0's component is label 0, etc.).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Per-vertex component label.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component, indexed by label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Are `u` and `v` in the same component?
+    #[inline]
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u.index()] == self.label[v.index()]
+    }
+
+    /// Vertices of the component with the given label.
+    pub fn members(&self, label: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// Compute connected components by repeated BFS.
+pub fn components(csr: &Csr) -> Components {
+    let n = csr.n();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut scratch = BfsScratch::new(n);
+    let mut count = 0u32;
+    for u in 0..n {
+        if label[u] != u32::MAX {
+            continue;
+        }
+        let stats = scratch.run(csr, NodeId::new(u));
+        for &w in scratch.reached() {
+            label[w.index()] = count;
+        }
+        sizes.push(stats.visited);
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+        sizes,
+    }
+}
+
+/// Just the number of components (cheaper to read at call sites).
+pub fn component_count(csr: &Csr) -> usize {
+    components(csr).count
+}
+
+/// Is the graph connected? (The empty graph counts as connected.)
+pub fn is_connected(csr: &Csr) -> bool {
+    csr.n() <= 1 || component_count(csr) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn single_component() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = components(&csr);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sizes, vec![4]);
+        assert!(c.same(v(0), v(3)));
+        assert!(is_connected(&csr));
+    }
+
+    #[test]
+    fn multiple_components_and_isolates() {
+        let csr = Csr::from_edges(6, &[(0, 1), (3, 4)]);
+        let c = components(&csr);
+        assert_eq!(c.count, 4); // {0,1}, {2}, {3,4}, {5}
+        assert_eq!(c.sizes, vec![2, 1, 2, 1]);
+        assert!(!c.same(v(0), v(3)));
+        assert!(c.same(v(3), v(4)));
+        assert_eq!(c.members(2), vec![v(3), v(4)]);
+        assert!(!is_connected(&csr));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&Csr::from_edges(0, &[])));
+        assert!(is_connected(&Csr::from_edges(1, &[])));
+        assert_eq!(component_count(&Csr::from_edges(3, &[])), 3);
+    }
+
+    #[test]
+    fn labels_follow_discovery_order() {
+        let csr = Csr::from_edges(5, &[(1, 3)]);
+        let c = components(&csr);
+        assert_eq!(c.label, vec![0, 1, 2, 1, 3]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Vertex connectivity via Menger's theorem.
+//!
+//! Theorem 7.2 of the paper: if every player's budget is at least `k`,
+//! every SUM equilibrium either has diameter < 4 or is `k`-connected.
+//! Verifying that dichotomy needs exact vertex connectivity. We compute
+//! it as a minimum over unit-capacity max-flows on the standard
+//! vertex-split digraph (Even–Tarjan construction):
+//!
+//! * local connectivity `κ(s,t)` for non-adjacent `s,t` = max number of
+//!   internally vertex-disjoint `s–t` paths = max flow from `out(s)` to
+//!   `in(t)` where every other vertex is split into `in → out` with
+//!   capacity 1;
+//! * global connectivity: fix a minimum-degree vertex `v`; the minimum
+//!   cut either misses `v` (then `κ = min over t non-adjacent to v of
+//!   κ(v,t)`) or contains `v` (then both sides of the cut contain a
+//!   neighbour of `v`, and `κ = κ(u,w)` for some non-adjacent pair of
+//!   neighbours `u, w` of `v`). Taking the minimum over both families is
+//!   exact.
+
+use crate::components::is_connected;
+use crate::csr::Csr;
+use crate::node::NodeId;
+
+/// Unit-capacity max-flow on a small digraph (Edmonds–Karp). Capacities
+/// are 0/1; each augmentation adds one unit, and flow values are bounded
+/// by the vertex degree, so this is O(κ·m) per pair — plenty for the
+/// experiment sizes.
+struct UnitFlow {
+    /// For each node: list of (edge index) into `to`/`cap`.
+    adj: Vec<Vec<u32>>,
+    to: Vec<u32>,
+    cap: Vec<u8>,
+}
+
+impl UnitFlow {
+    fn new(nodes: usize) -> Self {
+        UnitFlow {
+            adj: vec![Vec::new(); nodes],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    /// Add edge `a → b` with capacity 1 and its residual `b → a` with 0.
+    fn add_edge(&mut self, a: usize, b: usize) {
+        let e = self.to.len() as u32;
+        self.to.push(b as u32);
+        self.cap.push(1);
+        self.adj[a].push(e);
+        self.to.push(a as u32);
+        self.cap.push(0);
+        self.adj[b].push(e + 1);
+    }
+
+    /// Max flow from `s` to `t` by repeated BFS augmentation.
+    fn max_flow(&mut self, s: usize, t: usize, limit: usize) -> usize {
+        let n = self.adj.len();
+        let mut flow = 0;
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut queue = Vec::with_capacity(n);
+        while flow < limit {
+            parent_edge.iter_mut().for_each(|p| *p = u32::MAX);
+            queue.clear();
+            queue.push(s as u32);
+            parent_edge[s] = u32::MAX - 1; // mark visited
+            let mut head = 0;
+            let mut found = false;
+            'bfs: while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &e in &self.adj[u] {
+                    let v = self.to[e as usize] as usize;
+                    if self.cap[e as usize] > 0 && parent_edge[v] == u32::MAX {
+                        parent_edge[v] = e;
+                        if v == t {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push(v as u32);
+                    }
+                }
+            }
+            if !found {
+                break;
+            }
+            // Augment one unit along the parent chain.
+            let mut v = t;
+            while v != s {
+                let e = parent_edge[v] as usize;
+                self.cap[e] -= 1;
+                self.cap[e ^ 1] += 1;
+                v = self.to[e ^ 1] as usize;
+            }
+            flow += 1;
+        }
+        flow
+    }
+}
+
+/// Build the vertex-split flow network for `csr` and return the max
+/// number of internally vertex-disjoint paths between non-adjacent
+/// vertices `s` and `t`.
+///
+/// # Panics
+/// Panics if `s == t` or if `s` and `t` are adjacent (local connectivity
+/// is unbounded in that case by Menger's convention).
+pub fn local_vertex_connectivity(csr: &Csr, s: NodeId, t: NodeId) -> usize {
+    assert!(s != t, "local connectivity of a vertex with itself");
+    assert!(
+        !csr.adjacent(s, t),
+        "local vertex connectivity requires non-adjacent endpoints"
+    );
+    let n = csr.n();
+    // Node 2x = in(x), 2x+1 = out(x).
+    let mut flow = UnitFlow::new(2 * n);
+    for x in 0..n {
+        if x != s.index() && x != t.index() {
+            flow.add_edge(2 * x, 2 * x + 1);
+        }
+    }
+    for (u, v) in csr.simple_edges() {
+        let (u, v) = (u.index(), v.index());
+        // out(u) -> in(v) and out(v) -> in(u). For s/t use their single
+        // relevant side: flow leaves out(s), enters in(t); in(s)/out(t)
+        // are never used, but harmless to wire uniformly since the
+        // missing split edge disconnects them.
+        flow.add_edge(2 * u + 1, 2 * v);
+        flow.add_edge(2 * v + 1, 2 * u);
+    }
+    let limit = csr.simple_degree(s).min(csr.simple_degree(t));
+    flow.max_flow(2 * s.index() + 1, 2 * t.index(), limit)
+}
+
+/// Exact vertex connectivity κ(G) of the simple underlying graph.
+///
+/// Conventions: κ = 0 for disconnected or single-vertex graphs; κ = n−1
+/// for complete graphs.
+///
+/// ```
+/// use bbncg_graph::{vertex_connectivity, Csr};
+///
+/// // A 5-cycle is 2-connected.
+/// let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+/// assert_eq!(vertex_connectivity(&Csr::from_edges(5, &edges)), 2);
+/// ```
+pub fn vertex_connectivity(csr: &Csr) -> usize {
+    let n = csr.n();
+    if n <= 1 || !is_connected(csr) {
+        return 0;
+    }
+    // Complete graph check (simple adjacency).
+    let complete = (0..n).all(|u| csr.simple_degree(NodeId::new(u)) == n - 1);
+    if complete {
+        return n - 1;
+    }
+    // Minimum-degree vertex as the pivot.
+    let v = (0..n)
+        .map(NodeId::new)
+        .min_by_key(|&u| csr.simple_degree(u))
+        .unwrap();
+    let mut best = csr.simple_degree(v);
+    // Cuts avoiding v: v vs every non-neighbour.
+    for t in 0..n {
+        let t = NodeId::new(t);
+        if t != v && !csr.adjacent(v, t) {
+            best = best.min(local_vertex_connectivity(csr, v, t));
+        }
+    }
+    // Cuts containing v: some pair of v's neighbours lies on opposite
+    // sides, and such a pair is non-adjacent.
+    let mut neighbors: Vec<NodeId> = csr.neighbors(v).to_vec();
+    neighbors.sort_unstable();
+    neighbors.dedup();
+    for i in 0..neighbors.len() {
+        for j in i + 1..neighbors.len() {
+            let (u, w) = (neighbors[i], neighbors[j]);
+            if !csr.adjacent(u, w) {
+                best = best.min(local_vertex_connectivity(csr, u, w));
+            }
+        }
+    }
+    best
+}
+
+/// Is the graph `k`-connected? (κ(G) ≥ k; every graph is 0-connected.)
+pub fn is_k_connected(csr: &Csr, k: usize) -> bool {
+    k == 0 || vertex_connectivity(csr) >= k
+}
+
+/// Extract a maximum family of internally vertex-disjoint `s–t` paths
+/// (Menger witnesses) for non-adjacent `s`, `t`. Each path is returned
+/// as `s, …, t`. The family size equals
+/// [`local_vertex_connectivity`]`(csr, s, t)`.
+///
+/// # Panics
+/// Panics if `s == t` or `s` and `t` are adjacent.
+pub fn menger_paths(csr: &Csr, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    assert!(s != t, "menger paths of a vertex with itself");
+    assert!(!csr.adjacent(s, t), "menger paths require non-adjacent endpoints");
+    let n = csr.n();
+    let mut flow = UnitFlow::new(2 * n);
+    for x in 0..n {
+        if x != s.index() && x != t.index() {
+            flow.add_edge(2 * x, 2 * x + 1);
+        }
+    }
+    for (u, v) in csr.simple_edges() {
+        let (u, v) = (u.index(), v.index());
+        flow.add_edge(2 * u + 1, 2 * v);
+        flow.add_edge(2 * v + 1, 2 * u);
+    }
+    let limit = csr.simple_degree(s).min(csr.simple_degree(t));
+    let k = flow.max_flow(2 * s.index() + 1, 2 * t.index(), limit);
+    // Decompose the flow: saturated original edges form vertex-disjoint
+    // paths. cap[e] == 0 for used forward edges (unit capacities).
+    // Build the successor map on "out" nodes: out(x) -> in(y) used.
+    let mut succ = vec![usize::MAX; n];
+    for x in 0..n {
+        let out_node = 2 * x + 1;
+        for &e in &flow.adj[out_node] {
+            let e = e as usize;
+            // Forward edges have even index; used iff residual cap == 0.
+            if e.is_multiple_of(2) && flow.cap[e] == 0 {
+                let to = flow.to[e] as usize;
+                if to.is_multiple_of(2) {
+                    // out(x) -> in(y): part of a used path. An s-out can
+                    // have several used edges; handle s separately.
+                    if x != s.index() {
+                        succ[x] = to / 2;
+                    }
+                }
+            }
+        }
+    }
+    let mut paths = Vec::with_capacity(k);
+    // Each used edge out(s) -> in(y) starts one path.
+    for &e in &flow.adj[2 * s.index() + 1] {
+        let e = e as usize;
+        if e.is_multiple_of(2) && flow.cap[e] == 0 {
+            let to = flow.to[e] as usize;
+            if !to.is_multiple_of(2) {
+                continue;
+            }
+            let mut path = vec![s];
+            let mut cur = to / 2;
+            while cur != t.index() {
+                path.push(NodeId::new(cur));
+                cur = succ[cur];
+                debug_assert!(cur != usize::MAX, "flow decomposition broke");
+            }
+            path.push(t);
+            paths.push(path);
+        }
+    }
+    debug_assert_eq!(paths.len(), k);
+    paths
+}
+
+/// Articulation vertices (cut vertices) of the underlying simple graph,
+/// via Tarjan lowlinks. Used as an independent cross-check of
+/// `vertex_connectivity(g) ≥ 2`.
+pub fn articulation_points(csr: &Csr) -> Vec<NodeId> {
+    let n = csr.n();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut is_art = vec![false; n];
+    let mut timer = 1u32;
+    // Iterative DFS to avoid recursion limits on path-like graphs.
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        // Stack of (vertex, parent, neighbor cursor).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        let mut root_children = 0;
+        visited[root] = true;
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while !stack.is_empty() {
+            let (u, parent, cursor) = *stack.last().unwrap();
+            let ns = csr.neighbors(NodeId::new(u));
+            if cursor < ns.len() {
+                stack.last_mut().unwrap().2 += 1;
+                let w = ns[cursor].index();
+                if w == parent {
+                    continue;
+                }
+                if visited[w] {
+                    low[u] = low[u].min(disc[w]);
+                } else {
+                    visited[w] = true;
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, u, 0));
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        is_art[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_art[root] = true;
+        }
+    }
+    (0..n)
+        .filter(|&u| is_art[u])
+        .map(NodeId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn cycle_csr(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    fn complete_csr(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for w in u + 1..n {
+                edges.push((u, w));
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_has_connectivity_one() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(vertex_connectivity(&csr), 1);
+        assert!(is_k_connected(&csr, 1));
+        assert!(!is_k_connected(&csr, 2));
+        assert_eq!(articulation_points(&csr), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn cycle_has_connectivity_two() {
+        let csr = cycle_csr(6);
+        assert_eq!(vertex_connectivity(&csr), 2);
+        assert!(articulation_points(&csr).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        assert_eq!(vertex_connectivity(&complete_csr(5)), 4);
+        assert_eq!(vertex_connectivity(&complete_csr(2)), 1);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(vertex_connectivity(&csr), 0);
+        assert!(is_k_connected(&csr, 0));
+        assert!(!is_k_connected(&csr, 1));
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        let csr = Csr::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(vertex_connectivity(&csr), 1);
+        assert_eq!(articulation_points(&csr), vec![v(0)]);
+    }
+
+    #[test]
+    fn local_connectivity_on_cycle() {
+        let csr = cycle_csr(6);
+        assert_eq!(local_vertex_connectivity(&csr, v(0), v(3)), 2);
+    }
+
+    #[test]
+    fn two_hubs_three_paths() {
+        // Vertices 0 and 1 joined by three internally disjoint 2-paths.
+        let csr = Csr::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+        assert_eq!(local_vertex_connectivity(&csr, v(0), v(1)), 3);
+        // Global connectivity is 2: removing {0,1} isolates each midpoint,
+        // but removing any single vertex leaves it connected; actually
+        // min degree is 2 and cutting both hubs needs 2 vertices.
+        assert_eq!(vertex_connectivity(&csr), 2);
+    }
+
+    #[test]
+    fn complete_bipartite_k23() {
+        // K_{2,3}: sides {0,1} and {2,3,4}; κ = 2.
+        let csr = Csr::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(vertex_connectivity(&csr), 2);
+    }
+
+    #[test]
+    fn brace_multiplicity_does_not_inflate_connectivity() {
+        // A brace is a multigraph 2-cycle but a simple-graph bridge.
+        let g = crate::OwnedDigraph::from_arcs(3, &[(0, 1), (1, 0), (1, 2)]);
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(vertex_connectivity(&csr), 1);
+        assert_eq!(articulation_points(&csr), vec![v(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn local_connectivity_rejects_adjacent() {
+        let csr = cycle_csr(4);
+        local_vertex_connectivity(&csr, v(0), v(1));
+    }
+
+    fn assert_valid_disjoint_paths(csr: &Csr, s: NodeId, t: NodeId, paths: &[Vec<NodeId>]) {
+        let mut used = std::collections::HashSet::new();
+        for p in paths {
+            assert_eq!(*p.first().unwrap(), s);
+            assert_eq!(*p.last().unwrap(), t);
+            for w in p.windows(2) {
+                assert!(csr.adjacent(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+            }
+            for &x in &p[1..p.len() - 1] {
+                assert!(used.insert(x), "vertex {x} reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn menger_paths_on_cycle() {
+        let csr = cycle_csr(6);
+        let paths = menger_paths(&csr, v(0), v(3));
+        assert_eq!(paths.len(), 2);
+        assert_valid_disjoint_paths(&csr, v(0), v(3), &paths);
+    }
+
+    #[test]
+    fn menger_paths_three_disjoint() {
+        let csr = Csr::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+        let paths = menger_paths(&csr, v(0), v(1));
+        assert_eq!(paths.len(), 3);
+        assert_valid_disjoint_paths(&csr, v(0), v(1), &paths);
+    }
+
+    #[test]
+    fn menger_paths_match_local_connectivity() {
+        let (n, edges) = crate::generators::grid_edges(4, 4);
+        let csr = Csr::from_edges(n, &edges);
+        let (s, t) = (v(0), v(15)); // opposite corners, non-adjacent
+        let k = local_vertex_connectivity(&csr, s, t);
+        let paths = menger_paths(&csr, s, t);
+        assert_eq!(paths.len(), k);
+        assert_eq!(k, 2);
+        assert_valid_disjoint_paths(&csr, s, t, &paths);
+    }
+
+    #[test]
+    fn menger_paths_disconnected_pair_is_empty() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(menger_paths(&csr, v(0), v(2)).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Cycle structure of (near-)unicyclic graphs.
+//!
+//! Theorems 4.1 and 4.2 of the paper state that every equilibrium of the
+//! all-unit-budget game `(1,…,1)-BG` is connected with *exactly one*
+//! cycle (a brace counting as a 2-cycle), of length ≤ 5 (SUM) or ≤ 7
+//! (MAX), with all vertices within distance 1 resp. 2 of the cycle. The
+//! analysers that verify those statements need: the 2-core of the graph,
+//! the cycle vertex sequence, and per-vertex distance to the cycle.
+//!
+//! The 2-core is computed by iterated leaf stripping; for a connected
+//! multigraph with n vertices and n edges (every `(1,…,1)-BG`
+//! realization) the core is precisely the unique cycle.
+
+use crate::bfs::BfsScratch;
+use crate::csr::Csr;
+use crate::node::NodeId;
+
+/// Vertices surviving iterated removal of degree-≤1 vertices (the
+/// 2-core), as a membership mask. Multigraph degrees are used, so a brace
+/// survives as a 2-cycle.
+pub fn two_core_mask(csr: &Csr) -> Vec<bool> {
+    let n = csr.n();
+    let mut degree: Vec<usize> = (0..n).map(|u| csr.degree(NodeId::new(u))).collect();
+    let mut alive = vec![true; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&u| degree[u] <= 1).collect();
+    while let Some(u) = stack.pop() {
+        if !alive[u] {
+            continue;
+        }
+        alive[u] = false;
+        for &w in csr.neighbors(NodeId::new(u)) {
+            let w = w.index();
+            if alive[w] {
+                degree[w] -= 1;
+                if degree[w] <= 1 {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// The unique cycle of a connected unicyclic multigraph, as the vertex
+/// sequence in traversal order (first vertex = smallest id on the cycle).
+/// Returns `None` if the 2-core is not a single simple cycle — i.e. the
+/// graph is acyclic, has more than one cycle, or the core has a vertex of
+/// core-degree ≠ 2.
+pub fn unique_cycle(csr: &Csr) -> Option<Vec<NodeId>> {
+    let alive = two_core_mask(csr);
+    let core: Vec<usize> = (0..csr.n()).filter(|&u| alive[u]).collect();
+    if core.is_empty() {
+        return None;
+    }
+    // Every core vertex must have exactly two core-incident edge slots
+    // (counting multiplicity, so a brace endpoint has the partner twice).
+    for &u in &core {
+        let d = csr
+            .neighbors(NodeId::new(u))
+            .iter()
+            .filter(|w| alive[w.index()])
+            .count();
+        if d != 2 {
+            return None;
+        }
+    }
+    // Walk the cycle starting from the smallest core vertex.
+    let start = *core.iter().min().unwrap();
+    let mut cycle = vec![NodeId::new(start)];
+    // Special case: a brace is the 2-cycle (u, v).
+    let first_neighbors: Vec<NodeId> = csr
+        .neighbors(NodeId::new(start))
+        .iter()
+        .copied()
+        .filter(|w| alive[w.index()])
+        .collect();
+    if first_neighbors.len() == 2 && first_neighbors[0] == first_neighbors[1] {
+        cycle.push(first_neighbors[0]);
+        if cycle.len() != core.len() {
+            return None;
+        }
+        return Some(cycle);
+    }
+    let mut prev = NodeId::new(start);
+    let mut cur = first_neighbors[0];
+    while cur.index() != start {
+        cycle.push(cur);
+        let next = csr
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .find(|&w| alive[w.index()] && w != prev)?;
+        prev = cur;
+        cur = next;
+    }
+    if cycle.len() != core.len() {
+        return None; // core had several disjoint cycles
+    }
+    Some(cycle)
+}
+
+/// Distance from every vertex to the nearest vertex of `set`
+/// (multi-source BFS). Unreachable vertices get `u32::MAX`.
+pub fn distance_to_set(csr: &Csr, set: &[NodeId]) -> Vec<u32> {
+    let n = csr.n();
+    let mut scratch = BfsScratch::new(n);
+    scratch.run_multi(csr, set);
+    (0..n)
+        .map(|u| scratch.dist_or_unreached(NodeId::new(u)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn tree_has_no_cycle() {
+        let csr = Csr::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert!(two_core_mask(&csr).iter().all(|&a| !a));
+        assert_eq!(unique_cycle(&csr), None);
+    }
+
+    #[test]
+    fn plain_cycle_is_its_own_core() {
+        let csr = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let cycle = unique_cycle(&csr).unwrap();
+        assert_eq!(cycle.len(), 5);
+        assert_eq!(cycle[0], v(0));
+    }
+
+    #[test]
+    fn lollipop_extracts_cycle_only() {
+        // Triangle 0-1-2 with a tail 2-3-4.
+        let csr = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let cycle = unique_cycle(&csr).unwrap();
+        let mut ids: Vec<usize> = cycle.iter().map(|u| u.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let d = distance_to_set(&csr, &cycle);
+        assert_eq!(d, vec![0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn brace_is_a_two_cycle() {
+        // U(G) for arcs 0->1, 1->0, plus a pendant 1-2 (owner irrelevant).
+        let g = crate::OwnedDigraph::from_arcs(3, &[(0, 1), (1, 0), (2, 1)]);
+        let csr = Csr::from_digraph(&g);
+        let cycle = unique_cycle(&csr).unwrap();
+        assert_eq!(cycle, vec![v(0), v(1)]);
+    }
+
+    #[test]
+    fn two_cycles_rejected() {
+        // Two triangles sharing no vertex, joined by a path.
+        let csr = Csr::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)],
+        );
+        assert_eq!(unique_cycle(&csr), None);
+    }
+
+    #[test]
+    fn theta_graph_rejected() {
+        // Two vertices joined by three internally disjoint paths: the
+        // core is 2-regular nowhere (degree 3 at the hubs).
+        let csr = Csr::from_edges(5, &[(0, 1), (0, 2), (2, 1), (0, 3), (3, 4), (4, 1)]);
+        assert_eq!(unique_cycle(&csr), None);
+    }
+
+    #[test]
+    fn distance_to_set_unreachable() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = distance_to_set(&csr, &[v(0)]);
+        assert_eq!(d, vec![0, 1, u32::MAX, u32::MAX]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Graphviz (DOT) export.
+//!
+//! Renders ownership digraphs and undirected views for inspection —
+//! the constructions of Figures 1 and 2 are best understood drawn.
+//! Output is plain DOT text; pipe it through `dot -Tsvg`.
+
+use crate::csr::Csr;
+use crate::digraph::OwnedDigraph;
+use crate::node::NodeId;
+use std::fmt::Write as _;
+
+/// Render an ownership digraph as a DOT `digraph`. Arc direction shows
+/// ownership (tail pays). Optional per-vertex labels; vertices without
+/// one get `v<i>`.
+pub fn digraph_to_dot(g: &OwnedDigraph, name: &str, label: impl Fn(NodeId) -> String) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for u in 0..g.n() {
+        let u = NodeId::new(u);
+        let _ = writeln!(out, "  {} [label=\"{}\"];", u.index(), label(u));
+    }
+    for (u, v) in g.arcs() {
+        let _ = writeln!(out, "  {} -> {};", u.index(), v.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the undirected view as a DOT `graph` (multiplicity collapsed).
+pub fn csr_to_dot(csr: &Csr, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for (u, v) in csr.simple_edges() {
+        let _ = writeln!(out, "  {} -- {};", u.index(), v.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digraph_dot_contains_all_arcs() {
+        let g = OwnedDigraph::from_arcs(3, &[(0, 1), (2, 1)]);
+        let dot = digraph_to_dot(&g, "demo", |u| format!("p{}", u.index()));
+        assert!(dot.starts_with("digraph demo {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("2 -> 1;"));
+        assert!(dot.contains("[label=\"p2\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn csr_dot_collapses_braces() {
+        let g = OwnedDigraph::from_arcs(2, &[(0, 1), (1, 0)]);
+        let dot = csr_to_dot(&Csr::from_digraph(&g), "u");
+        assert_eq!(dot.matches("0 -- 1;").count(), 1);
+    }
+}

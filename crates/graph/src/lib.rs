@@ -1,0 +1,51 @@
+//! Graph substrate for the bounded-budget network-creation-game
+//! workspace (`bbncg`).
+//!
+//! Everything the game layer needs from graph theory lives here, built
+//! from scratch for this reproduction:
+//!
+//! * [`OwnedDigraph`] — directed graphs where each arc is owned by its
+//!   tail (the player who pays for it), the paper's realization object;
+//! * [`Csr`] — the undirected underlying graph `U(G)` in compressed
+//!   sparse row form, the structure all distances are measured in;
+//! * [`BfsScratch`] — allocation-free repeated BFS (the workspace's
+//!   hottest loop);
+//! * [`distance`] — eccentricities, diameter, distance sums and the
+//!   all-pairs matrix, with parallel variants;
+//! * [`mod@components`], [`cycles`], [`connectivity`] — the structural
+//!   queries behind the paper's Theorems 3.x, 4.x and 7.2;
+//! * [`generators`] — deterministic paper families (spider, perfect
+//!   trees, shift graph) and seeded random families.
+
+#![warn(missing_docs)]
+// Index loops here typically walk several parallel arrays at once;
+// the index form is clearer than zipped iterators in those spots.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bfs;
+pub mod components;
+pub mod connectivity;
+pub mod csr;
+pub mod cycles;
+pub mod digraph;
+pub mod distance;
+pub mod dot;
+pub mod generators;
+pub mod metrics;
+pub mod node;
+
+pub use bfs::{BfsScratch, BfsStats, UNREACHED};
+pub use components::{component_count, components, is_connected, Components};
+pub use connectivity::{
+    articulation_points, is_k_connected, local_vertex_connectivity, menger_paths,
+    vertex_connectivity,
+};
+pub use metrics::GraphMetrics;
+pub use csr::Csr;
+pub use cycles::{distance_to_set, two_core_mask, unique_cycle};
+pub use digraph::OwnedDigraph;
+pub use distance::{
+    diameter, diameter_par, distance_sums, distance_sums_par, eccentricities, eccentricities_par,
+    DistanceMatrix, Diameter,
+};
+pub use node::{node_ids, NodeId};

@@ -1,0 +1,136 @@
+//! Whole-graph metric summaries.
+//!
+//! The experiment tables frequently report a bundle of global
+//! statistics about an equilibrium network — diameter, radius, mean
+//! distance, Wiener index, degree spread. [`GraphMetrics::compute`]
+//! produces them from one parallel all-sources BFS sweep.
+
+use crate::csr::Csr;
+use crate::node::NodeId;
+
+/// Summary metrics of a connected graph (see [`GraphMetrics::compute`]
+/// for the disconnected convention).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges (with multiplicity).
+    pub m: usize,
+    /// Is the graph connected?
+    pub connected: bool,
+    /// Largest eccentricity (within components when disconnected).
+    pub diameter: u32,
+    /// Smallest eccentricity (within components).
+    pub radius: u32,
+    /// Sum of all pairwise distances, each unordered pair once
+    /// (the Wiener index); cross-component pairs excluded.
+    pub wiener_index: u64,
+    /// Mean distance over ordered same-component pairs.
+    pub mean_distance: f64,
+    /// Minimum multigraph degree.
+    pub min_degree: usize,
+    /// Maximum multigraph degree.
+    pub max_degree: usize,
+}
+
+impl GraphMetrics {
+    /// Compute all metrics with one parallel BFS sweep. For
+    /// disconnected graphs, distance statistics cover same-component
+    /// pairs only and `connected` is `false`.
+    pub fn compute(csr: &Csr) -> GraphMetrics {
+        let n = csr.n();
+        if n == 0 {
+            return GraphMetrics {
+                n: 0,
+                m: 0,
+                connected: true,
+                diameter: 0,
+                radius: 0,
+                wiener_index: 0,
+                mean_distance: 0.0,
+                min_degree: 0,
+                max_degree: 0,
+            };
+        }
+        // One row per source: (ecc, sum, visited).
+        let mut rows = vec![(0u32, 0u64, 0usize); n];
+        bbncg_par::par_chunks_mut(&mut rows, |start, chunk| {
+            let mut scratch = crate::bfs::BfsScratch::new(n);
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let stats = scratch.run(csr, NodeId::new(start + off));
+                *slot = (stats.max_dist, stats.sum_dist, stats.visited);
+            }
+        });
+        let connected = rows.iter().all(|&(_, _, visited)| visited == n);
+        let diameter = rows.iter().map(|r| r.0).max().unwrap();
+        let radius = rows.iter().map(|r| r.0).min().unwrap();
+        let total: u64 = rows.iter().map(|r| r.1).sum();
+        let ordered_pairs: u64 = rows.iter().map(|r| (r.2 as u64).saturating_sub(1)).sum();
+        GraphMetrics {
+            n,
+            m: csr.m(),
+            connected,
+            diameter,
+            radius,
+            wiener_index: total / 2,
+            mean_distance: if ordered_pairs == 0 {
+                0.0
+            } else {
+                total as f64 / ordered_pairs as f64
+            },
+            min_degree: csr.min_degree(),
+            max_degree: csr.max_degree(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_csr(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_metrics() {
+        let m = GraphMetrics::compute(&path_csr(4));
+        assert!(m.connected);
+        assert_eq!(m.diameter, 3);
+        assert_eq!(m.radius, 2);
+        // Wiener index of P4: pairs (1+2+3) + (1+2) + 1 = 10.
+        assert_eq!(m.wiener_index, 10);
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 2);
+        assert!((m.mean_distance - 20.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let g = crate::generators::star(5);
+        let m = GraphMetrics::compute(&Csr::from_digraph(&g));
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.radius, 1);
+        // Wiener: 4 spokes at 1 + C(4,2)=6 leaf pairs at 2 -> 4 + 12.
+        assert_eq!(m.wiener_index, 16);
+    }
+
+    #[test]
+    fn disconnected_metrics() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let m = GraphMetrics::compute(&csr);
+        assert!(!m.connected);
+        assert_eq!(m.diameter, 1);
+        assert_eq!(m.wiener_index, 2);
+        assert_eq!(m.mean_distance, 1.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(GraphMetrics::compute(&Csr::from_edges(0, &[])).n, 0);
+        let m = GraphMetrics::compute(&Csr::from_edges(1, &[]));
+        assert!(m.connected);
+        assert_eq!(m.mean_distance, 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Compact vertex identifiers.
+
+use std::fmt;
+
+/// A vertex identifier: a dense index in `0..n`.
+///
+/// Stored as `u32` (perf-book "smaller integers" idiom): the game
+/// experiments never exceed a few hundred thousand vertices, and halving
+/// the id size halves adjacency-list memory traffic during BFS, the
+/// workspace's hottest loop.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Build an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index out of range");
+        NodeId(i as u32)
+    }
+
+    /// The id as a `usize`, for indexing into per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Iterator over all vertex ids `0..n`.
+pub fn node_ids(n: usize) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+    (0..n as u32).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, NodeId(42));
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn node_ids_covers_range() {
+        let ids: Vec<NodeId> = node_ids(4).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(node_ids(0).len(), 0);
+    }
+}

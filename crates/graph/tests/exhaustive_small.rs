@@ -1,0 +1,198 @@
+//! Exhaustive small-graph cross-checks: every primitive is validated
+//! against an independent naive implementation on **all** graphs of 4
+//! and 5 vertices (every edge subset), leaving no structural case
+//! untested.
+
+#![allow(clippy::needless_range_loop)] // index loops over the FW matrix
+
+use bbncg_graph::{
+    components, diameter, vertex_connectivity, BfsScratch, Csr, Diameter, NodeId,
+};
+
+/// All `(min, max)` vertex pairs of `0..n`.
+fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Floyd–Warshall on an edge list — the independent distance oracle.
+fn floyd_warshall(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<u64>> {
+    const INF: u64 = u64::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(u, v) in edges {
+        d[u][v] = 1;
+        d[v][u] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let alt = d[i][k] + d[k][j];
+                if alt < d[i][j] {
+                    d[i][j] = alt;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Is the graph connected after deleting `removed`? (Naive DFS.)
+fn connected_after_removal(n: usize, edges: &[(usize, usize)], removed: &[usize]) -> bool {
+    let alive: Vec<usize> = (0..n).filter(|u| !removed.contains(u)).collect();
+    if alive.len() <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![alive[0]];
+    seen[alive[0]] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for &(a, b) in edges {
+            for (x, y) in [(a, b), (b, a)] {
+                if x == u && !removed.contains(&y) && !seen[y] {
+                    seen[y] = true;
+                    count += 1;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    count == alive.len()
+}
+
+/// Brute-force vertex connectivity: smallest vertex set whose removal
+/// disconnects the remainder (n−1 for complete graphs by convention).
+fn naive_vertex_connectivity(n: usize, edges: &[(usize, usize)]) -> usize {
+    if n <= 1 || !connected_after_removal(n, edges, &[]) {
+        return 0;
+    }
+    for k in 1..n.saturating_sub(1) {
+        // All k-subsets of vertices.
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            if !connected_after_removal(n, edges, &subset) {
+                return k;
+            }
+            // Advance the subset odometer.
+            let mut i = k;
+            let mut advanced = false;
+            while i > 0 {
+                i -= 1;
+                if subset[i] != i + n - k {
+                    subset[i] += 1;
+                    for j in i + 1..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+    n - 1 // no separator exists: complete graph
+}
+
+fn for_all_graphs(n: usize, mut f: impl FnMut(&[(usize, usize)])) {
+    let pairs = all_pairs(n);
+    for mask in 0u32..(1 << pairs.len()) {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        f(&edges);
+    }
+}
+
+#[test]
+fn bfs_matches_floyd_warshall_on_all_4_vertex_graphs() {
+    for_all_graphs(4, |edges| {
+        let csr = Csr::from_edges(4, edges);
+        let fw = floyd_warshall(4, edges);
+        let mut bfs = BfsScratch::new(4);
+        for u in 0..4 {
+            bfs.run(&csr, NodeId::new(u));
+            for v in 0..4 {
+                let fast = bfs.dist(NodeId::new(v)).map(u64::from);
+                let naive = if fw[u][v] >= u64::MAX / 4 {
+                    None
+                } else {
+                    Some(fw[u][v])
+                };
+                assert_eq!(fast, naive, "edges {edges:?}, pair ({u},{v})");
+            }
+        }
+    });
+}
+
+#[test]
+fn diameter_matches_floyd_warshall_on_all_4_vertex_graphs() {
+    for_all_graphs(4, |edges| {
+        let csr = Csr::from_edges(4, edges);
+        let fw = floyd_warshall(4, edges);
+        let naive_diam = (0..4)
+            .flat_map(|u| (0..4).map(move |v| (u, v)))
+            .map(|(u, v)| fw[u][v])
+            .max()
+            .unwrap();
+        let fast = diameter(&csr);
+        if naive_diam >= u64::MAX / 4 {
+            assert_eq!(fast, Diameter::Disconnected, "edges {edges:?}");
+        } else {
+            assert_eq!(fast, Diameter::Finite(naive_diam as u32), "edges {edges:?}");
+        }
+    });
+}
+
+#[test]
+fn connectivity_matches_brute_force_on_all_5_vertex_graphs() {
+    for_all_graphs(5, |edges| {
+        let csr = Csr::from_edges(5, edges);
+        assert_eq!(
+            vertex_connectivity(&csr),
+            naive_vertex_connectivity(5, edges),
+            "edges {edges:?}"
+        );
+    });
+}
+
+#[test]
+fn component_counts_match_naive_on_all_4_vertex_graphs() {
+    for_all_graphs(4, |edges| {
+        let csr = Csr::from_edges(4, edges);
+        // Naive: count DFS trees.
+        let mut seen = [false; 4];
+        let mut count = 0;
+        for s in 0..4 {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                for &(a, b) in edges {
+                    for (x, y) in [(a, b), (b, a)] {
+                        if x == u && !seen[y] {
+                            seen[y] = true;
+                            stack.push(y);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(components(&csr).count, count, "edges {edges:?}");
+    });
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the graph substrate.
+
+use bbncg_graph::{
+    components, diameter, distance_to_set, eccentricities, generators, is_connected,
+    local_vertex_connectivity, menger_paths, two_core_mask, unique_cycle, vertex_connectivity,
+    BfsScratch, Csr, Diameter, DistanceMatrix, GraphMetrics, NodeId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_connected(n: usize, extra: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = generators::random_connected_edges(n, extra, &mut rng);
+    Csr::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Along any edge, BFS distances from a fixed source differ by at
+    /// most 1 (the defining property of unweighted shortest paths).
+    #[test]
+    fn bfs_is_1_lipschitz_on_edges(n in 3usize..40, extra in 0usize..20, seed in 0u64..500) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let csr = random_connected(n, extra, seed);
+        let mut bfs = BfsScratch::new(n);
+        bfs.run(&csr, NodeId::new(0));
+        for u in 0..n {
+            let du = bfs.dist(NodeId::new(u)).unwrap() as i64;
+            for &w in csr.neighbors(NodeId::new(u)) {
+                let dw = bfs.dist(w).unwrap() as i64;
+                prop_assert!((du - dw).abs() <= 1);
+            }
+        }
+    }
+
+    /// radius ≤ diameter ≤ 2·radius on connected graphs.
+    #[test]
+    fn diameter_radius_inequalities(n in 2usize..30, extra in 0usize..12, seed in 0u64..500) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let csr = random_connected(n, extra, seed);
+        let ecc = eccentricities(&csr);
+        let diam = *ecc.iter().max().unwrap();
+        let radius = *ecc.iter().min().unwrap();
+        prop_assert!(radius <= diam);
+        prop_assert!(diam <= 2 * radius);
+        prop_assert_eq!(diameter(&csr), Diameter::Finite(diam));
+    }
+
+    /// A tree has an empty 2-core and no unique cycle; adding one extra
+    /// edge creates a unicyclic graph whose cycle the extractor finds.
+    #[test]
+    fn tree_plus_edge_is_unicyclic(n in 3usize..40, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generators::random_tree_edges(n, &mut rng);
+        let csr = Csr::from_edges(n, &tree);
+        prop_assert!(two_core_mask(&csr).iter().all(|&x| !x));
+        prop_assert!(unique_cycle(&csr).is_none());
+        // Add one non-tree edge.
+        let mut edges = tree.clone();
+        let e = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .find(|e| !edges.contains(e));
+        if let Some(e) = e {
+            edges.push(e);
+            let csr = Csr::from_edges(n, &edges);
+            let cycle = unique_cycle(&csr).expect("unicyclic");
+            prop_assert!(cycle.len() >= 3);
+            // Every cycle vertex is at distance 0 from the cycle.
+            let d = distance_to_set(&csr, &cycle);
+            for &c in &cycle {
+                prop_assert_eq!(d[c.index()], 0);
+            }
+        }
+    }
+
+    /// κ(G) ≤ min degree, and the Menger path family has exactly
+    /// κ(s, t) members for non-adjacent pairs.
+    #[test]
+    fn connectivity_bounds_and_menger(n in 4usize..16, extra in 0usize..10, seed in 0u64..300) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let csr = random_connected(n, extra, seed);
+        let kappa = vertex_connectivity(&csr);
+        let min_deg = (0..n).map(|u| csr.simple_degree(NodeId::new(u))).min().unwrap();
+        prop_assert!(kappa <= min_deg);
+        // Any non-adjacent pair: local connectivity ≥ global, and paths
+        // match the local value.
+        'outer: for s in 0..n {
+            for t in s + 1..n {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                if !csr.adjacent(s, t) {
+                    let local = local_vertex_connectivity(&csr, s, t);
+                    prop_assert!(local >= kappa);
+                    let paths = menger_paths(&csr, s, t);
+                    prop_assert_eq!(paths.len(), local);
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    /// GraphMetrics agrees with the independent distance primitives.
+    #[test]
+    fn metrics_are_consistent(n in 2usize..25, extra in 0usize..10, seed in 0u64..300) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let csr = random_connected(n, extra, seed);
+        let m = GraphMetrics::compute(&csr);
+        prop_assert!(m.connected);
+        prop_assert_eq!(Diameter::Finite(m.diameter), diameter(&csr));
+        let dm = DistanceMatrix::compute(&csr);
+        let mut wiener = 0u64;
+        for u in 0..n {
+            for v in u + 1..n {
+                wiener += dm.dist(NodeId::new(u), NodeId::new(v)) as u64;
+            }
+        }
+        prop_assert_eq!(m.wiener_index, wiener);
+    }
+
+    /// Component labels partition the vertex set and component count
+    /// matches is_connected.
+    #[test]
+    fn components_partition(n in 1usize..30, m in 0usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random (possibly disconnected) graph: m random edges.
+        let mut edges = Vec::new();
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let csr = Csr::from_edges(n, &edges);
+        let comps = components(&csr);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(comps.count == 1, is_connected(&csr));
+        for (u, v) in csr.simple_edges() {
+            prop_assert!(comps.same(u, v));
+        }
+    }
+}

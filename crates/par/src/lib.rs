@@ -1,0 +1,388 @@
+//! Minimal parallel-execution substrate for the `bbncg` workspace.
+//!
+//! The bounded-budget network-creation experiments are embarrassingly
+//! parallel at several granularities: breadth-first searches from many
+//! sources (all-pairs shortest paths), Nash verification over vertices,
+//! and experiment sweeps over seeds. This crate provides the small set of
+//! primitives those layers need, built directly on `crossbeam` scoped
+//! threads — no global thread pool and no external data-parallelism
+//! framework, per the workspace's build-your-substrates rule.
+//!
+//! Two scheduling disciplines are offered:
+//!
+//! * **dynamic** ([`par_map`], [`par_for_each`]): workers claim blocks of
+//!   indices from a shared atomic counter. Good when per-item cost is
+//!   irregular (e.g. best-response search whose pruning depth varies).
+//! * **static** ([`par_chunks_mut`], [`par_reduce`]): the index space is
+//!   split into contiguous chunks up front. Deterministic assignment,
+//!   good when per-item cost is uniform (e.g. BFS from each source).
+//!
+//! All results are deterministic regardless of thread count: `par_map`
+//! writes each slot exactly once at its input index, and `par_reduce`
+//! folds per-chunk partials in chunk order.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = bbncg_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+// Index loops here typically walk several parallel arrays at once;
+// the index form is clearer than zipped iterators in those spots.
+#![allow(clippy::needless_range_loop)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads, overridable with the `BBNCG_THREADS`
+/// environment variable (useful for benchmarking scaling and for forcing
+/// serial execution under `BBNCG_THREADS=1`).
+pub fn max_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("BBNCG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Number of workers appropriate for `len` items: never more threads than
+/// items, never more than [`max_threads`], and at least one.
+pub fn workers_for(len: usize) -> usize {
+    max_threads().min(len).max(1)
+}
+
+/// Default grain size for dynamic scheduling: blocks of indices claimed at
+/// once. Chosen so the atomic counter is hit ~64× per worker on balanced
+/// inputs, which keeps contention negligible while still load-balancing.
+fn grain_for(len: usize, workers: usize) -> usize {
+    (len / (workers * 64)).max(1)
+}
+
+/// Shared output buffer for `par_map`. Each index is written exactly once
+/// (workers claim disjoint index blocks), which makes the unsynchronized
+/// writes sound; the `Sync` impl is what lets the scoped threads share it.
+struct SlotBuf<R> {
+    slots: Vec<UnsafeCell<MaybeUninit<R>>>,
+}
+
+// SAFETY: workers write disjoint slots (each index claimed by exactly one
+// worker via the atomic counter) and reads happen only after the scope
+// joins all workers.
+unsafe impl<R: Send> Sync for SlotBuf<R> {}
+
+impl<R> SlotBuf<R> {
+    fn new(len: usize) -> Self {
+        let mut slots = Vec::with_capacity(len);
+        for _ in 0..len {
+            slots.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        SlotBuf { slots }
+    }
+
+    /// SAFETY: caller must guarantee `i` is written at most once and no
+    /// concurrent access to slot `i` occurs.
+    unsafe fn write(&self, i: usize, value: R) {
+        (*self.slots[i].get()).write(value);
+    }
+
+    /// SAFETY: caller must guarantee every slot was written exactly once
+    /// and all writers have been joined.
+    unsafe fn into_vec(self) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots {
+            out.push(slot.into_inner().assume_init());
+        }
+        out
+    }
+}
+
+/// Map `f` over `items` in parallel with dynamic load balancing,
+/// preserving input order in the output.
+///
+/// `f` receives `(index, &item)`. Falls back to a serial loop for small
+/// inputs or when only one worker is available.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let grain = grain_for(len, workers);
+    let buf = SlotBuf::new(len);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    // SAFETY: the atomic fetch_add hands each index block
+                    // to exactly one worker, so slot `i` is written once.
+                    unsafe { buf.write(i, f(i, &items[i])) };
+                }
+            });
+        }
+    })
+    .expect("bbncg-par worker panicked");
+    // SAFETY: the cursor sweep covers 0..len exactly once and the scope
+    // joined every writer above.
+    unsafe { buf.into_vec() }
+}
+
+/// Run `f(index, &item)` for every item in parallel with dynamic load
+/// balancing. Side-effect variant of [`par_map`].
+pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
+    let len = items.len();
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        for (i, x) in items.iter().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let grain = grain_for(len, workers);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    f(i, &items[i]);
+                }
+            });
+        }
+    })
+    .expect("bbncg-par worker panicked");
+}
+
+/// Run `f` over the index range `0..len` in parallel (dynamic scheduling).
+/// Index-space variant of [`par_for_each`] for callers that index into
+/// several structures at once.
+pub fn par_for_each_index(len: usize, f: impl Fn(usize) + Sync) {
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let grain = grain_for(len, workers);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("bbncg-par worker panicked");
+}
+
+/// Map over `0..len` and return results in index order (dynamic
+/// scheduling). Index-space variant of [`par_map`].
+pub fn par_map_index<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        return (0..len).map(&f).collect();
+    }
+    let grain = grain_for(len, workers);
+    let buf = SlotBuf::new(len);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    // SAFETY: each index claimed by exactly one worker.
+                    unsafe { buf.write(i, f(i)) };
+                }
+            });
+        }
+    })
+    .expect("bbncg-par worker panicked");
+    // SAFETY: all slots written exactly once, all workers joined.
+    unsafe { buf.into_vec() }
+}
+
+/// Process mutable chunks of `items` in parallel with static scheduling.
+/// `f` receives `(chunk_start_index, chunk)`. The slice is split into
+/// `workers_for(len)` nearly equal contiguous chunks.
+pub fn par_chunks_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut [T]) + Sync) {
+    let len = items.len();
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        f(0, items);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    crossbeam::scope(|s| {
+        for (k, piece) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(k * chunk, piece));
+        }
+    })
+    .expect("bbncg-par worker panicked");
+}
+
+/// Deterministic parallel reduction: map each item, then fold partials in
+/// chunk order. The result equals the serial `items.iter().map(map).fold`
+/// for any associative `fold` (and for any `fold` at all, because partials
+/// are folded left-to-right in chunk order and items left-to-right within
+/// a chunk — determinism does not depend on thread scheduling).
+pub fn par_reduce<T: Sync, R: Send + Sync + Clone>(
+    items: &[T],
+    identity: R,
+    map: impl Fn(usize, &T) -> R + Sync,
+    fold: impl Fn(R, R) -> R + Sync,
+) -> R {
+    let len = items.len();
+    let workers = workers_for(len);
+    if workers <= 1 || len < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .fold(identity, |acc, (i, x)| fold(acc, map(i, x)));
+    }
+    let chunk = len.div_ceil(workers);
+    let partials = par_map_index(len.div_ceil(chunk), |k| {
+        let start = k * chunk;
+        let end = (start + chunk).min(len);
+        (start..end).fold(identity.clone(), |acc, i| fold(acc, map(i, &items[i])))
+    });
+    partials.into_iter().fold(identity, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_serial() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let parallel = par_map(&items, |i, &x| x * 3 + i as u64);
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 3 + i as u64)
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_index_matches_range() {
+        let got = par_map_index(1000, |i| i * i);
+        let want: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_for_each_visits_every_index_once() {
+        let n = 4096;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        par_for_each(&items, |i, &x| {
+            assert_eq!(i, x);
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn par_for_each_index_visits_every_index_once() {
+        let n = 4096;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_each_index(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut items = vec![0u64; 5000];
+        par_chunks_mut(&mut items, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = (start + off) as u64;
+            }
+        });
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let items: Vec<u64> = (1..=10_000).collect();
+        let total = par_reduce(&items, 0u64, |_, &x| x, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn par_reduce_is_deterministic_with_noncommutative_fold() {
+        // String concatenation is associative but not commutative; chunk
+        // ordering must make the result equal to the serial fold.
+        let items: Vec<String> = (0..500).map(|i| format!("{i},")).collect();
+        let joined = par_reduce(
+            &items,
+            String::new(),
+            |_, s| s.clone(),
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        let serial: String = items.concat();
+        assert_eq!(joined, serial);
+    }
+
+    #[test]
+    fn workers_never_exceed_items() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(2) <= 2);
+        assert!(workers_for(1_000_000) <= max_threads());
+    }
+}

@@ -1,0 +1,65 @@
+//! Convergence lab — the paper's §8 open question: *does best-response
+//! dynamics converge, and how fast?*
+//!
+//! Sweeps player orders and response rules over instance families and
+//! reports rounds/steps to equilibrium and any detected best-response
+//! cycles (Laoutaris et al. exhibit one in the directed variant; we
+//! look for one empirically in the undirected game).
+//!
+//! ```text
+//! cargo run --release --example convergence_lab
+//! ```
+
+use bbncg::analysis::{sample_equilibria, summarize};
+use bbncg::game::dynamics::{DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg::game::{BudgetVector, CostModel};
+
+fn main() {
+    println!(
+        "{:<18} {:<4} {:<12} {:<6} {:>9} {:>7} {:>12} {:>11}",
+        "instance", "ver", "order", "rule", "converged", "cycled", "mean rounds", "mean steps"
+    );
+    let instances: Vec<(String, BudgetVector)> = vec![
+        ("(1,…,1) n=20".into(), BudgetVector::uniform(20, 1)),
+        ("(2,…,2) n=14".into(), BudgetVector::uniform(14, 2)),
+        (
+            "mixed n=15".into(),
+            BudgetVector::new((0..15).map(|i| [0, 1, 3][i % 3]).collect()),
+        ),
+    ];
+    for (name, budgets) in &instances {
+        for model in CostModel::ALL {
+            for (order, oname) in [
+                (PlayerOrder::RoundRobin, "round-robin"),
+                (PlayerOrder::RandomPermutation, "random-perm"),
+            ] {
+                for (rule, rname) in [
+                    (ResponseRule::ExactBest, "exact"),
+                    (ResponseRule::BestSwap, "swap"),
+                ] {
+                    let cfg = DynamicsConfig {
+                        model,
+                        order,
+                        rule,
+                        max_rounds: 500,
+                    };
+                    let stats = summarize(&sample_equilibria(budgets, cfg, 77, 10));
+                    println!(
+                        "{:<18} {:<4} {:<12} {:<6} {:>6}/{:<2} {:>7} {:>12.1} {:>11.1}",
+                        name,
+                        model.label(),
+                        oname,
+                        rname,
+                        stats.converged,
+                        stats.total,
+                        stats.cycled,
+                        stats.mean_rounds,
+                        stats.mean_steps
+                    );
+                }
+            }
+        }
+    }
+    println!("\nNo best-response cycle found in these sweeps — consistent with (but");
+    println!("not proof of) convergence for the undirected bounded-budget game.");
+}
