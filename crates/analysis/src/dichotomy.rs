@@ -50,7 +50,11 @@ mod tests {
         // The constructed equilibria have diameter ≤ 4; for diameter < 4
         // the dichotomy is immediate, and the diameter-4 case-2 outputs
         // have min budget 0, so the premise is vacuous (κ ≥ 0 always).
-        for budgets in [vec![1, 1, 1, 1], vec![2, 2, 2, 2, 2], vec![3, 3, 3, 3, 3, 3]] {
+        for budgets in [
+            vec![1, 1, 1, 1],
+            vec![2, 2, 2, 2, 2],
+            vec![3, 3, 3, 3, 3, 3],
+        ] {
             let c = theorem23_equilibrium(&BudgetVector::new(budgets));
             let rep = connectivity_dichotomy(&c.realization);
             assert!(rep.holds, "{rep:?}");
@@ -63,8 +67,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             for k in 1..=2usize {
                 let budgets = vec![k; 8];
-                let initial =
-                    Realization::new(generators::random_realization(&budgets, &mut rng));
+                let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
                 let rep = run_dynamics(
                     initial,
                     DynamicsConfig::exact(CostModel::Sum, 100),

@@ -34,6 +34,6 @@ pub use dichotomy::{connectivity_dichotomy, DichotomyReport};
 pub use expansion::{expansion_profile, half_coverage_radius};
 pub use path_decomposition::{path_decomposition, PathDecomposition};
 pub use poa_scan::{scan, PoAPoint};
-pub use sampling::{sample_equilibria, summarize, Sample, SampleStats};
+pub use sampling::{residual_gaps, sample_equilibria, summarize, Sample, SampleStats};
 pub use table::Table;
 pub use unit_structure::{unit_structure, UnitStructure};

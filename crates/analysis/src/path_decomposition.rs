@@ -210,10 +210,8 @@ mod tests {
     fn non_tree_returns_none() {
         let r = Realization::new(generators::cycle(5));
         assert!(path_decomposition(&r).is_none());
-        let disconnected = Realization::new(bbncg_graph::OwnedDigraph::from_arcs(
-            4,
-            &[(0, 1), (2, 3)],
-        ));
+        let disconnected =
+            Realization::new(bbncg_graph::OwnedDigraph::from_arcs(4, &[(0, 1), (2, 3)]));
         assert!(path_decomposition(&disconnected).is_none());
     }
 

@@ -57,7 +57,11 @@ pub fn scan(
             let samples = sample_equilibria(&budgets, cfg, 0xBB5C + n as u64, seeds);
             let stats = summarize(&samples);
             let opt_lower = opt_diameter_lower_bound(&budgets);
-            let worst = if stats.converged > 0 { stats.max_diameter } else { 0 };
+            let worst = if stats.converged > 0 {
+                stats.max_diameter
+            } else {
+                0
+            };
             PoAPoint {
                 n,
                 attempted: stats.total,

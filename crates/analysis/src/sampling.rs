@@ -46,6 +46,18 @@ pub fn sample_equilibria(
     })
 }
 
+/// Exact residual best-response gap of each sample's final state,
+/// through the core's batched parallel audit engine
+/// ([`bbncg_core::audit_equilibrium`]): 0 for every converged
+/// `ExactBest`/`FirstImproving` trajectory, and a quantitative
+/// "distance from Nash" for timed-out or swap-converged ones.
+pub fn residual_gaps(samples: &[Sample], model: bbncg_core::CostModel) -> Vec<u64> {
+    samples
+        .iter()
+        .map(|s| bbncg_core::audit_equilibrium(&s.report.state, model).gap())
+        .collect()
+}
+
 /// Summary statistics over a batch of samples.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SampleStats {
@@ -70,7 +82,11 @@ pub fn summarize(samples: &[Sample]) -> SampleStats {
     let total = samples.len();
     let converged: Vec<&Sample> = samples.iter().filter(|s| s.report.converged).collect();
     let cycled = samples.iter().filter(|s| s.report.cycled).count();
-    let min_diameter = converged.iter().map(|s| s.diameter()).min().unwrap_or(u64::MAX);
+    let min_diameter = converged
+        .iter()
+        .map(|s| s.diameter())
+        .min()
+        .unwrap_or(u64::MAX);
     let max_diameter = converged.iter().map(|s| s.diameter()).max().unwrap_or(0);
     let mean = |f: &dyn Fn(&Sample) -> usize| -> f64 {
         if converged.is_empty() {
@@ -115,6 +131,10 @@ mod tests {
         let samples = sample_equilibria(&budgets, cfg, 0, 6);
         let stats = summarize(&samples);
         assert_eq!(stats.converged, stats.total);
+        // Converged exact dynamics ⇒ zero residual gap (audit engine).
+        assert!(residual_gaps(&samples, CostModel::Sum)
+            .iter()
+            .all(|&g| g == 0));
         // Theorem 4.1: SUM all-unit equilibria have diameter < 5.
         assert!(stats.max_diameter < 5, "{stats:?}");
         for s in &samples {

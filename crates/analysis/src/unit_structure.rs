@@ -146,14 +146,10 @@ mod tests {
         for seed in 0..6u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let budgets = vec![1usize; 9];
-            let initial =
-                Realization::new(generators::random_realization(&budgets, &mut rng));
+            let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
             for model in CostModel::ALL {
-                let rep = run_dynamics(
-                    initial.clone(),
-                    DynamicsConfig::exact(model, 200),
-                    &mut rng,
-                );
+                let rep =
+                    run_dynamics(initial.clone(), DynamicsConfig::exact(model, 200), &mut rng);
                 assert!(rep.converged, "seed {seed} {model:?} did not converge");
                 let s = unit_structure(&rep.state);
                 match model {

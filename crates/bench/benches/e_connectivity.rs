@@ -13,11 +13,9 @@ fn bench_vertex_connectivity(c: &mut Criterion) {
     g.sample_size(10);
     for n in [16usize, 32, 64] {
         let eq = theorem23_equilibrium(&BudgetVector::uniform(n, 3)).realization;
-        g.bench_with_input(
-            BenchmarkId::new("theorem23_uniform3", n),
-            &eq,
-            |b, eq| b.iter(|| black_box(vertex_connectivity(eq.csr()))),
-        );
+        g.bench_with_input(BenchmarkId::new("theorem23_uniform3", n), &eq, |b, eq| {
+            b.iter(|| black_box(vertex_connectivity(eq.csr())))
+        });
     }
     let csr = generators::shift_graph(4, 2);
     g.bench_function("shift_k2", |b| {

@@ -22,10 +22,8 @@ fn bench_rules(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(5);
                 let budgets = BudgetVector::uniform(n, 2);
-                let initial = Realization::new(generators::random_realization(
-                    budgets.as_slice(),
-                    &mut rng,
-                ));
+                let initial =
+                    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
                 let cfg = DynamicsConfig {
                     model: CostModel::Sum,
                     order: PlayerOrder::RoundRobin,
@@ -50,10 +48,8 @@ fn bench_orders(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(9);
                 let budgets = BudgetVector::uniform(32, 1);
-                let initial = Realization::new(generators::random_realization(
-                    budgets.as_slice(),
-                    &mut rng,
-                ));
+                let initial =
+                    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
                 let cfg = DynamicsConfig {
                     model: CostModel::Max,
                     order,

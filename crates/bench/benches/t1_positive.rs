@@ -34,7 +34,11 @@ fn bench_shift_verification(c: &mut Criterion) {
         b.iter(|| {
             let mut m = 0;
             for src in [0usize, 100, 511] {
-                m = m.max(scratch.run(eq3.realization.csr(), NodeId::new(src)).max_dist);
+                m = m.max(
+                    scratch
+                        .run(eq3.realization.csr(), NodeId::new(src))
+                        .max_dist,
+                );
             }
             black_box(m)
         })

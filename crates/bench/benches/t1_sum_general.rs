@@ -18,10 +18,8 @@ fn bench_sum_dynamics(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(11);
                 let budgets = BudgetVector::uniform(n, 2);
-                let initial = Realization::new(generators::random_realization(
-                    budgets.as_slice(),
-                    &mut rng,
-                ));
+                let initial =
+                    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
                 let rep = run_dynamics(
                     initial,
                     DynamicsConfig::exact(CostModel::Sum, 300),

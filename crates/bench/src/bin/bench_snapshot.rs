@@ -1,0 +1,107 @@
+//! Perf-trajectory snapshot: dynamics steps/sec and Nash-verify
+//! throughput, engine vs. the rebuild-per-candidate reference.
+//!
+//! Run through `scripts/bench_snapshot.sh` (needs the `naive-ref`
+//! feature); writes a `BENCH_dynamics.json` baseline so later PRs can
+//! show a perf trajectory instead of a single point.
+
+use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+use bbncg_core::naive::run_dynamics_rebuild;
+use bbncg_core::{audit_equilibrium, BudgetVector, CostModel, Realization};
+use bbncg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Fixed workload: all-unit instances (the paper's Theorem 4.x class),
+/// exact best-response dynamics to convergence.
+const N: usize = 32;
+const RUNS: u64 = 8;
+const MAX_ROUNDS: usize = 400;
+
+fn initial(seed: u64) -> Realization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budgets = BudgetVector::uniform(N, 1);
+    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng))
+}
+
+/// `(steps_per_sec, total_steps)` for `runs` dynamics trajectories.
+fn measure(runs: u64, f: impl Fn(Realization) -> usize) -> (f64, usize) {
+    let t = Instant::now();
+    let mut steps = 0usize;
+    for seed in 0..runs {
+        steps += f(initial(seed));
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (steps as f64 / secs, steps)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dynamics.json".to_string());
+    let model = CostModel::Sum;
+
+    let (engine_sps, engine_steps) = measure(RUNS, |init| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rep = run_dynamics(init, DynamicsConfig::exact(model, MAX_ROUNDS), &mut rng);
+        assert!(rep.converged, "workload must converge for a fair count");
+        rep.steps
+    });
+    let (naive_sps, naive_steps) = measure(RUNS, |init| {
+        let (_, steps, converged) = run_dynamics_rebuild(init, model, MAX_ROUNDS);
+        assert!(converged);
+        steps
+    });
+    assert_eq!(
+        engine_steps, naive_steps,
+        "engine and reference must trace identical trajectories"
+    );
+    let speedup = engine_sps / naive_sps;
+
+    // Nash-verify throughput: audit every player of each final
+    // equilibrium repeatedly (batched parallel engine).
+    let eq = {
+        let mut rng = StdRng::seed_from_u64(1);
+        run_dynamics(
+            initial(0),
+            DynamicsConfig::exact(model, MAX_ROUNDS),
+            &mut rng,
+        )
+        .state
+    };
+    let t = Instant::now();
+    let reps = 20u64;
+    for _ in 0..reps {
+        assert!(audit_equilibrium(&eq, model).is_nash());
+    }
+    let verify_pps = (reps as usize * N) as f64 / t.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"unit-budget exact dynamics, n={N}, {RUNS} seeds\","
+    );
+    let _ = writeln!(json, "  \"model\": \"{}\",", model.label());
+    let _ = writeln!(
+        json,
+        "  \"dynamics_steps_per_sec_engine\": {engine_sps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"dynamics_steps_per_sec_naive_rebuild\": {naive_sps:.1},"
+    );
+    let _ = writeln!(json, "  \"engine_speedup_vs_naive\": {speedup:.2},");
+    let _ = writeln!(json, "  \"nash_verify_players_per_sec\": {verify_pps:.1},");
+    let _ = writeln!(json, "  \"total_steps\": {engine_steps}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        speedup >= 2.0,
+        "acceptance: engine must be >= 2x the naive-rebuild reference (got {speedup:.2}x)"
+    );
+}

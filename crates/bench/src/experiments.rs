@@ -42,7 +42,15 @@ fn verify_label(r: &Realization, model: CostModel, exact_limit: usize) -> &'stat
 pub fn t1_max_tree() -> Vec<Table> {
     let mut t = Table::new(
         "T1-max-tree — Table 1 (Trees, MAX): spider equilibria, diameter = Θ(n)   [Thm 3.2, Fig 2]",
-        &["k", "n", "diam(eq)", "diam/n", "opt-diam≥", "PoA≥diam/4", "verified"],
+        &[
+            "k",
+            "n",
+            "diam(eq)",
+            "diam/n",
+            "opt-diam≥",
+            "PoA≥diam/4",
+            "verified",
+        ],
     );
     for k in [2usize, 4, 8, 16, 32, 64, 128] {
         let c = spider_equilibrium(k);
@@ -98,7 +106,14 @@ pub fn t1_sum_tree() -> Vec<Table> {
     // within the Theorem 3.3 bound.
     let mut t2 = Table::new(
         "T1-sum-tree(b) — random Tree-BG instances, SUM dynamics: equilibrium diameter ≤ O(log n)",
-        &["n", "seeds", "converged", "max diam(eq)", "2(log2 n + 2)", "within bound"],
+        &[
+            "n",
+            "seeds",
+            "converged",
+            "max diam(eq)",
+            "2(log2 n + 2)",
+            "within bound",
+        ],
     );
     for n in [8usize, 12, 16, 24] {
         let samples = 8;
@@ -159,12 +174,7 @@ pub fn t1_unit() -> Vec<Table> {
         );
         for n in [8usize, 12, 16, 24, 32] {
             let budgets = BudgetVector::uniform(n, 1);
-            let samples = sample_equilibria(
-                &budgets,
-                DynamicsConfig::exact(model, 300),
-                42,
-                12,
-            );
+            let samples = sample_equilibria(&budgets, DynamicsConfig::exact(model, 300), 42, 12);
             let stats = summarize(&samples);
             let mut max_cycle = 0usize;
             let mut max_dist = 0u32;
@@ -359,7 +369,10 @@ pub fn f1_construction() -> Vec<Table> {
     );
     t.push(vec!["case".into(), format!("{:?}", c.case)]);
     t.push(vec!["n".into(), c.realization.n().to_string()]);
-    t.push(vec!["arcs".into(), c.realization.graph().total_arcs().to_string()]);
+    t.push(vec![
+        "arcs".into(),
+        c.realization.graph().total_arcs().to_string(),
+    ]);
     t.push(vec![
         "diameter".into(),
         c.realization.diameter().unwrap().to_string(),
@@ -384,7 +397,12 @@ pub fn f1_construction() -> Vec<Table> {
         "F1-construction(b) — Case-2 sweep: diameter ≤ 4 for every (n, z) with b_max < z",
         &["n", "z", "b_max", "case", "diam", "Nash(SUM)", "Nash(MAX)"],
     );
-    for (n, z, bmax) in [(10usize, 6usize, 3usize), (14, 9, 3), (18, 13, 4), (22, 16, 5)] {
+    for (n, z, bmax) in [
+        (10usize, 6usize, 3usize),
+        (14, 9, 3),
+        (18, 13, 4),
+        (22, 16, 5),
+    ] {
         // z zero players; the rest share z + n − 1 − ... use budgets
         // that sum to ≥ n−1 with max bmax: give the non-zero players
         // budgets as equal as possible.
@@ -428,7 +446,14 @@ pub fn e_existence() -> Vec<Table> {
     let mut t = Table::new(
         "E-existence — Thm 2.3: equilibria for random budget vectors; PoS = O(1)",
         &[
-            "n", "budgets", "case", "diam(eq)", "opt≥", "PoS≤", "Nash(SUM)", "Nash(MAX)",
+            "n",
+            "budgets",
+            "case",
+            "diam(eq)",
+            "opt≥",
+            "PoS≤",
+            "Nash(SUM)",
+            "Nash(MAX)",
         ],
     );
     let mut rng = StdRng::seed_from_u64(99);
@@ -442,7 +467,11 @@ pub fn e_existence() -> Vec<Table> {
         let c = theorem23_equilibrium(&b);
         let diam = c.realization.social_diameter();
         let opt_lb = opt_diameter_lower_bound(&b);
-        let pos = if opt_lb == 0 { 0.0 } else { diam as f64 / opt_lb as f64 };
+        let pos = if opt_lb == 0 {
+            0.0
+        } else {
+            diam as f64 / opt_lb as f64
+        };
         let label = format!("{:?}", b.as_slice());
         t.push(vec![
             b.n().to_string(),
@@ -469,7 +498,14 @@ pub fn e_nphard() -> Vec<Table> {
     let mut t = Table::new(
         "E-nphard — Thm 2.1: best response ≡ k-center (MAX) / k-median (SUM)",
         &[
-            "graph", "n", "k", "radius*", "median*", "greedy radius", "LS median", "identity",
+            "graph",
+            "n",
+            "k",
+            "radius*",
+            "median*",
+            "greedy radius",
+            "LS median",
+            "identity",
         ],
     );
     let mut rng = StdRng::seed_from_u64(5);
@@ -509,7 +545,15 @@ pub fn e_nphard() -> Vec<Table> {
 pub fn e_connectivity() -> Vec<Table> {
     let mut t = Table::new(
         "E-connectivity — Thm 7.2: budgets ≥ k ⟹ diameter < 4 or k-connected (SUM equilibria)",
-        &["n", "k", "seeds", "converged", "min κ", "max diam", "dichotomy"],
+        &[
+            "n",
+            "k",
+            "seeds",
+            "converged",
+            "min κ",
+            "max diam",
+            "dichotomy",
+        ],
     );
     for (n, k) in [(8usize, 1usize), (8, 2), (10, 2), (10, 3), (12, 2)] {
         let budgets = BudgetVector::uniform(n, k);
@@ -557,8 +601,15 @@ pub fn e_convergence() -> Vec<Table> {
     let mut t = Table::new(
         "E-convergence — §8: best-response dynamics convergence (all-unit and uniform-2 instances)",
         &[
-            "instance", "model", "order", "rule", "seeds", "converged", "cycled",
-            "mean rounds", "mean steps",
+            "instance",
+            "model",
+            "order",
+            "rule",
+            "seeds",
+            "converged",
+            "cycled",
+            "mean rounds",
+            "mean steps",
         ],
     );
     let instances: Vec<(String, BudgetVector)> = vec![
@@ -610,8 +661,13 @@ pub fn e_convergence() -> Vec<Table> {
     let mut t2 = Table::new(
         "E-convergence(b) — potential hunt: is anything monotone along best-response paths?",
         &[
-            "instance", "model", "runs", "social monotone", "max social ↑",
-            "welfare monotone", "max welfare ↑",
+            "instance",
+            "model",
+            "runs",
+            "social monotone",
+            "max social ↑",
+            "welfare monotone",
+            "max welfare ↑",
         ],
     );
     for (label, budgets) in &instances {
@@ -623,15 +679,10 @@ pub fn e_convergence() -> Vec<Table> {
             let runs = 8u64;
             for seed in 0..runs {
                 let mut rng = StdRng::seed_from_u64(500 + seed);
-                let initial = Realization::new(generators::random_realization(
-                    budgets.as_slice(),
-                    &mut rng,
-                ));
-                let (_, trace) = run_dynamics_traced(
-                    initial,
-                    DynamicsConfig::exact(model, 400),
-                    &mut rng,
-                );
+                let initial =
+                    Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+                let (_, trace) =
+                    run_dynamics_traced(initial, DynamicsConfig::exact(model, 400), &mut rng);
                 let s = summarize_trace(&trace);
                 social_ok += s.social_monotone as usize;
                 welfare_ok += s.welfare_monotone as usize;
@@ -660,8 +711,15 @@ pub fn e_exact_poa() -> Vec<Table> {
     let mut t = Table::new(
         "E-exact-poa — exact PoA/PoS by exhaustive enumeration (all profiles, exact Nash)",
         &[
-            "budgets", "model", "profiles", "equilibria", "opt", "best eq", "worst eq",
-            "PoS", "PoA",
+            "budgets",
+            "model",
+            "profiles",
+            "equilibria",
+            "opt",
+            "best eq",
+            "worst eq",
+            "PoS",
+            "PoA",
         ],
     );
     let instances: Vec<(&str, BudgetVector)> = vec![
@@ -715,18 +773,27 @@ pub fn e_unit_spectrum() -> Vec<Table> {
                 CostModel::Max => 7,
             };
             // Parallel sweep: per profile, Nash verdict + cycle stats.
-            let rows = bbncg_par::par_map_index(total as usize, |idx| {
-                let g = decode_profile(&b, idx as u64);
-                let r = Realization::new(g);
-                if !(0..n).all(|u| {
-                    bbncg_core::is_best_response(&r, NodeId::new(u), model)
-                }) {
-                    return None;
-                }
-                let cycle_len = unique_cycle(r.csr()).map(|c| c.len()).unwrap_or(0);
-                let dist = bbncg_analysis::unit_structure(&r).max_dist_to_cycle;
-                Some((cycle_len, dist))
-            });
+            // One deviation engine per worker (not per profile): the
+            // engine's diff-sync handles arbitrary same-n profiles, so
+            // the exponential profile space reuses a handful of arenas.
+            let rows = bbncg_par::par_map_init(
+                total as usize,
+                || None,
+                |scratch: &mut Option<bbncg_core::DeviationScratch>, idx| {
+                    let g = decode_profile(&b, idx as u64);
+                    let r = Realization::new(g);
+                    let scratch =
+                        scratch.get_or_insert_with(|| bbncg_core::DeviationScratch::new(&r));
+                    if !(0..n).all(|u| {
+                        bbncg_core::is_best_response_with(scratch, &r, NodeId::new(u), model)
+                    }) {
+                        return None;
+                    }
+                    let cycle_len = unique_cycle(r.csr()).map(|c| c.len()).unwrap_or(0);
+                    let dist = bbncg_analysis::unit_structure(&r).max_dist_to_cycle;
+                    Some((cycle_len, dist))
+                },
+            );
             let mut lengths: Vec<usize> = Vec::new();
             let mut eq_count = 0u64;
             let mut max_dist = 0u32;

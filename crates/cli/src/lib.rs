@@ -41,7 +41,7 @@ pub struct Args {
 }
 
 /// Switch-style flags (no value).
-const SWITCHES: &[&str] = &["--swap", "--trace", "--help"];
+const SWITCHES: &[&str] = &["--swap", "--audit", "--trace", "--help"];
 
 impl Args {
     /// Parse raw arguments (everything after the subcommand).
@@ -159,10 +159,31 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
         r.budgets().as_slice()
     );
     let _ = writeln!(out, "social diameter = {}", r.social_diameter());
+    if args.has("--swap") && args.has("--audit") {
+        return Err("--swap and --audit are mutually exclusive".into());
+    }
     if args.has("--swap") {
         let ok = is_swap_equilibrium(&r, model);
         let _ = writeln!(out, "swap equilibrium ({}) = {}", model.label(), ok);
+    } else if args.has("--audit") {
+        // Full batched engine pass: verdict, exact best-response gap
+        // and every violator from one audit_equilibrium sweep (no
+        // early exit — each player's whole candidate space is priced).
+        let audit = bbncg_core::audit_equilibrium(&r, model);
+        let ok = audit.is_nash();
+        let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
+        let _ = writeln!(out, "best-response gap = {}", audit.gap());
+        for v in audit.violations() {
+            let _ = writeln!(
+                out,
+                "violator: player {} can improve {} -> {}",
+                v.player, v.current_cost, v.best_cost
+            );
+        }
     } else {
+        // Default: early-exiting engine passes — players short-circuit
+        // on the first profitable deviation, and the parallel check
+        // stops all workers once any player is refuted.
         let ok = is_nash_equilibrium(&r, model);
         let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
         if !ok {
@@ -196,8 +217,9 @@ pub fn cmd_best_response(args: &Args) -> Result<String, String> {
     let br = match args.get("rule").unwrap_or("exact") {
         "exact" => exact_best_response(&r, u, model),
         "greedy" => greedy_best_response(&r, u, model),
-        "swap" => best_swap_response(&r, u, model)
-            .ok_or("player owns no arcs; swap rule inapplicable")?,
+        "swap" => {
+            best_swap_response(&r, u, model).ok_or("player owns no arcs; swap rule inapplicable")?
+        }
         other => return Err(format!("unknown --rule {other:?} (exact|greedy|swap)")),
     };
     let targets: Vec<String> = br.targets.iter().map(|t| t.to_string()).collect();
@@ -206,7 +228,11 @@ pub fn cmd_best_response(args: &Args) -> Result<String, String> {
         model.label(),
         br.cost,
         targets.join(", "),
-        if br.cost < current { "  (improves)" } else { "  (already optimal)" }
+        if br.cost < current {
+            "  (improves)"
+        } else {
+            "  (already optimal)"
+        }
     ))
 }
 
@@ -230,7 +256,11 @@ pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
         "better" => ResponseRule::FirstImproving,
         "greedy" => ResponseRule::Greedy,
         "swap" => ResponseRule::BestSwap,
-        other => return Err(format!("unknown --rule {other:?} (exact|better|greedy|swap)")),
+        other => {
+            return Err(format!(
+                "unknown --rule {other:?} (exact|better|greedy|swap)"
+            ))
+        }
     };
     let order = match args.get("order").unwrap_or("rr") {
         "rr" | "round-robin" => PlayerOrder::RoundRobin,
@@ -361,7 +391,7 @@ USAGE: bbncg <COMMAND> [ARGS]
 
 COMMANDS:
   construct       --budgets 1,1,2,0 | --spider K | --btree H | --shift K
-  verify          FILE [--model sum|max] [--swap]
+  verify          FILE [--model sum|max] [--swap|--audit]
   best-response   FILE --player I [--model sum|max] [--rule exact|greedy|swap]
   dynamics        [FILE] --budgets LIST [--model sum|max] [--seed S]
                   [--rule exact|better|greedy|swap] [--order rr|random]
@@ -430,7 +460,13 @@ mod tests {
     #[test]
     fn dynamics_reports_convergence() {
         let report = run(&[
-            "dynamics", "--budgets", "1,1,1,1,1", "--seed", "3", "--model", "sum",
+            "dynamics",
+            "--budgets",
+            "1,1,1,1,1",
+            "--seed",
+            "3",
+            "--model",
+            "sum",
         ])
         .unwrap();
         assert!(report.contains("converged = true"), "{report}");
@@ -438,10 +474,7 @@ mod tests {
 
     #[test]
     fn dynamics_emits_loadable_profile() {
-        let out = run(&[
-            "dynamics", "--budgets", "1,1,1,1", "--emit", "profile",
-        ])
-        .unwrap();
+        let out = run(&["dynamics", "--budgets", "1,1,1,1", "--emit", "profile"]).unwrap();
         let profile_start = out.find("bbncg v1").unwrap();
         let r = bbncg_core::parse_realization(&out[profile_start..]).unwrap();
         assert_eq!(r.n(), 4);
@@ -461,7 +494,12 @@ mod tests {
         let path = std::env::temp_dir().join("bbncg_cli_test_3.bbncg");
         std::fs::write(&path, write_realization(&r)).unwrap();
         let report = run(&[
-            "best-response", path.to_str().unwrap(), "--player", "0", "--model", "sum",
+            "best-response",
+            path.to_str().unwrap(),
+            "--player",
+            "0",
+            "--model",
+            "sum",
         ])
         .unwrap();
         assert!(report.contains("(improves)"), "{report}");
@@ -482,7 +520,9 @@ mod tests {
     fn errors_are_descriptive() {
         assert!(run(&["construct"]).unwrap_err().contains("--budgets"));
         assert!(run(&["verify"]).unwrap_err().contains("FILE"));
-        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(run(&["exact-poa", "--budgets", "9,9"])
             .unwrap_err()
             .contains("budget"));

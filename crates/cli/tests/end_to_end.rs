@@ -56,7 +56,13 @@ fn help_prints_usage_and_succeeds() {
 fn dynamics_emit_profile_feeds_analyze() {
     let dynamics = bbncg()
         .args([
-            "dynamics", "--budgets", "1,1,1,1,1,1", "--seed", "5", "--emit", "profile",
+            "dynamics",
+            "--budgets",
+            "1,1,1,1,1,1",
+            "--seed",
+            "5",
+            "--emit",
+            "profile",
         ])
         .output()
         .unwrap();

@@ -28,7 +28,5 @@ pub mod theorem23;
 pub mod trees;
 
 pub use shift::{lemma52_condition, shift_equilibrium, shift_equilibrium_with, ShiftEquilibrium};
-pub use theorem23::{
-    figure1_budgets, theorem23_equilibrium, Theorem23Case, Theorem23Construction,
-};
+pub use theorem23::{figure1_budgets, theorem23_equilibrium, Theorem23Case, Theorem23Construction};
 pub use trees::{binary_tree_equilibrium, spider_equilibrium, ConstructedEquilibrium};

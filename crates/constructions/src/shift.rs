@@ -95,9 +95,7 @@ fn orient_all_positive(n: usize, edges: &[(usize, usize)]) -> OwnedDigraph {
             }
             visited[e] = true;
             let holder = owner[e];
-            if holder == NONE
-                || augment(holder as usize, incident, owner, matched_edge, visited)
-            {
+            if holder == NONE || augment(holder as usize, incident, owner, matched_edge, visited) {
                 owner[e] = v as u32;
                 matched_edge[v] = e as u32;
                 return true;

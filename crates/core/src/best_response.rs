@@ -15,7 +15,8 @@
 //!   dynamics with this rule is the scalable dynamics used at large `n`.
 
 use crate::cost::CostModel;
-use crate::oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
+use crate::deviation::DeviationScratch;
+use crate::oracle::{enumeration_count, CombinationOdometer};
 use crate::realization::Realization;
 use bbncg_graph::NodeId;
 
@@ -51,6 +52,21 @@ pub struct ScoredStrategy {
 /// # Panics
 /// Panics if the candidate space exceeds [`MAX_EXACT_CANDIDATES`].
 pub fn exact_best_response(r: &Realization, u: NodeId, model: CostModel) -> ScoredStrategy {
+    exact_best_response_with(&mut DeviationScratch::new(r), r, u, model)
+}
+
+/// [`exact_best_response`] reusing a caller-held [`DeviationScratch`]
+/// — the form dynamics and batched verification use, so repeated
+/// activations share one engine instead of rebuilding per player.
+///
+/// # Panics
+/// Panics if the candidate space exceeds [`MAX_EXACT_CANDIDATES`].
+pub fn exact_best_response_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+) -> ScoredStrategy {
     let n = r.n();
     let b = r.graph().out_degree(u);
     let count = enumeration_count(n - 1, b);
@@ -59,16 +75,18 @@ pub fn exact_best_response(r: &Realization, u: NodeId, model: CostModel) -> Scor
         "exact best response would enumerate {count} candidates (player {u}, budget {b}, n {n}); \
          use greedy_best_response or best_swap_response instead"
     );
-    let mut oracle = DeviationOracle::new(r, u, model);
-    let lb = oracle.cost_lower_bound(b);
-    let pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+    scratch.begin(r, u, model);
+    let lb = scratch.cost_lower_bound(b);
+    let mut pool = std::mem::take(&mut scratch.pool_buf);
+    let mut targets = std::mem::take(&mut scratch.cand_buf);
+    pool.clear();
+    pool.extend((0..n).map(NodeId::new).filter(|&t| t != u));
     let mut odometer = CombinationOdometer::new(pool.len(), b);
-    let mut targets: Vec<NodeId> = Vec::with_capacity(b);
     let mut best: Option<ScoredStrategy> = None;
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = oracle.cost_of(&targets);
+        let cost = scratch.cost_of(&targets);
         if best.as_ref().is_none_or(|s| cost < s.cost) {
             best = Some(ScoredStrategy {
                 targets: targets.clone(),
@@ -82,6 +100,8 @@ pub fn exact_best_response(r: &Realization, u: NodeId, model: CostModel) -> Scor
             break;
         }
     }
+    scratch.pool_buf = pool;
+    scratch.cand_buf = targets;
     best.expect("at least one strategy exists")
 }
 
@@ -95,6 +115,18 @@ pub fn exact_best_response_cost(
     model: CostModel,
     stop_below: Option<u64>,
 ) -> u64 {
+    exact_best_response_cost_with(&mut DeviationScratch::new(r), r, u, model, stop_below)
+}
+
+/// [`exact_best_response_cost`] reusing a caller-held
+/// [`DeviationScratch`].
+pub fn exact_best_response_cost_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+    stop_below: Option<u64>,
+) -> u64 {
     let n = r.n();
     let b = r.graph().out_degree(u);
     let count = enumeration_count(n - 1, b);
@@ -102,16 +134,18 @@ pub fn exact_best_response_cost(
         count <= MAX_EXACT_CANDIDATES,
         "exact best response would enumerate {count} candidates (player {u}, budget {b}, n {n})"
     );
-    let mut oracle = DeviationOracle::new(r, u, model);
-    let lb = oracle.cost_lower_bound(b);
-    let pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+    scratch.begin(r, u, model);
+    let lb = scratch.cost_lower_bound(b);
+    let mut pool = std::mem::take(&mut scratch.pool_buf);
+    let mut targets = std::mem::take(&mut scratch.cand_buf);
+    pool.clear();
+    pool.extend((0..n).map(NodeId::new).filter(|&t| t != u));
     let mut odometer = CombinationOdometer::new(pool.len(), b);
-    let mut targets: Vec<NodeId> = Vec::with_capacity(b);
     let mut best = u64::MAX;
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = oracle.cost_of(&targets);
+        let cost = scratch.cost_of(&targets);
         if cost < best {
             best = cost;
             if best <= lb || stop_below.is_some_and(|s| best < s) {
@@ -122,6 +156,8 @@ pub fn exact_best_response_cost(
             break;
         }
     }
+    scratch.pool_buf = pool;
+    scratch.cand_buf = targets;
     best
 }
 
@@ -129,11 +165,21 @@ pub fn exact_best_response_cost(
 /// each time adding the target that minimizes the intermediate cost
 /// (ties toward the smallest id). Polynomial: `b · n` oracle calls.
 pub fn greedy_best_response(r: &Realization, u: NodeId, model: CostModel) -> ScoredStrategy {
+    greedy_best_response_with(&mut DeviationScratch::new(r), r, u, model)
+}
+
+/// [`greedy_best_response`] reusing a caller-held [`DeviationScratch`].
+pub fn greedy_best_response_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+) -> ScoredStrategy {
     let n = r.n();
     let b = r.graph().out_degree(u);
-    let mut oracle = DeviationOracle::new(r, u, model);
+    scratch.begin(r, u, model);
+    let mut trial = std::mem::take(&mut scratch.cand_buf);
     let mut chosen: Vec<NodeId> = Vec::with_capacity(b);
-    let mut trial: Vec<NodeId> = Vec::with_capacity(b);
     for _ in 0..b {
         let mut best_t: Option<(u64, NodeId)> = None;
         for t in (0..n).map(NodeId::new) {
@@ -143,7 +189,7 @@ pub fn greedy_best_response(r: &Realization, u: NodeId, model: CostModel) -> Sco
             trial.clear();
             trial.extend_from_slice(&chosen);
             trial.push(t);
-            let cost = oracle.cost_of(&trial);
+            let cost = scratch.cost_of(&trial);
             if best_t.is_none_or(|(c, _)| cost < c) {
                 best_t = Some((cost, t));
             }
@@ -151,8 +197,9 @@ pub fn greedy_best_response(r: &Realization, u: NodeId, model: CostModel) -> Sco
         let (_, t) = best_t.expect("pool cannot be empty while budget remains");
         chosen.push(t);
     }
+    scratch.cand_buf = trial;
     chosen.sort_unstable();
-    let cost = oracle.cost_of(&chosen);
+    let cost = scratch.cost_of(&chosen);
     ScoredStrategy {
         targets: chosen,
         cost,
@@ -173,6 +220,20 @@ pub fn first_improving_response(
     u: NodeId,
     model: CostModel,
 ) -> Option<ScoredStrategy> {
+    first_improving_response_with(&mut DeviationScratch::new(r), r, u, model)
+}
+
+/// [`first_improving_response`] reusing a caller-held
+/// [`DeviationScratch`].
+///
+/// # Panics
+/// Panics if the candidate space exceeds [`MAX_EXACT_CANDIDATES`].
+pub fn first_improving_response_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+) -> Option<ScoredStrategy> {
     let n = r.n();
     let b = r.graph().out_degree(u);
     if b == 0 {
@@ -183,25 +244,32 @@ pub fn first_improving_response(
         count <= MAX_EXACT_CANDIDATES,
         "better-response search would enumerate {count} candidates (player {u}, budget {b}, n {n})"
     );
-    let mut oracle = DeviationOracle::new(r, u, model);
-    let current = oracle.cost_of(r.strategy(u));
-    let pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+    scratch.begin(r, u, model);
+    let current = scratch.cost_of(r.strategy(u));
+    let mut pool = std::mem::take(&mut scratch.pool_buf);
+    let mut targets = std::mem::take(&mut scratch.cand_buf);
+    pool.clear();
+    pool.extend((0..n).map(NodeId::new).filter(|&t| t != u));
     let mut odometer = CombinationOdometer::new(pool.len(), b);
-    let mut targets: Vec<NodeId> = Vec::with_capacity(b);
+    let mut found = None;
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = oracle.cost_of(&targets);
+        let cost = scratch.cost_of(&targets);
         if cost < current {
-            return Some(ScoredStrategy {
+            found = Some(ScoredStrategy {
                 targets: targets.clone(),
                 cost,
             });
+            break;
         }
         if !odometer.advance() {
-            return None;
+            break;
         }
     }
+    scratch.pool_buf = pool;
+    scratch.cand_buf = targets;
+    found
 }
 
 /// Best single-arc swap for `u`: over every owned arc `u → old` and
@@ -210,25 +278,38 @@ pub fn first_improving_response(
 /// be the current strategy (cost ties included) — callers that need a
 /// strict improvement compare against the current cost.
 pub fn best_swap_response(r: &Realization, u: NodeId, model: CostModel) -> Option<ScoredStrategy> {
+    best_swap_response_with(&mut DeviationScratch::new(r), r, u, model)
+}
+
+/// [`best_swap_response`] reusing a caller-held [`DeviationScratch`].
+pub fn best_swap_response_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+) -> Option<ScoredStrategy> {
     let n = r.n();
-    let current = r.strategy(u).to_vec();
-    if current.is_empty() {
+    if r.strategy(u).is_empty() {
         return None;
     }
-    let mut oracle = DeviationOracle::new(r, u, model);
+    scratch.begin(r, u, model);
+    let mut current = std::mem::take(&mut scratch.pool_buf);
+    let mut trial = std::mem::take(&mut scratch.cand_buf);
+    current.clear();
+    current.extend_from_slice(r.strategy(u));
     let mut best = ScoredStrategy {
-        cost: oracle.cost_of(&current),
+        cost: scratch.cost_of(&current),
         targets: current.clone(),
     };
-    let mut trial = current.clone();
-    for (i, &_old) in current.iter().enumerate() {
+    for i in 0..current.len() {
         for new in (0..n).map(NodeId::new) {
             if new == u || current.contains(&new) {
                 continue;
             }
-            trial.copy_from_slice(&current);
+            trial.clear();
+            trial.extend_from_slice(&current);
             trial[i] = new;
-            let cost = oracle.cost_of(&trial);
+            let cost = scratch.cost_of(&trial);
             if cost < best.cost {
                 let mut targets = trial.clone();
                 targets.sort_unstable();
@@ -236,6 +317,8 @@ pub fn best_swap_response(r: &Realization, u: NodeId, model: CostModel) -> Optio
             }
         }
     }
+    scratch.pool_buf = current;
+    scratch.cand_buf = trial;
     Some(best)
 }
 

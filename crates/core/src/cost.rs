@@ -60,11 +60,7 @@ pub fn cost_from_bfs(
     match model {
         CostModel::Sum => sum_dist + (n - visited) as u64 * cinf,
         CostModel::Max => {
-            let local_diameter = if visited == n {
-                max_dist as u64
-            } else {
-                cinf
-            };
+            let local_diameter = if visited == n { max_dist as u64 } else { cinf };
             local_diameter + (kappa as u64 - 1) * cinf
         }
     }

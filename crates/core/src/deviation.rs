@@ -1,0 +1,356 @@
+//! The allocation-free deviation engine.
+//!
+//! Every best-response rule needs the same three ingredients for a
+//! player `u`: the undirected graph with `u`'s owned arcs removed, its
+//! component labelling (to price the disconnection penalty), and a BFS
+//! per candidate strategy. The seed built all three from scratch per
+//! *player activation* — a digraph clone plus a CSR rebuild plus
+//! fresh component vectors — which dominates dynamics at large `n`.
+//!
+//! [`DeviationScratch`] owns all of it once and keeps it alive across
+//! activations, moves and whole dynamics runs:
+//!
+//! * a [`PatchableCsr`] mirror of the current profile, edited **in
+//!   place** as players move (cost ∝ the diff, not `n + m`);
+//! * a [`BfsScratch`] reused by every candidate BFS;
+//! * reusable component-label and candidate buffers.
+//!
+//! The result: pricing a candidate deviation performs **zero**
+//! [`Csr::from_digraph`](bbncg_graph::Csr::from_digraph) rebuilds and
+//! zero allocations — one patched
+//! BFS, nothing else. The `rebuild-counter` feature on `bbncg-graph`
+//! plus `tests/engine_invariants.rs` enforce this.
+//!
+//! # Session protocol
+//!
+//! ```text
+//! let mut scratch = DeviationScratch::new(&r);
+//! scratch.begin(&r, u, model);      // syncs the mirror, detaches u
+//! let c = scratch.cost_of(&cand);   // any number of candidates
+//! // ... r.set_strategy(u, best) by the caller; the next begin()
+//! //     re-syncs the mirror by diffing, touching only what moved.
+//! ```
+//!
+//! `begin` may be called for any player of any realization with the
+//! same vertex count; the mirror diffs itself against the passed
+//! profile, so the engine is always safe to reuse — just fastest when
+//! successive profiles differ by single moves, which is exactly the
+//! dynamics access pattern.
+
+use crate::cost::{cost_from_bfs, CostModel};
+use crate::realization::Realization;
+use bbncg_graph::{BfsScratch, NodeId, OwnedDigraph, PatchableCsr};
+
+/// Reusable engine state for pricing candidate deviations.
+#[derive(Debug)]
+pub struct DeviationScratch {
+    /// The profile the patch currently reflects (minus the detached
+    /// player's arcs).
+    mirror: OwnedDigraph,
+    /// In-place-editable undirected view of `mirror`.
+    patch: PatchableCsr,
+    bfs: BfsScratch,
+    /// Component labels of the graph with the active player's arcs
+    /// removed (valid while a session is active).
+    comp_label: Vec<u32>,
+    comp_count: usize,
+    /// Distinct in-neighbour count of the active player in the
+    /// arcs-removed graph (for the Lemma 2.2 lower bound).
+    distinct_in: usize,
+    /// Active session: `(player, model)`; the player's arcs are
+    /// currently lifted out of `patch`.
+    active: Option<(NodeId, CostModel)>,
+    label_buf: Vec<u32>,
+    dedup_buf: Vec<NodeId>,
+    /// Candidate-target pool, lent to best-response search loops.
+    pub(crate) pool_buf: Vec<NodeId>,
+    /// Candidate strategy buffer, lent to best-response search loops.
+    pub(crate) cand_buf: Vec<NodeId>,
+}
+
+impl DeviationScratch {
+    /// Build the engine for `r`'s profile. This is the one full
+    /// construction; everything afterwards is incremental.
+    pub fn new(r: &Realization) -> Self {
+        let mirror = r.graph().clone();
+        let patch = PatchableCsr::from_digraph(&mirror);
+        let n = mirror.n();
+        DeviationScratch {
+            mirror,
+            patch,
+            bfs: BfsScratch::new(n),
+            comp_label: vec![u32::MAX; n],
+            comp_count: 0,
+            distinct_in: 0,
+            active: None,
+            label_buf: Vec::with_capacity(8),
+            dedup_buf: Vec::with_capacity(8),
+            pool_buf: Vec::with_capacity(n),
+            cand_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// Number of vertices the engine is sized for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.mirror.n()
+    }
+
+    /// The active session's player, if a session is open.
+    #[inline]
+    pub fn player(&self) -> Option<NodeId> {
+        self.active.map(|(u, _)| u)
+    }
+
+    /// Arena re-layouts the underlying patchable CSR has performed
+    /// (0 for ordinary dynamics runs; see [`PatchableCsr::rebuilds`]).
+    #[inline]
+    pub fn rebuilds(&self) -> u64 {
+        self.patch.rebuilds()
+    }
+
+    /// Re-attach the detached player's arcs, making `patch` mirror
+    /// `mirror` exactly.
+    fn close_session(&mut self) {
+        if let Some((u, _)) = self.active.take() {
+            self.patch.replace_strategy(u, &[], self.mirror.out(u));
+        }
+    }
+
+    /// Bring the mirror in line with `r` by diffing per-player
+    /// strategies and patching only what changed.
+    fn sync(&mut self, r: &Realization) {
+        if self.mirror.n() != r.n() {
+            // Different instance size: start over (not a hot path).
+            *self = DeviationScratch::new(r);
+            return;
+        }
+        self.close_session();
+        for u in 0..r.n() {
+            let u = NodeId::new(u);
+            let want = r.graph().out(u);
+            let have = self.mirror.out(u);
+            if have != want {
+                self.patch.replace_strategy(u, have, want);
+                self.mirror.set_out_from_slice(u, want);
+            }
+        }
+        debug_assert!(self.patch.same_graph_as(r.csr()));
+    }
+
+    /// Open a pricing session for player `u` of `r` under `model`:
+    /// sync the mirror to `r`, lift `u`'s owned arcs out of the patch,
+    /// and recompute the component labelling the disconnection
+    /// penalty needs. The session stays open (and candidate pricing
+    /// valid) until the next `begin` or `sync`.
+    ///
+    /// Re-entrant: calling `begin` again for the same `(u, model)`
+    /// while `r` still matches the mirror is a cheap no-op (one O(n)
+    /// strategy-slice comparison), so layered helpers — e.g. a best-
+    /// response solver on top of a verification loop that already
+    /// opened the session — pay the detach + component relabel once.
+    pub fn begin(&mut self, r: &Realization, u: NodeId, model: CostModel) {
+        if self.active == Some((u, model)) && !self.mirror_differs(r) {
+            return; // session already open for exactly this state
+        }
+        self.sync(r);
+        self.patch.replace_strategy(u, self.mirror.out(u), &[]);
+        self.active = Some((u, model));
+        self.recompute_components();
+        self.recompute_distinct_in(u);
+    }
+
+    /// Does any player's strategy in `r` differ from the mirror?
+    /// (The mirror keeps the detached player's arcs, so this is a
+    /// plain profile comparison.)
+    fn mirror_differs(&self, r: &Realization) -> bool {
+        self.mirror.n() != r.n()
+            || (0..r.n()).any(|v| {
+                let v = NodeId::new(v);
+                self.mirror.out(v) != r.graph().out(v)
+            })
+    }
+
+    fn recompute_components(&mut self) {
+        self.comp_count =
+            bbncg_graph::components_into(&self.patch, &mut self.bfs, &mut self.comp_label);
+    }
+
+    fn recompute_distinct_in(&mut self, u: NodeId) {
+        self.dedup_buf.clear();
+        self.dedup_buf.extend_from_slice(self.patch.neighbors(u));
+        self.dedup_buf.sort_unstable();
+        self.dedup_buf.dedup();
+        self.distinct_in = self.dedup_buf.len();
+    }
+
+    /// Component count of the graph if the active player plays
+    /// `targets`: the components touched by `{u} ∪ targets` merge.
+    fn kappa_after(&mut self, u: NodeId, targets: &[NodeId]) -> usize {
+        self.label_buf.clear();
+        self.label_buf.push(self.comp_label[u.index()]);
+        for &t in targets {
+            self.label_buf.push(self.comp_label[t.index()]);
+        }
+        self.label_buf.sort_unstable();
+        self.label_buf.dedup();
+        self.comp_count - (self.label_buf.len() - 1)
+    }
+
+    /// Price the candidate strategy `targets` for the active player —
+    /// one patched BFS, zero allocation, zero rebuilds. `targets` need
+    /// not have full budget size (the greedy rule prices prefixes).
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn cost_of(&mut self, targets: &[NodeId]) -> u64 {
+        let (u, model) = self.active.expect("no deviation session open");
+        let kappa = self.kappa_after(u, targets);
+        let stats = self.bfs.run_patched(&self.patch, u, u, targets);
+        cost_from_bfs(
+            model,
+            self.n(),
+            kappa,
+            stats.visited,
+            stats.max_dist,
+            stats.sum_dist,
+        )
+    }
+
+    /// Lower bound on the cost of *any* size-`b` strategy for the
+    /// active player (Lemma 2.2 argument: at most
+    /// `b + distinct in-neighbours` vertices at distance 1, the rest
+    /// at ≥ 2). Candidates attaining it are provably optimal.
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn cost_lower_bound(&self, b: usize) -> u64 {
+        let (_, model) = self.active.expect("no deviation session open");
+        let n = self.n();
+        if n <= 1 {
+            return 0;
+        }
+        let at_dist_1 = (b + self.distinct_in).min(n - 1);
+        let farther = n - 1 - at_dist_1;
+        match model {
+            CostModel::Sum => at_dist_1 as u64 + 2 * farther as u64,
+            CostModel::Max => {
+                if farther == 0 {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::OwnedDigraph;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn session_prices_like_full_recompute() {
+        let g = OwnedDigraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = Realization::new(g);
+        let mut scratch = DeviationScratch::new(&r);
+        for model in CostModel::ALL {
+            scratch.begin(&r, v(1), model);
+            assert_eq!(scratch.cost_of(&[v(2)]), r.cost(v(1), model));
+            for target in [0usize, 2, 3] {
+                let dev = r.with_strategy(v(1), vec![v(target)]);
+                assert_eq!(
+                    scratch.cost_of(&[v(target)]),
+                    dev.cost(v(1), model),
+                    "target {target} {model:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_reuse_across_players_and_moves() {
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut r = Realization::new(g);
+        let mut scratch = DeviationScratch::new(&r);
+        // Player 0 deviates; the applied move must be visible to the
+        // next session via diff-sync, not a rebuild.
+        scratch.begin(&r, v(0), CostModel::Sum);
+        let c = scratch.cost_of(&[v(2)]);
+        r.set_strategy(v(0), vec![v(2)]);
+        assert_eq!(c, r.cost(v(0), CostModel::Sum));
+        for u in 0..5 {
+            scratch.begin(&r, v(u), CostModel::Max);
+            let b = r.graph().out_degree(v(u));
+            if b == 1 {
+                for t in 0..5 {
+                    if t == u {
+                        continue;
+                    }
+                    let dev = r.with_strategy(v(u), vec![v(t)]);
+                    assert_eq!(scratch.cost_of(&[v(t)]), dev.cost(v(u), CostModel::Max));
+                }
+            }
+        }
+        assert_eq!(scratch.rebuilds(), 0);
+    }
+
+    #[test]
+    fn kappa_accounting_across_components() {
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (3, 4)]);
+        let r = Realization::new(g);
+        let mut scratch = DeviationScratch::new(&r);
+        for model in CostModel::ALL {
+            scratch.begin(&r, v(0), model);
+            for target in [1usize, 2, 3] {
+                let dev = r.with_strategy(v(0), vec![v(target)]);
+                assert_eq!(
+                    scratch.cost_of(&[v(target)]),
+                    dev.cost(v(0), model),
+                    "target {target} model {model:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_sound() {
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = Realization::new(g);
+        let mut scratch = DeviationScratch::new(&r);
+        for model in CostModel::ALL {
+            for u in 0..5 {
+                let u = v(u);
+                let b = r.graph().out_degree(u);
+                scratch.begin(&r, u, model);
+                let lb = scratch.cost_lower_bound(b);
+                let pool: Vec<NodeId> = (0..5).map(v).filter(|&t| t != u).collect();
+                if b == 0 {
+                    assert!(scratch.cost_of(&[]) >= lb);
+                    continue;
+                }
+                let mut od = crate::oracle::CombinationOdometer::new(pool.len(), b);
+                loop {
+                    let targets: Vec<NodeId> = od.indices().iter().map(|&i| pool[i]).collect();
+                    assert!(scratch.cost_of(&targets) >= lb);
+                    if !od.advance() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no deviation session open")]
+    fn pricing_without_session_panics() {
+        let r = Realization::new(OwnedDigraph::from_arcs(2, &[(0, 1)]));
+        let mut scratch = DeviationScratch::new(&r);
+        scratch.cost_of(&[v(1)]);
+    }
+}

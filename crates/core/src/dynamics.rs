@@ -15,9 +15,11 @@
 //! rules and the swap-equilibrium condition for `BestSwap`.
 
 use crate::best_response::{
-    best_swap_response, exact_best_response, first_improving_response, greedy_best_response,
+    best_swap_response_with, exact_best_response_with, first_improving_response_with,
+    greedy_best_response_with,
 };
 use crate::cost::CostModel;
+use crate::deviation::DeviationScratch;
 use crate::realization::Realization;
 use bbncg_graph::NodeId;
 use rand::seq::SliceRandom;
@@ -159,7 +161,12 @@ pub fn run_dynamics_traced(
     (report, trace)
 }
 
-fn snapshot(state: &Realization, cfg: DynamicsConfig, round: usize, improvements: usize) -> RoundTrace {
+fn snapshot(
+    state: &Realization,
+    cfg: DynamicsConfig,
+    round: usize,
+    improvements: usize,
+) -> RoundTrace {
     RoundTrace {
         round,
         social_diameter: state.social_diameter(),
@@ -187,6 +194,10 @@ fn run_dynamics_impl(
         t.push(snapshot(&state, cfg, 0, 0));
     }
     let mut order: Vec<usize> = (0..n).collect();
+    // One deviation engine for the whole run: each activation syncs it
+    // to `state` by diffing (one move at a time ⇒ O(1) edge patches),
+    // so no candidate pricing ever rebuilds the undirected view.
+    let mut scratch = DeviationScratch::new(&state);
     while rounds < cfg.max_rounds {
         if cfg.order == PlayerOrder::RandomPermutation {
             order.shuffle(rng);
@@ -197,15 +208,31 @@ fn run_dynamics_impl(
             if state.graph().out_degree(u) == 0 {
                 continue;
             }
-            let current = state.cost(u, cfg.model);
             let candidate = match cfg.rule {
-                ResponseRule::ExactBest => Some(exact_best_response(&state, u, cfg.model)),
-                ResponseRule::FirstImproving => first_improving_response(&state, u, cfg.model),
-                ResponseRule::Greedy => Some(greedy_best_response(&state, u, cfg.model)),
-                ResponseRule::BestSwap => best_swap_response(&state, u, cfg.model),
+                ResponseRule::ExactBest => {
+                    Some(exact_best_response_with(&mut scratch, &state, u, cfg.model))
+                }
+                ResponseRule::FirstImproving => {
+                    first_improving_response_with(&mut scratch, &state, u, cfg.model)
+                }
+                ResponseRule::Greedy => Some(greedy_best_response_with(
+                    &mut scratch,
+                    &state,
+                    u,
+                    cfg.model,
+                )),
+                ResponseRule::BestSwap => {
+                    best_swap_response_with(&mut scratch, &state, u, cfg.model)
+                }
             };
             if let Some(best) = candidate {
-                if best.cost < current {
+                // FirstImproving only returns strictly improving
+                // strategies; the other rules may hand back the current
+                // cost, so price the incumbent through the still-open
+                // engine session (no fresh BFS scratch) to compare.
+                let improved = cfg.rule == ResponseRule::FirstImproving
+                    || best.cost < scratch.cost_of(state.strategy(u));
+                if improved {
                     state.set_strategy(u, best.targets);
                     steps += 1;
                     round_improvements += 1;
@@ -265,11 +292,7 @@ mod tests {
     fn path_converges_to_equilibrium_sum() {
         let initial = Realization::new(generators::path(6));
         let mut rng = StdRng::seed_from_u64(1);
-        let report = run_dynamics(
-            initial,
-            DynamicsConfig::exact(CostModel::Sum, 50),
-            &mut rng,
-        );
+        let report = run_dynamics(initial, DynamicsConfig::exact(CostModel::Sum, 50), &mut rng);
         assert!(report.converged);
         assert!(is_nash_equilibrium(&report.state, CostModel::Sum));
         assert!(report.steps > 0);
@@ -279,11 +302,7 @@ mod tests {
     fn path_converges_to_equilibrium_max() {
         let initial = Realization::new(generators::path(6));
         let mut rng = StdRng::seed_from_u64(2);
-        let report = run_dynamics(
-            initial,
-            DynamicsConfig::exact(CostModel::Max, 50),
-            &mut rng,
-        );
+        let report = run_dynamics(initial, DynamicsConfig::exact(CostModel::Max, 50), &mut rng);
         assert!(report.converged);
         assert!(is_nash_equilibrium(&report.state, CostModel::Max));
     }
@@ -361,8 +380,8 @@ mod tests {
         let last = trace.last().unwrap();
         assert_eq!(last.social_diameter, report.state.social_diameter());
         assert_eq!(last.improvements, 0); // converged on a quiet round
-        // Social diameter never gets worse than the start on this
-        // instance (not a general law; a sanity anchor for the trace).
+                                          // Social diameter never gets worse than the start on this
+                                          // instance (not a general law; a sanity anchor for the trace).
         assert!(last.social_diameter <= trace[0].social_diameter);
     }
 

@@ -167,9 +167,7 @@ pub fn exact_game_stats(
             profiles: a.profiles + x.profiles,
             equilibria: a.equilibria + x.equilibria,
             opt_diameter: a.opt_diameter.min(x.opt_diameter),
-            best_equilibrium_diameter: a
-                .best_equilibrium_diameter
-                .min(x.best_equilibrium_diameter),
+            best_equilibrium_diameter: a.best_equilibrium_diameter.min(x.best_equilibrium_diameter),
             worst_equilibrium_diameter: a
                 .worst_equilibrium_diameter
                 .max(x.worst_equilibrium_diameter),

@@ -11,8 +11,9 @@
 //! both versions) and the swap-equilibrium relaxation
 //! ([`is_swap_equilibrium`]) matching Alon et al.'s move set.
 
-use crate::best_response::{best_swap_response, exact_best_response_cost};
+use crate::best_response::{best_swap_response_with, exact_best_response_cost_with};
 use crate::cost::CostModel;
+use crate::deviation::DeviationScratch;
 use crate::realization::Realization;
 use bbncg_graph::{BfsScratch, NodeId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,11 +32,22 @@ pub struct Violation {
 /// Is player `u` playing a best response? Exact (enumerates deviations,
 /// early-exits on the first strict improvement).
 pub fn is_best_response(r: &Realization, u: NodeId, model: CostModel) -> bool {
+    is_best_response_with(&mut DeviationScratch::new(r), r, u, model)
+}
+
+/// [`is_best_response`] reusing a caller-held [`DeviationScratch`].
+pub fn is_best_response_with(
+    scratch: &mut DeviationScratch,
+    r: &Realization,
+    u: NodeId,
+    model: CostModel,
+) -> bool {
     if r.graph().out_degree(u) == 0 {
         return true; // the empty strategy is the only strategy
     }
-    let current = r.cost(u, model);
-    let best = exact_best_response_cost(r, u, model, Some(current));
+    scratch.begin(r, u, model);
+    let current = scratch.cost_of(r.strategy(u));
+    let best = exact_best_response_cost_with(scratch, r, u, model, Some(current));
     best >= current
 }
 
@@ -57,30 +69,35 @@ pub fn is_best_response(r: &Realization, u: NodeId, model: CostModel) -> bool {
 pub fn is_nash_equilibrium(r: &Realization, model: CostModel) -> bool {
     let n = r.n();
     let refuted = AtomicBool::new(false);
-    let flags = bbncg_par::par_map_index(n, |i| {
-        if refuted.load(Ordering::Relaxed) {
-            return true; // skip work; overall answer already false
-        }
-        let ok = is_best_response(r, NodeId::new(i), model);
-        if !ok {
-            refuted.store(true, Ordering::Relaxed);
-        }
-        ok
-    });
+    let flags = bbncg_par::par_map_init(
+        n,
+        || DeviationScratch::new(r),
+        |scratch, i| {
+            if refuted.load(Ordering::Relaxed) {
+                return true; // skip work; overall answer already false
+            }
+            let ok = is_best_response_with(scratch, r, NodeId::new(i), model);
+            if !ok {
+                refuted.store(true, Ordering::Relaxed);
+            }
+            ok
+        },
+    );
     flags.into_iter().all(|ok| ok)
 }
 
 /// First player (in id order) with a profitable deviation, with its
 /// current and best costs. Deterministic; `None` means equilibrium.
 pub fn find_violation(r: &Realization, model: CostModel) -> Option<Violation> {
-    let mut scratch = BfsScratch::new(r.n());
+    let mut scratch = DeviationScratch::new(r);
     for i in 0..r.n() {
         let u = NodeId::new(i);
         if r.graph().out_degree(u) == 0 {
             continue;
         }
-        let current = r.cost_with(u, model, &mut scratch);
-        let best = exact_best_response_cost(r, u, model, Some(current));
+        scratch.begin(r, u, model);
+        let current = scratch.cost_of(r.strategy(u));
+        let best = exact_best_response_cost_with(&mut scratch, r, u, model, Some(current));
         if best < current {
             return Some(Violation {
                 player: u,
@@ -99,20 +116,27 @@ pub fn find_violation(r: &Realization, model: CostModel) -> Option<Violation> {
 pub fn is_swap_equilibrium(r: &Realization, model: CostModel) -> bool {
     let n = r.n();
     let refuted = AtomicBool::new(false);
-    let flags = bbncg_par::par_map_index(n, |i| {
-        if refuted.load(Ordering::Relaxed) {
-            return true;
-        }
-        let u = NodeId::new(i);
-        let ok = match best_swap_response(r, u, model) {
-            None => true,
-            Some(best) => best.cost >= r.cost(u, model),
-        };
-        if !ok {
-            refuted.store(true, Ordering::Relaxed);
-        }
-        ok
-    });
+    let flags = bbncg_par::par_map_init(
+        n,
+        || DeviationScratch::new(r),
+        |scratch, i| {
+            if refuted.load(Ordering::Relaxed) {
+                return true;
+            }
+            let u = NodeId::new(i);
+            let ok = match best_swap_response_with(scratch, r, u, model) {
+                None => true,
+                Some(best) => {
+                    scratch.begin(r, u, model);
+                    best.cost >= scratch.cost_of(r.strategy(u))
+                }
+            };
+            if !ok {
+                refuted.store(true, Ordering::Relaxed);
+            }
+            ok
+        },
+    );
     flags.into_iter().all(|ok| ok)
 }
 
@@ -121,17 +145,82 @@ pub fn is_swap_equilibrium(r: &Realization, model: CostModel) -> bool {
 /// parallel over players — the "best-response gap" used by convergence
 /// experiments as a progress measure.
 pub fn best_response_gap(r: &Realization, model: CostModel) -> u64 {
+    audit_equilibrium(r, model).gap()
+}
+
+/// Per-player equilibrium audit: every player's current cost and exact
+/// best-response cost, computed in one batched parallel pass with one
+/// [`DeviationScratch`] per worker. This is **the** Nash-verification
+/// entry point — `is_nash`, the best-response gap, and the violation
+/// list are all views over the same pass, so analysis, benches and the
+/// CLI share one engine instead of re-running ad-hoc per-player loops.
+#[derive(Clone, Debug)]
+pub struct NashAudit {
+    /// The audited cost model.
+    pub model: CostModel,
+    /// Each player's cost under its current strategy.
+    pub current: Vec<u64>,
+    /// Each player's exact best-response cost.
+    pub best: Vec<u64>,
+}
+
+impl NashAudit {
+    /// No player can strictly improve.
+    pub fn is_nash(&self) -> bool {
+        self.current.iter().zip(&self.best).all(|(&c, &b)| b >= c)
+    }
+
+    /// The largest single-player improvement (0 iff Nash) — the
+    /// convergence experiments' progress measure.
+    pub fn gap(&self) -> u64 {
+        self.current
+            .iter()
+            .zip(&self.best)
+            .map(|(&c, &b)| c.saturating_sub(b))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All profitable deviations, in player order.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.current
+            .iter()
+            .zip(&self.best)
+            .enumerate()
+            .filter(|&(_, (&c, &b))| b < c)
+            .map(|(i, (&c, &b))| Violation {
+                player: NodeId::new(i),
+                current_cost: c,
+                best_cost: b,
+            })
+            .collect()
+    }
+}
+
+/// Run the batched parallel equilibrium audit (see [`NashAudit`]).
+pub fn audit_equilibrium(r: &Realization, model: CostModel) -> NashAudit {
     let n = r.n();
-    let gaps = bbncg_par::par_map_index(n, |i| {
-        let u = NodeId::new(i);
-        if r.graph().out_degree(u) == 0 {
-            return 0;
-        }
-        let current = r.cost(u, model);
-        let best = exact_best_response_cost(r, u, model, None);
-        current.saturating_sub(best)
-    });
-    gaps.into_iter().max().unwrap_or(0)
+    let per_player = bbncg_par::par_map_init(
+        n,
+        || DeviationScratch::new(r),
+        |scratch, i| {
+            let u = NodeId::new(i);
+            scratch.begin(r, u, model);
+            let current = scratch.cost_of(r.strategy(u));
+            if r.graph().out_degree(u) == 0 {
+                // The empty strategy is the only strategy: best = current.
+                return (current, current);
+            }
+            let best = exact_best_response_cost_with(scratch, r, u, model, None);
+            (current, best)
+        },
+    );
+    let (current, best) = per_player.into_iter().unzip();
+    NashAudit {
+        model,
+        current,
+        best,
+    }
 }
 
 /// Lemma 2.2 certificate for one player: if `c_MAX(u) = 1`, or
@@ -148,11 +237,7 @@ pub fn lemma22_certifies(r: &Realization, u: NodeId) -> bool {
         return true;
     }
     if ecc == 2 {
-        let in_brace = r
-            .graph()
-            .out(u)
-            .iter()
-            .any(|&t| r.graph().has_arc(t, u));
+        let in_brace = r.graph().out(u).iter().any(|&t| r.graph().has_arc(t, u));
         return !in_brace;
     }
     false
@@ -238,7 +323,10 @@ mod tests {
 
     #[test]
     fn gap_is_zero_exactly_at_equilibrium() {
-        let star = Realization::new(OwnedDigraph::from_arcs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]));
+        let star = Realization::new(OwnedDigraph::from_arcs(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (0, 4)],
+        ));
         assert_eq!(best_response_gap(&star, CostModel::Sum), 0);
         let path = Realization::new(OwnedDigraph::from_arcs(
             5,

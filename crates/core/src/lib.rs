@@ -30,22 +30,27 @@
 pub mod best_response;
 pub mod budget;
 pub mod cost;
+pub mod deviation;
 pub mod dynamics;
 pub mod enumerate;
-pub mod io;
 pub mod equilibrium;
+pub mod io;
+#[cfg(any(test, feature = "naive-ref"))]
+pub mod naive;
 pub mod oracle;
 pub mod poa;
 pub mod realization;
 pub mod weighted;
 
 pub use best_response::{
-    first_improving_response,
-    best_swap_response, exact_best_response, exact_best_response_cost, greedy_best_response,
-    ScoredStrategy, MAX_EXACT_CANDIDATES,
+    best_swap_response, best_swap_response_with, exact_best_response, exact_best_response_cost,
+    exact_best_response_cost_with, exact_best_response_with, first_improving_response,
+    first_improving_response_with, greedy_best_response, greedy_best_response_with, ScoredStrategy,
+    MAX_EXACT_CANDIDATES,
 };
 pub use budget::{BudgetVector, InstanceClass};
 pub use cost::{c_inf, vertex_cost, CostModel};
+pub use deviation::DeviationScratch;
 pub use dynamics::{
     run_dynamics, run_dynamics_traced, DynamicsConfig, DynamicsReport, PlayerOrder, ResponseRule,
     RoundTrace,
@@ -53,12 +58,12 @@ pub use dynamics::{
 pub use enumerate::{
     decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,
 };
-pub use io::{parse_realization, write_realization, ParseError};
 pub use equilibrium::{
-    best_response_gap,
-    find_violation, is_best_response, is_nash_equilibrium, is_swap_equilibrium, lemma22_certifies,
-    lemma22_certifies_all, Violation,
+    audit_equilibrium, best_response_gap, find_violation, is_best_response, is_best_response_with,
+    is_nash_equilibrium, is_swap_equilibrium, lemma22_certifies, lemma22_certifies_all, NashAudit,
+    Violation,
 };
+pub use io::{parse_realization, write_realization, ParseError};
 pub use oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
 pub use poa::{opt_diameter_lower_bound, social_cost, PoAEstimate};
 pub use realization::Realization;

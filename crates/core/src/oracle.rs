@@ -14,39 +14,32 @@
 //!    precomputed labels: the components touched by `{u} ∪ S` merge into
 //!    one.
 
-use crate::cost::{cost_from_bfs, CostModel};
+use crate::cost::CostModel;
+use crate::deviation::DeviationScratch;
 use crate::realization::Realization;
-use bbncg_graph::{components, BfsScratch, Components, Csr, NodeId};
+use bbncg_graph::NodeId;
 
 /// Prices candidate strategies for one fixed player.
+///
+/// This is a single-session convenience wrapper over
+/// [`DeviationScratch`]: construction opens one pricing session and
+/// every evaluation runs through the engine's in-place-patched graph.
+/// Code that prices deviations for *many* players (dynamics, Nash
+/// verification) should hold a [`DeviationScratch`] directly and call
+/// [`DeviationScratch::begin`] per player, amortizing the engine
+/// across activations.
 #[derive(Debug)]
 pub struct DeviationOracle {
     u: NodeId,
-    n: usize,
-    model: CostModel,
-    csr_minus: Csr,
-    comp_minus: Components,
-    scratch: BfsScratch,
-    label_buf: Vec<u32>,
+    scratch: DeviationScratch,
 }
 
 impl DeviationOracle {
     /// Build the oracle for player `u` of `r` under `model`.
     pub fn new(r: &Realization, u: NodeId, model: CostModel) -> Self {
-        let mut g = r.graph().clone();
-        g.set_out(u, Vec::new());
-        let csr_minus = Csr::from_digraph(&g);
-        let comp_minus = components(&csr_minus);
-        let n = r.n();
-        DeviationOracle {
-            u,
-            n,
-            model,
-            csr_minus,
-            comp_minus,
-            scratch: BfsScratch::new(n),
-            label_buf: Vec::with_capacity(8),
-        }
+        let mut scratch = DeviationScratch::new(r);
+        scratch.begin(r, u, model);
+        DeviationOracle { u, scratch }
     }
 
     /// The player this oracle prices deviations for.
@@ -54,34 +47,11 @@ impl DeviationOracle {
         self.u
     }
 
-    /// Component count of the graph if `u` plays `targets`.
-    fn kappa_after(&mut self, targets: &[NodeId]) -> usize {
-        self.label_buf.clear();
-        self.label_buf.push(self.comp_minus.label[self.u.index()]);
-        for &t in targets {
-            self.label_buf.push(self.comp_minus.label[t.index()]);
-        }
-        self.label_buf.sort_unstable();
-        self.label_buf.dedup();
-        self.comp_minus.count - (self.label_buf.len() - 1)
-    }
-
     /// Cost to `u` of playing the strategy `targets` (everything else
     /// fixed). `targets` need not have full budget size — the oracle is
     /// also used mid-construction by the greedy heuristic.
     pub fn cost_of(&mut self, targets: &[NodeId]) -> u64 {
-        let kappa = self.kappa_after(targets);
-        let stats = self
-            .scratch
-            .run_patched(&self.csr_minus, self.u, self.u, targets);
-        cost_from_bfs(
-            self.model,
-            self.n,
-            kappa,
-            stats.visited,
-            stats.max_dist,
-            stats.sum_dist,
-        )
+        self.scratch.cost_of(targets)
     }
 
     /// A lower bound on the cost of *any* strategy of size `b` for this
@@ -90,29 +60,7 @@ impl DeviationOracle {
     /// has distance 1 to at most (budget + distinct in-neighbours)
     /// vertices and at least 2 to the rest.
     pub fn cost_lower_bound(&self, b: usize) -> u64 {
-        let n = self.n;
-        if n <= 1 {
-            return 0;
-        }
-        // Distinct in-neighbours of u in the rest of the graph.
-        let indeg = self
-            .csr_minus
-            .neighbors(self.u)
-            .iter()
-            .collect::<std::collections::HashSet<_>>()
-            .len();
-        let at_dist_1 = (b + indeg).min(n - 1);
-        let farther = n - 1 - at_dist_1;
-        match self.model {
-            CostModel::Sum => at_dist_1 as u64 + 2 * farther as u64,
-            CostModel::Max => {
-                if farther == 0 {
-                    1
-                } else {
-                    2
-                }
-            }
-        }
+        self.scratch.cost_lower_bound(b)
     }
 }
 
@@ -246,8 +194,7 @@ mod tests {
                 let pool: Vec<NodeId> = (0..5).map(v).filter(|&t| t != u).collect();
                 let mut od = CombinationOdometer::new(pool.len(), b);
                 loop {
-                    let targets: Vec<NodeId> =
-                        od.indices().iter().map(|&i| pool[i]).collect();
+                    let targets: Vec<NodeId> = od.indices().iter().map(|&i| pool[i]).collect();
                     assert!(oracle.cost_of(&targets) >= lb);
                     if !od.advance() {
                         break;

@@ -20,9 +20,15 @@
 //! own objects: folding a SUM equilibrium's leaves must preserve weak
 //! equilibrium (the key step of Corollary 6.3), and the folded trees
 //! must satisfy the height/weight bound.
+//!
+//! Hot-path note: the only remaining [`Csr::from_digraph`] here is the
+//! constructor's one-time build of the cached view. Swap pricing
+//! ([`WeightedGraph::is_weak_equilibrium`]) and leaf folding
+//! ([`WeightedGraph::fold_poor_leaves`]) edit a [`PatchableCsr`] in
+//! place, per the deviation-engine discipline.
 
 use crate::cost::c_inf;
-use bbncg_graph::{BfsScratch, Csr, NodeId, OwnedDigraph};
+use bbncg_graph::{Adjacency, BfsScratch, Csr, NodeId, OwnedDigraph, PatchableCsr};
 
 /// A vertex-weighted ownership digraph for the SUM game (Section 6).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,7 +79,18 @@ impl WeightedGraph {
     /// Weighted SUM cost of `u`: `Σ_v w(v)·dist(u, v)`, with
     /// cross-component distance `C_inf = n²` (n = current vertex count).
     pub fn cost(&self, u: NodeId, scratch: &mut BfsScratch) -> u64 {
-        scratch.run(&self.csr, u);
+        self.cost_over(&self.csr, u, scratch)
+    }
+
+    /// Weighted SUM cost of `u` over any adjacency (shared by the
+    /// cached view and the in-place swap evaluation).
+    fn cost_over<A: Adjacency + ?Sized>(
+        &self,
+        adj: &A,
+        u: NodeId,
+        scratch: &mut BfsScratch,
+    ) -> u64 {
+        scratch.run(adj, u);
         let cinf = c_inf(self.n());
         let mut total = 0u64;
         for v in 0..self.n() {
@@ -88,30 +105,33 @@ impl WeightedGraph {
     }
 
     /// Cost of `u` if the arc `u → old` is replaced by `u → new`
-    /// (single-swap deviation — the weak-equilibrium move set).
-    fn swap_cost(&self, u: NodeId, old: NodeId, new: NodeId, scratch: &mut BfsScratch) -> u64 {
-        let mut g = self.g.clone();
-        g.swap_arc(u, old, new);
-        let csr = Csr::from_digraph(&g);
-        scratch.run(&csr, u);
-        let cinf = c_inf(self.n());
-        let mut total = 0u64;
-        for v in 0..self.n() {
-            let v = NodeId::new(v);
-            let d = match scratch.dist(v) {
-                Some(d) => d as u64,
-                None => cinf,
-            };
-            total += d * self.weight[v.index()];
-        }
+    /// (single-swap deviation — the weak-equilibrium move set). The
+    /// swap is applied to `patch` in place and reverted before
+    /// returning: no graph rebuild per candidate.
+    fn swap_cost(
+        &self,
+        patch: &mut PatchableCsr,
+        u: NodeId,
+        old: NodeId,
+        new: NodeId,
+        scratch: &mut BfsScratch,
+    ) -> u64 {
+        patch.remove_edge(u, old);
+        patch.add_edge(u, new);
+        let total = self.cost_over(patch, u, scratch);
+        patch.remove_edge(u, new);
+        patch.add_edge(u, old);
         total
     }
 
     /// Is this a **weak equilibrium**: no single-arc swap strictly
-    /// decreases any owner's weighted cost?
+    /// decreases any owner's weighted cost? Candidate swaps are priced
+    /// through one in-place-patched adjacency (the deviation-engine
+    /// discipline), not per-swap rebuilds.
     pub fn is_weak_equilibrium(&self) -> bool {
         let n = self.n();
         let mut scratch = BfsScratch::new(n);
+        let mut patch = PatchableCsr::from_digraph(&self.g);
         for u in 0..n {
             let u = NodeId::new(u);
             if self.g.out_degree(u) == 0 {
@@ -124,7 +144,7 @@ impl WeightedGraph {
                     if new == u || self.g.has_arc(u, new) {
                         continue;
                     }
-                    if self.swap_cost(u, old, new, &mut scratch) < current {
+                    if self.swap_cost(&mut patch, u, old, new, &mut scratch) < current {
                         return false;
                     }
                 }
@@ -162,23 +182,25 @@ impl WeightedGraph {
         let n = self.n();
         let mut weight = self.weight.clone();
         let mut alive = vec![true; n];
-        // Work on an adjacency we can edit: owner -> targets.
+        // Work on adjacencies we can edit in place: owner -> targets,
+        // plus the live undirected view (degrees stay current across
+        // folds, so no rebuild between iterations).
         let mut g = self.g.clone();
+        let mut patch = PatchableCsr::from_digraph(&g);
         loop {
-            let csr = Csr::from_digraph(&g);
             let mut folded_any = false;
             for l in 0..n {
                 let l = NodeId::new(l);
-                if !alive[l.index()] || csr.degree(l) != 1 || g.out_degree(l) != 0 {
+                if !alive[l.index()] || patch.degree(l) != 1 || g.out_degree(l) != 0 {
                     continue;
                 }
                 // The unique neighbour owns the supporting arc.
-                let u = csr.neighbors(l)[0];
+                let u = patch.neighbors(l)[0];
                 g.remove_arc(u, l);
+                patch.remove_edge(u, l);
                 weight[u.index()] += weight[l.index()];
                 alive[l.index()] = false;
                 folded_any = true;
-                break; // recompute degrees (csr) before the next fold
             }
             if !folded_any {
                 break;
@@ -200,10 +222,8 @@ impl WeightedGraph {
             out_lists[nu.index()].push(nv);
         }
         let new_weights: Vec<u64> = (0..n).filter(|&v| alive[v]).map(|v| weight[v]).collect();
-        let folded = WeightedGraph::with_weights(
-            OwnedDigraph::from_out_lists(out_lists),
-            new_weights,
-        );
+        let folded =
+            WeightedGraph::with_weights(OwnedDigraph::from_out_lists(out_lists), new_weights);
         (folded, mapping)
     }
 

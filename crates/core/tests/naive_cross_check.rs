@@ -85,8 +85,7 @@ fn naive_is_nash(g: &OwnedDigraph, model: CostModel) -> bool {
         let pool: Vec<usize> = (0..n).filter(|&t| t != u).collect();
         let mut od = CombinationOdometer::new(pool.len(), b);
         loop {
-            let targets: Vec<NodeId> =
-                od.indices().iter().map(|&i| NodeId::new(pool[i])).collect();
+            let targets: Vec<NodeId> = od.indices().iter().map(|&i| NodeId::new(pool[i])).collect();
             let mut dev = g.clone();
             dev.set_out(NodeId::new(u), targets);
             if naive_cost(&dev, u, model) < current {
@@ -125,7 +124,9 @@ fn nash_verdicts_match_naive_on_random_instances() {
     let mut rng = StdRng::seed_from_u64(7);
     for trial in 0..20 {
         let n = 3 + (trial % 4);
-        let budgets: Vec<usize> = (0..n).map(|i| [1, 0, 2][(i + trial) % 3].min(n - 1)).collect();
+        let budgets: Vec<usize> = (0..n)
+            .map(|i| [1, 0, 2][(i + trial) % 3].min(n - 1))
+            .collect();
         let g = generators::random_realization(&budgets, &mut rng);
         let r = Realization::new(g.clone());
         for model in CostModel::ALL {

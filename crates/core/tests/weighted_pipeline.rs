@@ -11,7 +11,11 @@ use rand::SeedableRng;
 fn sum_equilibrium(budgets: &[usize], seed: u64) -> Option<Realization> {
     let mut rng = StdRng::seed_from_u64(seed);
     let initial = Realization::new(generators::random_realization(budgets, &mut rng));
-    let rep = run_dynamics(initial, DynamicsConfig::exact(CostModel::Sum, 300), &mut rng);
+    let rep = run_dynamics(
+        initial,
+        DynamicsConfig::exact(CostModel::Sum, 300),
+        &mut rng,
+    );
     rep.converged.then_some(rep.state)
 }
 

@@ -95,7 +95,12 @@ pub fn run_directed_dynamics(
 /// Sweep seeds over random initial profiles of the uniform-budget
 /// directed game and count convergence vs. cycling — the §8 comparison
 /// numbers. Returns `(converged, cycled, timed_out)`.
-pub fn hunt_for_cycles(n: usize, budget: usize, seeds: u64, max_rounds: usize) -> (usize, usize, usize) {
+pub fn hunt_for_cycles(
+    n: usize,
+    budget: usize,
+    seeds: u64,
+    max_rounds: usize,
+) -> (usize, usize, usize) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let outcomes = bbncg_par::par_map_index(seeds as usize, |s| {
@@ -136,10 +141,7 @@ mod tests {
 
     #[test]
     fn directed_cycle_is_a_fixed_point() {
-        let rep = run_directed_dynamics(
-            DirectedRealization::new(generators::cycle(6)),
-            50,
-        );
+        let rep = run_directed_dynamics(DirectedRealization::new(generators::cycle(6)), 50);
         assert!(rep.converged);
         assert_eq!(rep.steps, 0);
     }

@@ -51,9 +51,7 @@ pub fn kcenter_greedy(dm: &DistanceMatrix, k: usize, start: NodeId) -> Vec<NodeI
     let n = dm.n();
     assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
     let mut centers = vec![start];
-    let mut nearest: Vec<u32> = (0..n)
-        .map(|v| dm.dist(NodeId::new(v), start))
-        .collect();
+    let mut nearest: Vec<u32> = (0..n).map(|v| dm.dist(NodeId::new(v), start)).collect();
     while centers.len() < k {
         let far = (0..n)
             .max_by_key(|&v| (nearest[v], std::cmp::Reverse(v)))

@@ -5,9 +5,12 @@
 //! queue afresh each time would dominate the runtime, so [`BfsScratch`]
 //! owns both and is reused across runs; a *stamp* array makes clearing
 //! O(1) per run instead of O(n) (perf-book "reusing collections" idiom,
-//! strengthened with the classic timestamp trick).
+//! strengthened with the classic timestamp trick). Every run is generic
+//! over [`Adjacency`], so the same scratch serves the immutable
+//! [`Csr`](crate::Csr) and the deviation engine's
+//! [`PatchableCsr`](crate::PatchableCsr).
 
-use crate::csr::Csr;
+use crate::adjacency::Adjacency;
 use crate::node::NodeId;
 
 /// Distance value meaning "not reached by this BFS".
@@ -86,7 +89,7 @@ impl BfsScratch {
     /// Run BFS from `src`; returns summary statistics of the traversal.
     /// Per-vertex distances are readable through [`Self::dist`] until the
     /// next run.
-    pub fn run(&mut self, csr: &Csr, src: NodeId) -> BfsStats {
+    pub fn run<A: Adjacency + ?Sized>(&mut self, csr: &A, src: NodeId) -> BfsStats {
         self.run_multi(csr, std::slice::from_ref(&src))
     }
 
@@ -95,7 +98,7 @@ impl BfsScratch {
     ///
     /// # Panics
     /// Panics if `sources` is empty.
-    pub fn run_multi(&mut self, csr: &Csr, sources: &[NodeId]) -> BfsStats {
+    pub fn run_multi<A: Adjacency + ?Sized>(&mut self, csr: &A, sources: &[NodeId]) -> BfsStats {
         assert!(!sources.is_empty(), "BFS requires at least one source");
         self.begin_run(csr.n());
         for &s in sources {
@@ -129,7 +132,12 @@ impl BfsScratch {
 
     /// Run BFS from `src` but stop expanding beyond distance `limit`
     /// (ball queries `B_r(u)` for the Theorem 6 expansion profile).
-    pub fn run_bounded(&mut self, csr: &Csr, src: NodeId, limit: u32) -> BfsStats {
+    pub fn run_bounded<A: Adjacency + ?Sized>(
+        &mut self,
+        csr: &A,
+        src: NodeId,
+        limit: u32,
+    ) -> BfsStats {
         self.begin_run(csr.n());
         self.mark(src, 0);
         self.queue.push(src);
@@ -173,9 +181,9 @@ impl BfsScratch {
     /// then evaluates every candidate strategy `S` as a patch — O(n + m)
     /// per candidate with zero rebuilding. `patch_targets` is expected to
     /// be small (a player's budget), so membership is a linear scan.
-    pub fn run_patched(
+    pub fn run_patched<A: Adjacency + ?Sized>(
         &mut self,
-        csr: &Csr,
+        csr: &A,
         src: NodeId,
         patch_owner: NodeId,
         patch_targets: &[NodeId],
@@ -205,8 +213,7 @@ impl BfsScratch {
                         self.queue.push(w);
                     }
                 }
-            } else if patch_targets.contains(&u)
-                && self.stamp[patch_owner.index()] != self.current
+            } else if patch_targets.contains(&u) && self.stamp[patch_owner.index()] != self.current
             {
                 self.mark(patch_owner, du + 1);
                 self.queue.push(patch_owner);
@@ -243,6 +250,7 @@ impl BfsStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
     use crate::digraph::OwnedDigraph;
 
     fn v(i: usize) -> NodeId {

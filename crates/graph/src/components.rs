@@ -5,8 +5,8 @@
 //! `C_inf = n²` cross-component distance, so component counting sits on
 //! the hot path of cost evaluation.
 
+use crate::adjacency::Adjacency;
 use crate::bfs::BfsScratch;
-use crate::csr::Csr;
 use crate::node::NodeId;
 
 /// Component labelling: `label[v]` ∈ `0..count`, assigned in order of
@@ -40,43 +40,63 @@ impl Components {
 }
 
 /// Compute connected components by repeated BFS.
-pub fn components(csr: &Csr) -> Components {
+pub fn components<A: Adjacency + ?Sized>(csr: &A) -> Components {
     let n = csr.n();
-    let mut label = vec![u32::MAX; n];
-    let mut sizes = Vec::new();
+    let mut label = Vec::new();
     let mut scratch = BfsScratch::new(n);
+    let count = components_into(csr, &mut scratch, &mut label);
+    let mut sizes = vec![0usize; count];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    Components {
+        label,
+        count,
+        sizes,
+    }
+}
+
+/// Allocation-free variant of [`components`] for hot paths (the
+/// deviation engine relabels after every session open): writes the
+/// per-vertex labels into `label` (cleared and resized) reusing
+/// `scratch`, and returns the component count. Labels are assigned in
+/// discovery order, identically to [`components`].
+pub fn components_into<A: Adjacency + ?Sized>(
+    csr: &A,
+    scratch: &mut BfsScratch,
+    label: &mut Vec<u32>,
+) -> usize {
+    let n = csr.n();
+    label.clear();
+    label.resize(n, u32::MAX);
     let mut count = 0u32;
     for u in 0..n {
         if label[u] != u32::MAX {
             continue;
         }
-        let stats = scratch.run(csr, NodeId::new(u));
+        scratch.run(csr, NodeId::new(u));
         for &w in scratch.reached() {
             label[w.index()] = count;
         }
-        sizes.push(stats.visited);
         count += 1;
     }
-    Components {
-        label,
-        count: count as usize,
-        sizes,
-    }
+    count as usize
 }
 
 /// Just the number of components (cheaper to read at call sites).
-pub fn component_count(csr: &Csr) -> usize {
+pub fn component_count<A: Adjacency + ?Sized>(csr: &A) -> usize {
     components(csr).count
 }
 
 /// Is the graph connected? (The empty graph counts as connected.)
-pub fn is_connected(csr: &Csr) -> bool {
+pub fn is_connected<A: Adjacency + ?Sized>(csr: &A) -> bool {
     csr.n() <= 1 || component_count(csr) == 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
 
     fn v(i: usize) -> NodeId {
         NodeId::new(i)

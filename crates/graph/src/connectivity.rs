@@ -196,7 +196,10 @@ pub fn is_k_connected(csr: &Csr, k: usize) -> bool {
 /// Panics if `s == t` or `s` and `t` are adjacent.
 pub fn menger_paths(csr: &Csr, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
     assert!(s != t, "menger paths of a vertex with itself");
-    assert!(!csr.adjacent(s, t), "menger paths require non-adjacent endpoints");
+    assert!(
+        !csr.adjacent(s, t),
+        "menger paths require non-adjacent endpoints"
+    );
     let n = csr.n();
     let mut flow = UnitFlow::new(2 * n);
     for x in 0..n {
@@ -313,10 +316,7 @@ pub fn articulation_points(csr: &Csr) -> Vec<NodeId> {
             is_art[root] = true;
         }
     }
-    (0..n)
-        .filter(|&u| is_art[u])
-        .map(NodeId::new)
-        .collect()
+    (0..n).filter(|&u| is_art[u]).map(NodeId::new).collect()
 }
 
 #[cfg(test)]

@@ -12,8 +12,29 @@
 //! once), while structure analyses that need multigraph degrees read
 //! them directly from list lengths.
 
+use crate::adjacency::Adjacency;
 use crate::digraph::OwnedDigraph;
 use crate::node::NodeId;
+
+/// Process-global count of [`Csr::from_digraph`] rebuilds, compiled in
+/// only under the `rebuild-counter` feature. The deviation-engine
+/// tests use it to prove the best-response hot path performs **zero**
+/// full rebuilds per candidate deviation.
+#[cfg(feature = "rebuild-counter")]
+pub mod rebuild_counter {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static REBUILDS: AtomicU64 = AtomicU64::new(0);
+
+    /// Rebuilds observed so far in this process.
+    pub fn count() -> u64 {
+        REBUILDS.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn bump() {
+        REBUILDS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Undirected adjacency in compressed-sparse-row form.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,6 +49,8 @@ impl Csr {
     /// Build the undirected view of an ownership digraph: every arc
     /// `u → v` contributes `v` to `u`'s list and `u` to `v`'s list.
     pub fn from_digraph(g: &OwnedDigraph) -> Self {
+        #[cfg(feature = "rebuild-counter")]
+        rebuild_counter::bump();
         let n = g.n();
         let mut degree = vec![0u32; n];
         for (u, v) in g.arcs() {
@@ -156,6 +179,18 @@ impl Csr {
         edges.sort_unstable();
         edges.dedup();
         edges
+    }
+}
+
+impl Adjacency for Csr {
+    #[inline]
+    fn n(&self) -> usize {
+        Csr::n(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        Csr::neighbors(self, u)
     }
 }
 

@@ -159,7 +159,16 @@ mod tests {
         // Two triangles sharing no vertex, joined by a path.
         let csr = Csr::from_edges(
             7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
         );
         assert_eq!(unique_cycle(&csr), None);
     }

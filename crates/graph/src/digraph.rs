@@ -151,6 +151,26 @@ impl OwnedDigraph {
         self.out[u.index()] = targets;
     }
 
+    /// Replace `u`'s owned-arc set from a sorted slice, reusing the
+    /// existing list's allocation (the deviation engine's mirror calls
+    /// this once per applied move; after warm-up it never allocates).
+    ///
+    /// # Panics
+    /// Panics on invalid targets (self-loop, duplicate, unsorted, out
+    /// of range).
+    pub fn set_out_from_slice(&mut self, u: NodeId, targets: &[NodeId]) {
+        for w in targets.windows(2) {
+            assert!(w[0] < w[1], "targets of {u} not sorted/deduped");
+        }
+        for &t in targets {
+            assert!(t.index() < self.n(), "target {t} out of range");
+            assert!(t != u, "self-loop at {u}");
+        }
+        let list = &mut self.out[u.index()];
+        list.clear();
+        list.extend_from_slice(targets);
+    }
+
     /// Iterate over all arcs as `(owner, target)` pairs in owner order.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.out

@@ -149,15 +149,18 @@ impl DistanceMatrix {
         let n = csr.n();
         let mut data = vec![UNREACHED; n * n];
         // Chunk rows: each worker reuses one scratch across its rows.
-        bbncg_par::par_chunks_mut(data.chunks_mut(n.max(1)).collect::<Vec<_>>().as_mut_slice(), |start, rows| {
-            let mut scratch = BfsScratch::new(n);
-            for (off, row) in rows.iter_mut().enumerate() {
-                scratch.run(csr, NodeId::new(start + off));
-                for v in 0..n {
-                    row[v] = scratch.dist_or_unreached(NodeId::new(v));
+        bbncg_par::par_chunks_mut(
+            data.chunks_mut(n.max(1)).collect::<Vec<_>>().as_mut_slice(),
+            |start, rows| {
+                let mut scratch = BfsScratch::new(n);
+                for (off, row) in rows.iter_mut().enumerate() {
+                    scratch.run(csr, NodeId::new(start + off));
+                    for v in 0..n {
+                        row[v] = scratch.dist_or_unreached(NodeId::new(v));
+                    }
                 }
-            }
-        });
+            },
+        );
         DistanceMatrix { n, data }
     }
 

@@ -306,11 +306,13 @@ pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> OwnedD
 /// Panics for `cycle_len < 2` or mismatched pendant list length.
 pub fn sunflower(cycle_len: usize, pendants: &[usize]) -> OwnedDigraph {
     assert!(cycle_len >= 2, "cycle needs at least 2 vertices");
-    assert_eq!(pendants.len(), cycle_len, "one pendant count per cycle vertex");
+    assert_eq!(
+        pendants.len(),
+        cycle_len,
+        "one pendant count per cycle vertex"
+    );
     let n = cycle_len + pendants.iter().sum::<usize>();
-    let mut arcs: Vec<(usize, usize)> = (0..cycle_len)
-        .map(|i| (i, (i + 1) % cycle_len))
-        .collect();
+    let mut arcs: Vec<(usize, usize)> = (0..cycle_len).map(|i| (i, (i + 1) % cycle_len)).collect();
     let mut next = cycle_len;
     for (i, &p) in pendants.iter().enumerate() {
         for _ in 0..p {
@@ -369,16 +371,14 @@ pub fn caterpillar(spine: usize, legs: usize) -> OwnedDigraph {
 ///
 /// # Panics
 /// Panics if `extra` exceeds the number of available non-tree slots.
-pub fn random_connected_edges(
-    n: usize,
-    extra: usize,
-    rng: &mut impl Rng,
-) -> Vec<(usize, usize)> {
+pub fn random_connected_edges(n: usize, extra: usize, rng: &mut impl Rng) -> Vec<(usize, usize)> {
     let mut edges = random_tree_edges(n, rng);
     let max_extra = n * (n - 1) / 2 - edges.len();
-    assert!(extra <= max_extra, "requested {extra} extra edges, max {max_extra}");
-    let mut present: std::collections::HashSet<(usize, usize)> =
-        edges.iter().copied().collect();
+    assert!(
+        extra <= max_extra,
+        "requested {extra} extra edges, max {max_extra}"
+    );
+    let mut present: std::collections::HashSet<(usize, usize)> = edges.iter().copied().collect();
     while present.len() < n - 1 + extra {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);

@@ -22,6 +22,7 @@
 // the index form is clearer than zipped iterators in those spots.
 #![allow(clippy::needless_range_loop)]
 
+pub mod adjacency;
 pub mod bfs;
 pub mod components;
 pub mod connectivity;
@@ -33,19 +34,22 @@ pub mod dot;
 pub mod generators;
 pub mod metrics;
 pub mod node;
+pub mod patch;
 
+pub use adjacency::Adjacency;
 pub use bfs::{BfsScratch, BfsStats, UNREACHED};
-pub use components::{component_count, components, is_connected, Components};
+pub use components::{component_count, components, components_into, is_connected, Components};
 pub use connectivity::{
     articulation_points, is_k_connected, local_vertex_connectivity, menger_paths,
     vertex_connectivity,
 };
-pub use metrics::GraphMetrics;
 pub use csr::Csr;
 pub use cycles::{distance_to_set, two_core_mask, unique_cycle};
 pub use digraph::OwnedDigraph;
 pub use distance::{
     diameter, diameter_par, distance_sums, distance_sums_par, eccentricities, eccentricities_par,
-    DistanceMatrix, Diameter,
+    Diameter, DistanceMatrix,
 };
+pub use metrics::GraphMetrics;
 pub use node::{node_ids, NodeId};
+pub use patch::PatchableCsr;

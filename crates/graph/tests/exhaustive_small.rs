@@ -5,9 +5,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops over the FW matrix
 
-use bbncg_graph::{
-    components, diameter, vertex_connectivity, BfsScratch, Csr, Diameter, NodeId,
-};
+use bbncg_graph::{components, diameter, vertex_connectivity, BfsScratch, Csr, Diameter, NodeId};
 
 /// All `(min, max)` vertex pairs of `0..n`.
 fn all_pairs(n: usize) -> Vec<(usize, usize)> {

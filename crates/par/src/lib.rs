@@ -4,9 +4,9 @@
 //! parallel at several granularities: breadth-first searches from many
 //! sources (all-pairs shortest paths), Nash verification over vertices,
 //! and experiment sweeps over seeds. This crate provides the small set of
-//! primitives those layers need, built directly on `crossbeam` scoped
-//! threads — no global thread pool and no external data-parallelism
-//! framework, per the workspace's build-your-substrates rule.
+//! primitives those layers need, built directly on `std::thread::scope`
+//! — no global thread pool, no external data-parallelism framework and
+//! no third-party crate, per the workspace's build-your-substrates rule.
 //!
 //! Two scheduling disciplines are offered:
 //!
@@ -123,9 +123,9 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync)
     let grain = grain_for(len, workers);
     let buf = SlotBuf::new(len);
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
                 if start >= len {
                     break;
@@ -138,8 +138,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync)
                 }
             });
         }
-    })
-    .expect("bbncg-par worker panicked");
+    });
     // SAFETY: the cursor sweep covers 0..len exactly once and the scope
     // joined every writer above.
     unsafe { buf.into_vec() }
@@ -158,9 +157,9 @@ pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
     }
     let grain = grain_for(len, workers);
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
                 if start >= len {
                     break;
@@ -171,8 +170,7 @@ pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
                 }
             });
         }
-    })
-    .expect("bbncg-par worker panicked");
+    });
 }
 
 /// Run `f` over the index range `0..len` in parallel (dynamic scheduling).
@@ -188,9 +186,9 @@ pub fn par_for_each_index(len: usize, f: impl Fn(usize) + Sync) {
     }
     let grain = grain_for(len, workers);
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
                 if start >= len {
                     break;
@@ -201,36 +199,53 @@ pub fn par_for_each_index(len: usize, f: impl Fn(usize) + Sync) {
                 }
             });
         }
-    })
-    .expect("bbncg-par worker panicked");
+    });
 }
 
 /// Map over `0..len` and return results in index order (dynamic
-/// scheduling). Index-space variant of [`par_map`].
+/// scheduling). Index-space variant of [`par_map`]; equivalent to
+/// [`par_map_init`] with unit worker state.
 pub fn par_map_index<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    par_map_init(len, || (), |(), i| f(i))
+}
+
+/// [`par_map_index`] with **worker-local state**: `init` runs once per
+/// worker thread and the resulting state is threaded through every
+/// call that worker makes. This is the shape heavyweight reusable
+/// scratch wants (e.g. one deviation engine per worker for batched
+/// Nash verification): `len` items share `workers_for(len)` engines
+/// instead of building one per item.
+pub fn par_map_init<S, R: Send>(
+    len: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> R + Sync,
+) -> Vec<R> {
     let workers = workers_for(len);
     if workers <= 1 || len < 2 {
-        return (0..len).map(&f).collect();
+        let mut state = init();
+        return (0..len).map(|i| f(&mut state, i)).collect();
     }
     let grain = grain_for(len, workers);
     let buf = SlotBuf::new(len);
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + grain).min(len);
-                for i in start..end {
-                    // SAFETY: each index claimed by exactly one worker.
-                    unsafe { buf.write(i, f(i)) };
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    for i in start..end {
+                        // SAFETY: each index claimed by exactly one worker.
+                        unsafe { buf.write(i, f(&mut state, i)) };
+                    }
                 }
             });
         }
-    })
-    .expect("bbncg-par worker panicked");
+    });
     // SAFETY: all slots written exactly once, all workers joined.
     unsafe { buf.into_vec() }
 }
@@ -246,13 +261,12 @@ pub fn par_chunks_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut [T]) + Sy
         return;
     }
     let chunk = len.div_ceil(workers);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (k, piece) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(k * chunk, piece));
+            s.spawn(move || f(k * chunk, piece));
         }
-    })
-    .expect("bbncg-par worker panicked");
+    });
 }
 
 /// Deterministic parallel reduction: map each item, then fold partials in
@@ -338,6 +352,30 @@ mod tests {
         for c in &counts {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn par_map_init_matches_serial_and_reuses_state() {
+        // Each worker's state counts its own calls; the outputs must
+        // still be a correct in-order map, and the total number of
+        // init() calls must not exceed the worker count.
+        let inits = AtomicU64::new(0);
+        let got = par_map_init(
+            5000,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |calls, i| {
+                *calls += 1;
+                (i * 2, *calls > 0)
+            },
+        );
+        for (i, &(x, state_ok)) in got.iter().enumerate() {
+            assert_eq!(x, i * 2);
+            assert!(state_ok);
+        }
+        assert!(inits.load(Ordering::Relaxed) <= max_threads() as u64);
     }
 
     #[test]

@@ -20,12 +20,7 @@ fn main() {
     println!("--- side A: all-unit budgets, MAX version (Theorem 4.2) ---");
     for n in [16usize, 64, 256] {
         let budgets = BudgetVector::uniform(n, 1);
-        let samples = sample_equilibria(
-            &budgets,
-            DynamicsConfig::exact(CostModel::Max, 400),
-            1,
-            6,
-        );
+        let samples = sample_equilibria(&budgets, DynamicsConfig::exact(CostModel::Max, 400), 1, 6);
         let stats = summarize(&samples);
         let worst = samples
             .iter()

@@ -20,7 +20,11 @@ fn profile(name: &str, r: &Realization, claimed: &str, verify_models: &[CostMode
             format!(
                 "{}:{}",
                 model.label(),
-                if is_nash_equilibrium(r, model) { "✓" } else { "✗" }
+                if is_nash_equilibrium(r, model) {
+                    "✓"
+                } else {
+                    "✗"
+                }
             )
         })
         .collect();

@@ -52,10 +52,17 @@ fn main() {
     }
 
     println!("\nstructure checks:");
-    println!("  diameter            = {} (bound {})", r.diameter().unwrap(), c.diameter_bound);
+    println!(
+        "  diameter            = {} (bound {})",
+        r.diameter().unwrap(),
+        c.diameter_bound
+    );
     println!(
         "  hub covers          = {} vertices of A",
-        g.out(NodeId::new(21)).iter().filter(|t| t.index() < 16).count()
+        g.out(NodeId::new(21))
+            .iter()
+            .filter(|t| t.index() < 16)
+            .count()
     );
     for model in CostModel::ALL {
         println!(

@@ -61,7 +61,11 @@ fn main() {
         let s: u64 = costs[range.clone()].iter().sum();
         s as f64 / range.len() as f64
     };
-    println!("  mean SUM cost: supernodes {:.1}, peers {:.1}", avg(0..supernodes), avg(supernodes..n));
+    println!(
+        "  mean SUM cost: supernodes {:.1}, peers {:.1}",
+        avg(0..supernodes),
+        avg(supernodes..n)
+    );
 
     // Failure tolerance: Theorem 7.2 says min budget k forces diameter
     // < 4 or k-connectivity. Our min budget is 1, so the theorem is

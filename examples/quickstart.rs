@@ -17,7 +17,11 @@ use rand::SeedableRng;
 fn main() {
     // A game is just a budget vector: player i buys exactly b_i links.
     let budgets = BudgetVector::new(vec![1, 1, 2, 0, 1, 1]);
-    println!("instance: {:?}-BG  (class {:?})", budgets.as_slice(), budgets.classify());
+    println!(
+        "instance: {:?}-BG  (class {:?})",
+        budgets.as_slice(),
+        budgets.classify()
+    );
 
     // Any digraph whose out-degrees match the budgets is a strategy
     // profile ("realization"). Start from a random one.

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Emit a BENCH_dynamics.json perf baseline: dynamics steps/sec (engine
+# vs. the rebuild-per-candidate reference) and batched Nash-verify
+# throughput. Later PRs re-run this to show a perf trajectory.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_dynamics.json}"
+cargo run --release -q -p bbncg-bench --features naive-ref --bin bench_snapshot -- "$out"

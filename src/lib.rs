@@ -8,9 +8,13 @@
 //! underlying graph. This crate is a facade re-exporting the workspace:
 //!
 //! * [`graph`] — graph substrate (ownership digraphs, BFS, distances,
-//!   connectivity, generators);
+//!   connectivity, generators, and the in-place-editable
+//!   [`PatchableCsr`](graph::PatchableCsr));
 //! * [`game`] — the game itself (instances, costs, best responses,
-//!   equilibria, dynamics, price of anarchy);
+//!   equilibria, dynamics, price of anarchy), built on the
+//!   allocation-free deviation engine
+//!   ([`DeviationScratch`](game::DeviationScratch)) and the batched
+//!   parallel Nash audit ([`audit_equilibrium`](game::audit_equilibrium));
 //! * [`constructions`] — the paper's explicit equilibria (Theorem 2.3,
 //!   the Figure 2 spider, the Theorem 3.4 binary tree, the Theorem 5.3
 //!   shift-graph equilibrium);
@@ -37,8 +41,8 @@
 
 pub use bbncg_analysis as analysis;
 pub use bbncg_constructions as constructions;
-pub use bbncg_directed as directed;
 pub use bbncg_core as game;
+pub use bbncg_directed as directed;
 pub use bbncg_facility as facility;
 pub use bbncg_graph as graph;
 pub use bbncg_par as par;
