@@ -1,5 +1,6 @@
 //! Perf-trajectory snapshot: dynamics steps/sec and Nash-verify
-//! throughput, engine vs. the rebuild-per-candidate reference.
+//! throughput (engine vs. the rebuild-per-candidate reference), plus
+//! scenario-engine throughput on the churn workload.
 //!
 //! Run through `scripts/bench_snapshot.sh` (needs the `naive-ref`
 //! feature); writes a `BENCH_dynamics.json` baseline so later PRs can
@@ -19,6 +20,27 @@ use std::time::Instant;
 const N: usize = 32;
 const RUNS: u64 = 8;
 const MAX_ROUNDS: usize = 400;
+
+/// The scenario-engine workload: the checked-in churn example
+/// (dynamics under arrivals/departures), embedded at compile time so
+/// the snapshot needs no working-directory assumptions.
+const CHURN_SPEC: &str = include_str!("../../../../examples/scenarios/churn.toml");
+const CHURN_SEEDS: usize = 8;
+
+/// `(steps_per_sec, total_steps)` over a churn-scenario seed sweep.
+fn measure_scenario() -> (f64, usize) {
+    use bbncg_scenario::{parse_spec, run_sweep, NullSink};
+    let mut spec = parse_spec(CHURN_SPEC).expect("checked-in churn spec parses");
+    spec.seeds = CHURN_SEEDS;
+    let t = Instant::now();
+    let outcomes = run_sweep(&spec, &mut NullSink);
+    let secs = t.elapsed().as_secs_f64();
+    let steps: usize = outcomes
+        .into_iter()
+        .map(|o| o.expect("churn scenario completes").steps)
+        .sum();
+    (steps as f64 / secs, steps)
+}
 
 fn initial(seed: u64) -> Realization {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -95,7 +117,17 @@ fn main() {
     );
     let _ = writeln!(json, "  \"engine_speedup_vs_naive\": {speedup:.2},");
     let _ = writeln!(json, "  \"nash_verify_players_per_sec\": {verify_pps:.1},");
-    let _ = writeln!(json, "  \"total_steps\": {engine_steps}");
+    let _ = writeln!(json, "  \"total_steps\": {engine_steps},");
+    let (scenario_sps, scenario_steps) = measure_scenario();
+    let _ = writeln!(
+        json,
+        "  \"scenario_workload\": \"churn.toml (examples/scenarios), {CHURN_SEEDS} seeds\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"scenario_steps_per_sec_churn\": {scenario_sps:.1},"
+    );
+    let _ = writeln!(json, "  \"scenario_total_steps\": {scenario_steps}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");

@@ -594,10 +594,69 @@ pub fn e_connectivity() -> Vec<Table> {
     vec![t]
 }
 
-/// `E-convergence` — the §8 open problem: does best-response dynamics
-/// converge, and how fast? Round-robin and random orders, exact and
-/// swap rules.
-pub fn e_convergence() -> Vec<Table> {
+fn convergence_instances() -> Vec<(String, BudgetVector)> {
+    vec![
+        ("unit n=16".into(), BudgetVector::uniform(16, 1)),
+        ("unit n=24".into(), BudgetVector::uniform(24, 1)),
+        ("uniform2 n=12".into(), BudgetVector::uniform(12, 2)),
+    ]
+}
+
+/// Drive one `(instance, cfg)` cell of the E-convergence table through
+/// the scenario engine: a single-dynamics-phase sweep whose per-seed
+/// trajectories are, by construction, the exact trajectories
+/// `sample_equilibria` produces (same seed → same random start → same
+/// dynamics draws). The legacy path stays alive as the diff-test
+/// reference (`crates/bench/tests/convergence_parity.rs`).
+fn scenario_convergence_stats(
+    budgets: &BudgetVector,
+    cfg: DynamicsConfig,
+    base_seed: u64,
+    samples: usize,
+) -> bbncg_analysis::SampleStats {
+    use bbncg_analysis::Sample;
+    use bbncg_core::dynamics::DynamicsReport;
+    use bbncg_scenario::{run_sweep, InitSpec, NullSink, PhaseSpec, ScenarioSpec, Variant};
+    let spec = ScenarioSpec {
+        name: "e-convergence".into(),
+        seed: base_seed,
+        seeds: samples,
+        init: InitSpec::Family {
+            family: "random".into(),
+            params: budgets.as_slice().to_vec(),
+        },
+        defaults: cfg,
+        variant: Variant::Undirected,
+        phases: vec![PhaseSpec::Dynamics {
+            rounds: None,
+            model: None,
+            rule: None,
+            order: None,
+        }],
+        spec_hash: 0,
+    };
+    let samples: Vec<Sample> = run_sweep(&spec, &mut NullSink)
+        .into_iter()
+        .map(|o| {
+            let o = o.expect("single-phase dynamics scenario cannot fail");
+            Sample {
+                seed: o.seed,
+                report: DynamicsReport {
+                    state: o.state,
+                    converged: o.converged.unwrap_or(false),
+                    steps: o.steps,
+                    rounds: o.rounds,
+                    cycled: o.cycled.unwrap_or(false),
+                },
+            }
+        })
+        .collect();
+    summarize(&samples)
+}
+
+fn convergence_table(
+    stats: impl Fn(&BudgetVector, DynamicsConfig, u64, usize) -> bbncg_analysis::SampleStats,
+) -> Table {
     let mut t = Table::new(
         "E-convergence — §8: best-response dynamics convergence (all-unit and uniform-2 instances)",
         &[
@@ -612,12 +671,7 @@ pub fn e_convergence() -> Vec<Table> {
             "mean steps",
         ],
     );
-    let instances: Vec<(String, BudgetVector)> = vec![
-        ("unit n=16".into(), BudgetVector::uniform(16, 1)),
-        ("unit n=24".into(), BudgetVector::uniform(24, 1)),
-        ("uniform2 n=12".into(), BudgetVector::uniform(12, 2)),
-    ];
-    for (label, budgets) in &instances {
+    for (label, budgets) in &convergence_instances() {
         for model in CostModel::ALL {
             for (order, oname) in [
                 (PlayerOrder::RoundRobin, "round-robin"),
@@ -634,22 +688,39 @@ pub fn e_convergence() -> Vec<Table> {
                         rule,
                         max_rounds: 400,
                     };
-                    let stats = summarize(&sample_equilibria(budgets, cfg, 31, 8));
+                    let s = stats(budgets, cfg, 31, 8);
                     t.push(vec![
                         label.clone(),
                         model.label().to_string(),
                         oname.to_string(),
                         rname.to_string(),
-                        stats.total.to_string(),
-                        stats.converged.to_string(),
-                        stats.cycled.to_string(),
-                        format!("{:.1}", stats.mean_rounds),
-                        format!("{:.1}", stats.mean_steps),
+                        s.total.to_string(),
+                        s.converged.to_string(),
+                        s.cycled.to_string(),
+                        format!("{:.1}", s.mean_rounds),
+                        format!("{:.1}", s.mean_steps),
                     ]);
                 }
             }
         }
     }
+    t
+}
+
+/// The E-convergence main table through the legacy hand-coded sampler
+/// (`sample_equilibria`) — kept as the reference the scenario-driven
+/// path is diff-tested against.
+pub fn e_convergence_legacy_table() -> Table {
+    convergence_table(|b, cfg, seed, n| summarize(&sample_equilibria(b, cfg, seed, n)))
+}
+
+/// `E-convergence` — the §8 open problem: does best-response dynamics
+/// converge, and how fast? Round-robin and random orders, exact and
+/// swap rules. Since PR 2 the sweeps run through the scenario engine
+/// ([`scenario_convergence_stats`]); `tests/convergence_parity.rs`
+/// pins the output to [`e_convergence_legacy_table`] row for row.
+pub fn e_convergence() -> Vec<Table> {
+    let t = convergence_table(scenario_convergence_stats);
 
     // Monotonicity audit: the game has no known potential function; do
     // the social cost and utilitarian welfare decrease monotonically
@@ -658,6 +729,7 @@ pub fn e_convergence() -> Vec<Table> {
     use bbncg_core::dynamics::run_dynamics_traced;
     use bbncg_core::Realization;
     use bbncg_graph::generators;
+    let instances = convergence_instances();
     let mut t2 = Table::new(
         "E-convergence(b) — potential hunt: is anything monotone along best-response paths?",
         &[

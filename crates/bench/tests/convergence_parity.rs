@@ -1,0 +1,25 @@
+//! Diff-test for the E-convergence port: the scenario-engine-driven
+//! table must equal the legacy hand-coded `sample_equilibria` path
+//! cell for cell. Any drift in seeding, initial-profile generation or
+//! dynamics trajectories between the two stacks breaks this test.
+
+use bbncg_bench::experiments::{e_convergence, e_convergence_legacy_table};
+
+#[test]
+fn scenario_engine_reproduces_the_legacy_convergence_table() {
+    let ported = &e_convergence()[0];
+    let legacy = e_convergence_legacy_table();
+    assert_eq!(ported.title, legacy.title);
+    assert_eq!(ported.headers, legacy.headers);
+    assert_eq!(
+        ported.rows.len(),
+        legacy.rows.len(),
+        "row counts diverge: {} vs {}",
+        ported.rows.len(),
+        legacy.rows.len()
+    );
+    for (p, l) in ported.rows.iter().zip(&legacy.rows) {
+        assert_eq!(p, l, "ported row {p:?} != legacy row {l:?}");
+    }
+    assert_eq!(ported.to_markdown(), legacy.to_markdown());
+}

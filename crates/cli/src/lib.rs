@@ -239,6 +239,13 @@ pub fn cmd_best_response(args: &Args) -> Result<String, String> {
 /// `bbncg dynamics --budgets LIST` — run dynamics from a random start
 /// (or `FILE` positional) and print the outcome; the final profile goes
 /// to stdout after the report when `--emit` is `profile`.
+///
+/// `--seed S` (default 0) seeds both the random initial profile and
+/// the dynamics' own draws. Identical seeds give identical
+/// [`DynamicsReport`](bbncg_core::DynamicsReport)s — same final
+/// profile, steps, rounds and verdicts — regardless of thread count,
+/// so any reported trajectory can be reproduced exactly from its
+/// command line (asserted end-to-end in `tests/end_to_end.rs`).
 pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
     let model = parse_model(args)?;
     let seed: u64 = args
@@ -292,6 +299,169 @@ pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
         out.push_str(&write_realization(&report.state));
     }
     Ok(out)
+}
+
+/// `bbncg scenario run|resume|validate` — the declarative scenario
+/// engine (see the README's "Scenario specs" section for the grammar).
+///
+/// * `run SPEC [--seed S] [--out FILE] [--checkpoint FILE]
+///   [--stop-after K]` — run the scenario (or its whole seed sweep when
+///   the spec sets `seeds > 1`). Metric records are JSONL, streamed to
+///   `--out` or returned on stdout. With `--checkpoint`, a fresh
+///   checkpoint overwrites the file after every completed phase, so a
+///   killed run can continue; `--stop-after K` stops after K phases
+///   (checkpointing there), which is the same mechanism under test
+///   control.
+/// * `resume SPEC --checkpoint FILE [--out FILE]` — continue a frozen
+///   run bit-identically: the finished trajectory is exactly the one
+///   the uninterrupted run would have produced.
+/// * `validate SPEC...` — parse every spec and report its shape
+///   without running anything.
+pub fn cmd_scenario(args: &Args) -> Result<String, String> {
+    use bbncg_scenario::{parse_spec, run_scenario, run_sweep, Checkpoint, JsonlSink, StringSink};
+    let action = args.positional(0).ok_or(
+        "scenario needs an action: run SPEC | resume SPEC --checkpoint FILE | validate SPEC...",
+    )?;
+    if action == "validate" {
+        if args.positional(1).is_none() {
+            return Err("scenario validate needs at least one SPEC file".into());
+        }
+        let mut out = String::new();
+        let mut i = 1;
+        while let Some(path) = args.positional(i) {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "{path}: ok — scenario {:?}, {} phase(s), seeds {}, spec-hash {:016x}",
+                spec.name,
+                spec.phases.len(),
+                spec.seeds,
+                spec.spec_hash
+            );
+            i += 1;
+        }
+        return Ok(out);
+    }
+    if action != "run" && action != "resume" {
+        return Err(format!(
+            "unknown scenario action {action:?} (run|resume|validate)"
+        ));
+    }
+    let path = args
+        .positional(1)
+        .ok_or_else(|| format!("scenario {action} needs a SPEC file"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(s) = args.get("seed") {
+        spec.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    let stop_after: Option<usize> = args
+        .get("stop-after")
+        .map(|s| s.parse().map_err(|e| format!("--stop-after: {e}")))
+        .transpose()?;
+    let ck_path = args.get("checkpoint").map(str::to_string);
+    let from = if action == "resume" {
+        let p = ck_path
+            .as_deref()
+            .ok_or("scenario resume needs --checkpoint FILE")?;
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        Some(Checkpoint::from_text(&text)?)
+    } else {
+        None
+    };
+
+    let save = |ck: &Checkpoint| {
+        if let Some(p) = &ck_path {
+            // A failed write surfaces at resume time; the run itself
+            // must not die over checkpoint IO.
+            let _ = std::fs::write(p, ck.to_text());
+        }
+    };
+    let mut report = String::new();
+    // `resume` continues exactly one seed (checkpoints are per-seed),
+    // so a sweep spec falls through to the single-run branch there.
+    let outcomes = if spec.seeds > 1 && from.is_none() {
+        if ck_path.is_some() {
+            return Err("--checkpoint requires a single-seed run (spec has seeds > 1)".into());
+        }
+        if stop_after.is_some() {
+            return Err("--stop-after requires a single-seed run (spec has seeds > 1)".into());
+        }
+        let sweep = match args.get("out") {
+            Some(p) => {
+                let f = std::fs::File::create(p).map_err(|e| format!("cannot write {p}: {e}"))?;
+                let mut sink = JsonlSink::new(std::io::BufWriter::new(f));
+                run_sweep(&spec, &mut sink)
+            }
+            None => {
+                let mut sink = StringSink::default();
+                let outs = run_sweep(&spec, &mut sink);
+                report.push_str(&sink.out);
+                outs
+            }
+        };
+        // Attribute each slot to its seed so failures stay addressable.
+        sweep
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.map_err(|e| format!("seed {}: {e}", spec.seed + i as u64)))
+            .collect()
+    } else {
+        let seed = from.as_ref().map(|ck| ck.seed).unwrap_or(spec.seed);
+        let run = |sink: &mut dyn bbncg_scenario::MetricSink| {
+            run_scenario(&spec, seed, from.clone(), sink, stop_after, save)
+        };
+        let outcome = match args.get("out") {
+            Some(p) => {
+                let f = std::fs::File::create(p).map_err(|e| format!("cannot write {p}: {e}"))?;
+                let mut sink = JsonlSink::new(std::io::BufWriter::new(f));
+                run(&mut sink)
+            }
+            None => {
+                let mut sink = StringSink::default();
+                let out = run(&mut sink);
+                report.push_str(&sink.out);
+                out
+            }
+        };
+        vec![outcome]
+    };
+    // One trailer line per seed; a failed seed is reported in place so
+    // the records and trailers of the seeds that did complete survive.
+    // Only a wholly failed invocation becomes an error.
+    let total = outcomes.len();
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                let _ = writeln!(
+                    report,
+                    "# seed {}: {} {} phase(s), steps = {}, rounds = {}, n = {}, final hash = {:016x}",
+                    o.seed,
+                    if o.completed {
+                        "completed"
+                    } else {
+                        "stopped after"
+                    },
+                    o.phases_done,
+                    o.steps,
+                    o.rounds,
+                    o.state.n(),
+                    o.state_hash
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(report, "# error: {e}");
+                failures.push(e);
+            }
+        }
+    }
+    if failures.len() == total {
+        return Err(failures.join("\n"));
+    }
+    Ok(report)
 }
 
 /// `bbncg analyze FILE` — structural report: metrics, unit structure,
@@ -398,9 +568,16 @@ COMMANDS:
                   [--rounds N] [--emit profile]
   analyze         FILE
   exact-poa       --budgets LIST [--model sum|max] [--limit N]
+  scenario        run SPEC [--seed S] [--out FILE] [--checkpoint FILE] [--stop-after K]
+                  | resume SPEC --checkpoint FILE [--out FILE]
+                  | validate SPEC...
   dot             FILE
 
 Profiles use the plain-text `bbncg v1` format; FILE may be `-` (stdin).
+Dynamics and scenarios are seed-deterministic: identical seeds (and
+specs) produce identical reports, metric records and final profiles.
+Scenario specs are TOML-subset files (see README \"Scenario specs\");
+metric records are JSONL, one line per phase.
 ";
 
 /// Dispatch a full command line (without the program name).
@@ -417,6 +594,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         "dynamics" => cmd_dynamics(&args),
         "analyze" => cmd_analyze(&args),
         "exact-poa" => cmd_exact_poa(&args),
+        "scenario" => cmd_scenario(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -514,6 +692,96 @@ mod tests {
         let dot = run(&["dot", path.to_str().unwrap()]).unwrap();
         assert!(dot.starts_with("digraph bbncg"));
         std::fs::remove_file(&path).ok();
+    }
+
+    const TINY_SCENARIO: &str = r#"
+[scenario]
+name = "tiny"
+seed = 3
+
+[init]
+family = "uniform"
+n = 6
+budget = 1
+
+[[phase]]
+kind = "dynamics"
+
+[[phase]]
+kind = "arrive"
+count = 1
+budget = 1
+
+[[phase]]
+kind = "dynamics"
+"#;
+
+    #[test]
+    fn scenario_run_resume_and_validate() {
+        let dir = std::env::temp_dir();
+        let spec = dir.join("bbncg_cli_scenario.toml");
+        let ck = dir.join("bbncg_cli_scenario.ck");
+        std::fs::write(&spec, TINY_SCENARIO).unwrap();
+        let spec_s = spec.to_str().unwrap();
+        let ck_s = ck.to_str().unwrap();
+
+        let v = run(&["scenario", "validate", spec_s]).unwrap();
+        assert!(v.contains("ok — scenario \"tiny\", 3 phase(s)"), "{v}");
+
+        let full = run(&["scenario", "run", spec_s]).unwrap();
+        assert!(full.contains("\"kind\":\"summary\""), "{full}");
+        assert_eq!(full.matches("\"kind\":\"dynamics\"").count(), 2);
+        let final_line = full.lines().last().unwrap().to_string();
+        assert!(final_line.contains("completed 3 phase(s)"), "{full}");
+
+        // Stop after one phase, then resume: identical trailer line.
+        let part = run(&[
+            "scenario",
+            "run",
+            spec_s,
+            "--checkpoint",
+            ck_s,
+            "--stop-after",
+            "1",
+        ])
+        .unwrap();
+        assert!(part.contains("stopped after 1 phase(s)"), "{part}");
+        let resumed = run(&["scenario", "resume", spec_s, "--checkpoint", ck_s]).unwrap();
+        assert!(
+            resumed.lines().last().unwrap() == final_line,
+            "resume must land on the uninterrupted final hash:\n{resumed}\nvs\n{final_line}"
+        );
+
+        // --out streams records to a file instead of stdout.
+        let out = dir.join("bbncg_cli_scenario.jsonl");
+        let r = run(&["scenario", "run", spec_s, "--out", out.to_str().unwrap()]).unwrap();
+        assert!(!r.contains("\"kind\""), "{r}");
+        let jsonl = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(jsonl.lines().count(), 4); // 3 phases + summary
+        std::fs::remove_file(&spec).ok();
+        std::fs::remove_file(&ck).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn scenario_errors_are_descriptive() {
+        assert!(run(&["scenario"]).unwrap_err().contains("action"));
+        assert!(run(&["scenario", "frob", "x"])
+            .unwrap_err()
+            .contains("unknown scenario action"));
+        assert!(run(&["scenario", "validate"]).unwrap_err().contains("SPEC"));
+        assert!(run(&["scenario", "resume", "nope.toml"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let bad = std::env::temp_dir().join("bbncg_cli_scenario_bad.toml");
+        std::fs::write(
+            &bad,
+            "[init]\nfamily = \"warp\"\n[[phase]]\nkind = \"dynamics\"",
+        )
+        .unwrap();
+        let err = run(&["scenario", "validate", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

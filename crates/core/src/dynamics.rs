@@ -53,7 +53,7 @@ pub enum ResponseRule {
 }
 
 /// Dynamics configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DynamicsConfig {
     /// Cost model being played.
     pub model: CostModel,
@@ -146,7 +146,8 @@ pub fn run_dynamics(
     cfg: DynamicsConfig,
     rng: &mut impl Rng,
 ) -> DynamicsReport {
-    run_dynamics_impl(initial, cfg, rng, None).0
+    let mut scratch = DeviationScratch::new(&initial);
+    run_dynamics_impl(initial, cfg, rng, &mut scratch, None).0
 }
 
 /// [`run_dynamics`] that also records a per-round [`RoundTrace`]
@@ -157,8 +158,25 @@ pub fn run_dynamics_traced(
     rng: &mut impl Rng,
 ) -> (DynamicsReport, Vec<RoundTrace>) {
     let mut trace = Vec::new();
-    let report = run_dynamics_impl(initial, cfg, rng, Some(&mut trace)).0;
+    let mut scratch = DeviationScratch::new(&initial);
+    let report = run_dynamics_impl(initial, cfg, rng, &mut scratch, Some(&mut trace)).0;
     (report, trace)
+}
+
+/// [`run_dynamics`] with a caller-owned deviation engine — the phase-
+/// boundary hook for orchestrators that run many dynamics phases (or
+/// many seeds per worker) over evolving state. The engine re-syncs to
+/// `initial` by diffing on first use, so passing a scratch left over
+/// from another same-`n` profile is both safe and cheap; a size change
+/// triggers one transparent rebuild. Trajectories are identical to
+/// [`run_dynamics`] for identical inputs.
+pub fn run_dynamics_with_scratch(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+    scratch: &mut DeviationScratch,
+) -> DynamicsReport {
+    run_dynamics_impl(initial, cfg, rng, scratch, None).0
 }
 
 fn snapshot(
@@ -179,6 +197,7 @@ fn run_dynamics_impl(
     initial: Realization,
     cfg: DynamicsConfig,
     rng: &mut impl Rng,
+    scratch: &mut DeviationScratch,
     mut trace: Option<&mut Vec<RoundTrace>>,
 ) -> (DynamicsReport, ()) {
     let n = initial.n();
@@ -197,7 +216,6 @@ fn run_dynamics_impl(
     // One deviation engine for the whole run: each activation syncs it
     // to `state` by diffing (one move at a time ⇒ O(1) edge patches),
     // so no candidate pricing ever rebuilds the undirected view.
-    let mut scratch = DeviationScratch::new(&state);
     while rounds < cfg.max_rounds {
         if cfg.order == PlayerOrder::RandomPermutation {
             order.shuffle(rng);
@@ -210,20 +228,15 @@ fn run_dynamics_impl(
             }
             let candidate = match cfg.rule {
                 ResponseRule::ExactBest => {
-                    Some(exact_best_response_with(&mut scratch, &state, u, cfg.model))
+                    Some(exact_best_response_with(scratch, &state, u, cfg.model))
                 }
                 ResponseRule::FirstImproving => {
-                    first_improving_response_with(&mut scratch, &state, u, cfg.model)
+                    first_improving_response_with(scratch, &state, u, cfg.model)
                 }
-                ResponseRule::Greedy => Some(greedy_best_response_with(
-                    &mut scratch,
-                    &state,
-                    u,
-                    cfg.model,
-                )),
-                ResponseRule::BestSwap => {
-                    best_swap_response_with(&mut scratch, &state, u, cfg.model)
+                ResponseRule::Greedy => {
+                    Some(greedy_best_response_with(scratch, &state, u, cfg.model))
                 }
+                ResponseRule::BestSwap => best_swap_response_with(scratch, &state, u, cfg.model),
             };
             if let Some(best) = candidate {
                 // FirstImproving only returns strictly improving

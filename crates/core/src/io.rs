@@ -152,6 +152,97 @@ pub fn parse_realization(text: &str) -> Result<Realization, ParseError> {
     Ok(Realization::new(OwnedDigraph::from_arcs(n, &arcs)))
 }
 
+/// A mid-run snapshot: a realization frozen together with the exact
+/// 256-bit RNG stream position and orchestrator metadata. This is the
+/// persistence format behind scenario checkpoint/resume — restoring the
+/// snapshot and replaying from it is bit-identical to never stopping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The frozen profile.
+    pub realization: Realization,
+    /// The RNG state words (see `rand::rngs::StdRng::state`).
+    pub rng_state: [u64; 4],
+    /// Ordered key/value metadata (keys must be single tokens; values
+    /// may contain spaces but not newlines).
+    pub meta: Vec<(String, String)>,
+}
+
+/// Serialize a [`Snapshot`]:
+///
+/// ```text
+/// bbncg-snapshot v1
+/// rng 1 2 3 4
+/// meta phase 3
+/// profile
+/// bbncg v1
+/// …
+/// ```
+pub fn write_snapshot(s: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "bbncg-snapshot v1");
+    let [a, b, c, d] = s.rng_state;
+    let _ = writeln!(out, "rng {a} {b} {c} {d}");
+    for (k, v) in &s.meta {
+        debug_assert!(!k.contains(char::is_whitespace), "meta key {k:?}");
+        debug_assert!(!v.contains('\n'), "meta value {v:?}");
+        let _ = writeln!(out, "meta {k} {v}");
+    }
+    let _ = writeln!(out, "profile");
+    out.push_str(&write_realization(&s.realization));
+    out
+}
+
+/// Parse a snapshot written by [`write_snapshot`]. Errors reuse the
+/// [`ParseError`] vocabulary: a wrong magic line is [`ParseError::BadHeader`],
+/// structural damage is [`ParseError::BadLine`] with the offending line
+/// number, and the embedded profile is validated by
+/// [`parse_realization`] (line numbers restart inside the profile).
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim());
+    if header != Some("bbncg-snapshot v1") {
+        return Err(ParseError::BadHeader);
+    }
+    let (ln, rline) = lines.next().ok_or(ParseError::BadHeader)?;
+    let words: Vec<u64> = rline
+        .trim()
+        .strip_prefix("rng ")
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| t.parse::<u64>())
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()
+        .ok()
+        .flatten()
+        .filter(|w| w.len() == 4)
+        .ok_or_else(|| ParseError::BadLine(ln + 1, rline.to_string()))?;
+    let rng_state = [words[0], words[1], words[2], words[3]];
+    let mut meta = Vec::new();
+    for (ln, line) in lines.by_ref() {
+        let line = line.trim();
+        if line == "profile" {
+            let body: String = text.lines().skip(ln + 1).collect::<Vec<_>>().join("\n");
+            let realization = parse_realization(&body)?;
+            return Ok(Snapshot {
+                realization,
+                rng_state,
+                meta,
+            });
+        }
+        let rest = line
+            .strip_prefix("meta ")
+            .ok_or_else(|| ParseError::BadLine(ln + 1, line.to_string()))?;
+        let (k, v) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError::BadLine(ln + 1, line.to_string()))?;
+        meta.push((k.to_string(), v.trim().to_string()));
+    }
+    // Ran out of lines without a `profile` marker.
+    Err(ParseError::BadHeader)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +314,47 @@ mod tests {
         };
         assert!(e.to_string().contains("player 3"));
         assert!(ParseError::BadHeader.to_string().contains("header"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = Realization::new(generators::random_realization(&[1, 2, 0, 1], &mut rng));
+        let snap = Snapshot {
+            realization: r,
+            rng_state: rng.state(),
+            meta: vec![
+                ("phase".into(), "3".into()),
+                ("scenario".into(), "churn test".into()),
+            ],
+        };
+        let text = write_snapshot(&snap);
+        assert_eq!(parse_snapshot(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        assert_eq!(parse_snapshot("bbncg v1"), Err(ParseError::BadHeader));
+        assert!(matches!(
+            parse_snapshot("bbncg-snapshot v1\nrng 1 2 3\nprofile\n"),
+            Err(ParseError::BadLine(2, _))
+        ));
+        assert!(matches!(
+            parse_snapshot("bbncg-snapshot v1\nrng 1 2 3 4\nbogus line\n"),
+            Err(ParseError::BadLine(3, _))
+        ));
+        // Truncated before the profile marker.
+        assert_eq!(
+            parse_snapshot("bbncg-snapshot v1\nrng 1 2 3 4\nmeta a b\n"),
+            Err(ParseError::BadHeader)
+        );
+        // Embedded profile is validated too.
+        let text =
+            "bbncg-snapshot v1\nrng 1 2 3 4\nprofile\nbbncg v1\nn 2\nbudgets 1 1\narcs\n0 1\n";
+        assert!(matches!(
+            parse_snapshot(text),
+            Err(ParseError::BudgetMismatch { player: 1, .. })
+        ));
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use budget::{BudgetVector, InstanceClass};
 pub use cost::{c_inf, vertex_cost, CostModel};
 pub use deviation::DeviationScratch;
 pub use dynamics::{
-    run_dynamics, run_dynamics_traced, DynamicsConfig, DynamicsReport, PlayerOrder, ResponseRule,
-    RoundTrace,
+    run_dynamics, run_dynamics_traced, run_dynamics_with_scratch, DynamicsConfig, DynamicsReport,
+    PlayerOrder, ResponseRule, RoundTrace,
 };
 pub use enumerate::{
     decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,
@@ -63,7 +63,9 @@ pub use equilibrium::{
     is_nash_equilibrium, is_swap_equilibrium, lemma22_certifies, lemma22_certifies_all, NashAudit,
     Violation,
 };
-pub use io::{parse_realization, write_realization, ParseError};
+pub use io::{
+    parse_realization, parse_snapshot, write_realization, write_snapshot, ParseError, Snapshot,
+};
 pub use oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
 pub use poa::{opt_diameter_lower_bound, social_cost, PoAEstimate};
 pub use realization::Realization;

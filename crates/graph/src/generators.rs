@@ -45,10 +45,11 @@ pub fn star(n: usize) -> OwnedDigraph {
 /// Vertex layout: `w = 0`, `xᵢ = i`, `yᵢ = k + i`, `zᵢ = 2k + i`
 /// (1-based `i`).
 ///
-/// # Panics
-/// Panics for `k < 1`.
+/// `spider(0)` degenerates to the lone hub (one vertex, no arcs).
 pub fn spider(k: usize) -> OwnedDigraph {
-    assert!(k >= 1, "spider needs legs of length at least 1");
+    if k == 0 {
+        return OwnedDigraph::empty(1);
+    }
     let n = 3 * k + 1;
     let mut arcs = Vec::with_capacity(3 * k);
     for leg in 0..3 {
@@ -323,9 +324,9 @@ pub fn sunflower(cycle_len: usize, pendants: &[usize]) -> OwnedDigraph {
     OwnedDigraph::from_arcs(n, &arcs)
 }
 
-/// Complete graph `K_n` as undirected edges.
+/// Complete graph `K_n` as undirected edges (empty for `n ≤ 1`).
 pub fn complete_edges(n: usize) -> Vec<(usize, usize)> {
-    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in u + 1..n {
             edges.push((u, v));
@@ -410,6 +411,96 @@ pub fn grid_edges(w: usize, h: usize) -> (usize, Vec<(usize, usize)>) {
         }
     }
     (n, edges)
+}
+
+/// The families [`from_name`] can build, with their parameter arities —
+/// the generator registry declarative frontends (scenario specs, CLIs)
+/// resolve against.
+pub const FAMILIES: &[(&str, usize, &str)] = &[
+    ("path", 1, "path N"),
+    ("cycle", 1, "cycle N (N >= 2)"),
+    ("star", 1, "star N"),
+    ("spider", 1, "spider K (Thm 3.2, n = 3K+1)"),
+    ("btree", 1, "btree HEIGHT (Thm 3.4)"),
+    ("kary", 2, "kary ARITY HEIGHT"),
+    ("caterpillar", 2, "caterpillar SPINE LEGS"),
+    ("prefattach", 2, "prefattach N M (random)"),
+    ("random-tree", 1, "random-tree N rooted at 0 (random)"),
+    (
+        "random",
+        usize::MAX,
+        "random B0 B1 ... (budget vector, random)",
+    ),
+];
+
+/// Build a realization digraph from a family name and integer
+/// parameters. Random families draw from `rng`; deterministic families
+/// ignore it. `"random"` treats `params` as a whole budget vector; every
+/// other family takes the arity listed in [`FAMILIES`].
+pub fn from_name(name: &str, params: &[usize], rng: &mut impl Rng) -> Result<OwnedDigraph, String> {
+    let arity = FAMILIES
+        .iter()
+        .find(|(f, _, _)| *f == name)
+        .map(|&(_, a, _)| a)
+        .ok_or_else(|| {
+            let known: Vec<&str> = FAMILIES.iter().map(|&(f, _, _)| f).collect();
+            format!(
+                "unknown generator family {name:?} (one of {})",
+                known.join(", ")
+            )
+        })?;
+    if arity != usize::MAX && params.len() != arity {
+        return Err(format!(
+            "family {name:?} takes {arity} parameter(s), got {}",
+            params.len()
+        ));
+    }
+    Ok(match name {
+        "path" => path(params[0]),
+        "cycle" => {
+            if params[0] < 2 {
+                return Err("cycle needs at least 2 vertices".into());
+            }
+            cycle(params[0])
+        }
+        "star" => star(params[0]),
+        "spider" => spider(params[0]),
+        "btree" => perfect_binary_tree(params[0] as u32),
+        "kary" => {
+            if params[0] < 2 {
+                return Err("kary arity must be at least 2".into());
+            }
+            perfect_kary_tree(params[0], params[1] as u32)
+        }
+        "caterpillar" => {
+            if params[0] < 1 {
+                return Err("caterpillar needs a spine".into());
+            }
+            caterpillar(params[0], params[1])
+        }
+        "prefattach" => {
+            if params[1] == 0 || params[0] <= params[1] {
+                return Err("prefattach needs n > m >= 1".into());
+            }
+            preferential_attachment(params[0], params[1], rng)
+        }
+        "random-tree" => {
+            let n = params[0];
+            if n <= 1 {
+                return Ok(OwnedDigraph::empty(n));
+            }
+            let edges = random_tree_edges(n, rng);
+            orient_away_from_root(n, &edges, 0)
+        }
+        "random" => {
+            let n = params.len();
+            if let Some((u, &b)) = params.iter().enumerate().find(|&(_, &b)| b >= n.max(1)) {
+                return Err(format!("budget {b} of vertex {u} is not less than n = {n}"));
+            }
+            random_realization(params, rng)
+        }
+        _ => unreachable!("family table and match arms agree"),
+    })
 }
 
 #[cfg(test)]
@@ -596,6 +687,79 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), edges.len(), "duplicate edges");
         }
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        // n = 0 / n = 1 across the deterministic families.
+        assert_eq!(path(0).n(), 0);
+        assert_eq!(path(1).n(), 1);
+        assert_eq!(path(1).total_arcs(), 0);
+        assert_eq!(star(0).n(), 0);
+        assert_eq!(star(1).n(), 1);
+        assert_eq!(complete_edges(0).len(), 0);
+        assert_eq!(complete_edges(1).len(), 0);
+        // spider(0): the lone hub.
+        let s = spider(0);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.total_arcs(), 0);
+        // One-column grids are paths; empty grids are empty.
+        let (n, edges) = grid_edges(1, 5);
+        assert_eq!(n, 5);
+        assert_eq!(edges.len(), 4);
+        let csr = Csr::from_edges(n, &edges);
+        assert_eq!(diameter(&csr), Diameter::Finite(4));
+        assert_eq!(grid_edges(0, 7), (0, vec![]));
+        assert_eq!(grid_edges(1, 0), (0, vec![]));
+        // Empty-instance random families.
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_realization(&[], &mut rng).n(), 0);
+        assert!(random_tree_edges(0, &mut rng).is_empty());
+        assert!(random_tree_edges(1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn registry_builds_every_family() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(from_name("path", &[4], &mut rng).unwrap(), path(4));
+        assert_eq!(from_name("cycle", &[5], &mut rng).unwrap(), cycle(5));
+        assert_eq!(from_name("star", &[6], &mut rng).unwrap(), star(6));
+        assert_eq!(from_name("spider", &[2], &mut rng).unwrap(), spider(2));
+        assert_eq!(
+            from_name("btree", &[3], &mut rng).unwrap(),
+            perfect_binary_tree(3)
+        );
+        assert_eq!(
+            from_name("kary", &[3, 2], &mut rng).unwrap(),
+            perfect_kary_tree(3, 2)
+        );
+        assert_eq!(
+            from_name("caterpillar", &[3, 4], &mut rng).unwrap(),
+            caterpillar(3, 4)
+        );
+        let g = from_name("prefattach", &[20, 2], &mut rng).unwrap();
+        assert_eq!(g.n(), 20);
+        let g = from_name("random-tree", &[9], &mut rng).unwrap();
+        assert_eq!(g.total_arcs(), 8);
+        let g = from_name("random", &[1, 1, 2, 0], &mut rng).unwrap();
+        assert_eq!(g.out_degrees(), vec![1, 1, 2, 0]);
+    }
+
+    #[test]
+    fn registry_rejects_bad_requests() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(from_name("moebius", &[4], &mut rng)
+            .unwrap_err()
+            .contains("unknown generator family"));
+        assert!(from_name("path", &[1, 2], &mut rng)
+            .unwrap_err()
+            .contains("1 parameter"));
+        assert!(from_name("cycle", &[1], &mut rng).is_err());
+        assert!(from_name("kary", &[1, 2], &mut rng).is_err());
+        assert!(from_name("prefattach", &[2, 5], &mut rng).is_err());
+        assert!(from_name("random", &[9, 9], &mut rng)
+            .unwrap_err()
+            .contains("not less than"));
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Perturbation events: the world changing under the players' feet.
+//!
+//! Each event maps a [`Realization`] to a new one, drawing any
+//! randomness from the run's seeded RNG, so whole scenarios stay
+//! deterministic (and checkpoint/resume bit-identical). Budgets in this
+//! game are *implied* by out-degrees, so events that add or remove arcs
+//! are exactly budget grants and revocations.
+
+use bbncg_core::Realization;
+use bbncg_graph::{NodeId, OwnedDigraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `count` agents arrive; each buys `budget` links to distinct,
+/// uniformly chosen agents already present (including earlier arrivals
+/// of the same event). Budgets above the available pool are clamped.
+pub fn arrive(state: &Realization, count: usize, budget: usize, rng: &mut impl Rng) -> Realization {
+    let n = state.n();
+    let mut out: Vec<Vec<NodeId>> = (0..n)
+        .map(|u| state.graph().out(NodeId::new(u)).to_vec())
+        .collect();
+    for j in 0..count {
+        let existing = n + j;
+        let mut pool: Vec<usize> = (0..existing).collect();
+        pool.shuffle(rng);
+        let targets: Vec<NodeId> = pool.into_iter().take(budget).map(NodeId::new).collect();
+        out.push(targets);
+    }
+    Realization::new(OwnedDigraph::from_out_lists(out))
+}
+
+/// Pick `count` distinct random departures (all but one node at most).
+pub fn pick_departures(state: &Realization, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let n = state.n();
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    ids.truncate(count.min(n.saturating_sub(1)));
+    ids
+}
+
+/// The listed agents leave. Survivors are renumbered in order; their
+/// arcs to departed targets are retargeted to a uniformly chosen legal
+/// survivor, or dropped (a budget loss) when none exists.
+///
+/// Errors if a departure index is out of range or the event would leave
+/// the game empty.
+pub fn depart(
+    state: &Realization,
+    nodes: &[usize],
+    rng: &mut impl Rng,
+) -> Result<Realization, String> {
+    let n = state.n();
+    let mut gone = vec![false; n];
+    for &d in nodes {
+        if d >= n {
+            return Err(format!("departure {d} out of range (n = {n})"));
+        }
+        gone[d] = true;
+    }
+    let survivors = gone.iter().filter(|&&g| !g).count();
+    if survivors == 0 {
+        return Err("departure event would remove every agent".into());
+    }
+    // old id -> new id for survivors.
+    let mut remap = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for (u, &g) in gone.iter().enumerate() {
+        if !g {
+            remap[u] = next;
+            next += 1;
+        }
+    }
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); survivors];
+    for u in 0..n {
+        if gone[u] {
+            continue;
+        }
+        let nu = remap[u];
+        let mut targets: Vec<usize> = Vec::new();
+        let mut lost = 0usize;
+        for &t in state.graph().out(NodeId::new(u)) {
+            if gone[t.index()] {
+                lost += 1;
+            } else {
+                targets.push(remap[t.index()]);
+            }
+        }
+        for _ in 0..lost {
+            // Retarget to any survivor that is not `nu` and not already
+            // a target; drop the arc when the pool is exhausted.
+            let candidates: Vec<usize> = (0..survivors)
+                .filter(|&v| v != nu && !targets.contains(&v))
+                .collect();
+            match candidates.choose(rng) {
+                Some(&v) => targets.push(v),
+                None => break,
+            }
+        }
+        out[nu] = targets.into_iter().map(NodeId::new).collect();
+    }
+    Ok(Realization::new(OwnedDigraph::from_out_lists(out)))
+}
+
+/// Pick `count` distinct random shock targets.
+pub fn pick_nodes(state: &Realization, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let n = state.n();
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    ids.truncate(count.min(n));
+    ids
+}
+
+/// Grant (`delta > 0`) or revoke (`delta < 0`) budget on the listed
+/// nodes. Grants buy links to uniformly chosen fresh targets (fewer if
+/// the node is already linked to everyone); revocations remove
+/// uniformly chosen owned arcs (all of them if `|delta|` exceeds the
+/// budget).
+///
+/// Errors if a node index is out of range.
+pub fn budget_shock(
+    state: &Realization,
+    nodes: &[usize],
+    delta: i64,
+    rng: &mut impl Rng,
+) -> Result<Realization, String> {
+    let n = state.n();
+    let mut out: Vec<Vec<NodeId>> = (0..n)
+        .map(|u| state.graph().out(NodeId::new(u)).to_vec())
+        .collect();
+    for &u in nodes {
+        if u >= n {
+            return Err(format!("shock target {u} out of range (n = {n})"));
+        }
+        if delta > 0 {
+            for _ in 0..delta {
+                let candidates: Vec<NodeId> = (0..n)
+                    .map(NodeId::new)
+                    .filter(|&v| v.index() != u && !out[u].contains(&v))
+                    .collect();
+                match candidates.choose(rng) {
+                    Some(&v) => out[u].push(v),
+                    None => break,
+                }
+            }
+        } else {
+            for _ in 0..delta.unsigned_abs() {
+                if out[u].is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..out[u].len());
+                out[u].swap_remove(i);
+            }
+        }
+    }
+    Ok(Realization::new(OwnedDigraph::from_out_lists(out)))
+}
+
+/// Delete `count` arcs. Adversarial mode greedily removes, one at a
+/// time, the arc whose loss maximizes the social cost (ties broken by
+/// owner order — deterministic, no randomness); uniform mode removes
+/// random arcs. Owners simply lose the budget.
+pub fn delete_edges(
+    state: &Realization,
+    count: usize,
+    adversarial: bool,
+    rng: &mut impl Rng,
+) -> Realization {
+    let mut g = state.graph().clone();
+    for _ in 0..count {
+        let arcs: Vec<(NodeId, NodeId)> = g.arcs().collect();
+        if arcs.is_empty() {
+            break;
+        }
+        let (u, v) = if adversarial {
+            *arcs
+                .iter()
+                .max_by_key(|&&(u, v)| {
+                    let mut probe = g.clone();
+                    probe.remove_arc(u, v);
+                    Realization::new(probe).social_diameter()
+                })
+                .expect("non-empty arc list")
+        } else {
+            *arcs.choose(rng).expect("non-empty arc list")
+        };
+        g.remove_arc(u, v);
+    }
+    Realization::new(g)
+}
+
+/// Re-orient every arc by a fair coin flip from `rng` (callers pass a
+/// *reseeded* stream — see `PhaseSpec::Reorient`). A flip that would
+/// collide with an already-placed arc keeps its original orientation,
+/// so the underlying multigraph (and total budget) is preserved.
+pub fn reorient(state: &Realization, rng: &mut impl Rng) -> Realization {
+    let n = state.n();
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (u, v) in state.graph().arcs() {
+        let (a, b) = if rng.gen::<bool>() { (v, u) } else { (u, v) };
+        if !out[a.index()].contains(&b) {
+            out[a.index()].push(b);
+        } else {
+            // The flipped slot is taken (the other half of a brace got
+            // there first); fall back to the untaken orientation.
+            debug_assert!(!out[b.index()].contains(&a));
+            out[b.index()].push(a);
+        }
+    }
+    Realization::new(OwnedDigraph::from_out_lists(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_cycle(n: usize) -> Realization {
+        Realization::new(generators::cycle(n))
+    }
+
+    #[test]
+    fn arrivals_grow_the_game() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = arrive(&unit_cycle(5), 3, 2, &mut rng);
+        assert_eq!(r.n(), 8);
+        assert_eq!(r.budgets().as_slice()[5..], [2, 2, 2]);
+        // Existing strategies are untouched.
+        assert_eq!(r.budgets().as_slice()[..5], [1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn arrival_budget_clamps_to_pool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let start = Realization::new(generators::path(2));
+        let r = arrive(&start, 1, 10, &mut rng);
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.graph().out_degree(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn departures_shrink_and_retarget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = depart(&unit_cycle(6), &[2, 4], &mut rng).unwrap();
+        assert_eq!(r.n(), 4);
+        // Total budget preserved: every orphaned arc found a survivor
+        // to retarget to (n = 4 leaves plenty of room).
+        assert_eq!(r.graph().total_arcs(), 4);
+        assert!(depart(&unit_cycle(3), &[0, 1, 2], &mut rng).is_err());
+        assert!(depart(&unit_cycle(3), &[9], &mut rng).is_err());
+    }
+
+    #[test]
+    fn shocks_grant_and_revoke() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = budget_shock(&unit_cycle(6), &[0, 3], 2, &mut rng).unwrap();
+        assert_eq!(r.budgets().as_slice(), &[3, 1, 1, 3, 1, 1]);
+        let r = budget_shock(&r, &[0], -5, &mut rng).unwrap();
+        assert_eq!(r.budgets().get(0), 0);
+        assert!(budget_shock(&unit_cycle(3), &[7], 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn grants_clamp_at_complete_links() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = budget_shock(&unit_cycle(3), &[0], 10, &mut rng).unwrap();
+        assert_eq!(r.budgets().get(0), 2); // linked to everyone else
+    }
+
+    #[test]
+    fn adversarial_deletion_picks_the_worst_arc() {
+        // A cycle with a pendant path: deleting the pendant's arc
+        // disconnects (cost n²); the adversary must find it.
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (4, 3)]);
+        let r = Realization::new(g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let after = delete_edges(&r, 1, true, &mut rng);
+        assert!(!after.is_connected());
+        assert_eq!(after.graph().total_arcs(), 4);
+        // Uniform mode deletes exactly one arc too.
+        let after = delete_edges(&r, 1, false, &mut rng);
+        assert_eq!(after.graph().total_arcs(), 4);
+        // Deleting more arcs than exist empties the graph quietly.
+        let after = delete_edges(&r, 99, false, &mut rng);
+        assert_eq!(after.graph().total_arcs(), 0);
+    }
+
+    #[test]
+    fn reorientation_preserves_the_underlying_graph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::random_realization(&[2, 1, 1, 0, 2], &mut rng);
+        let r = Realization::new(g);
+        let before = r.graph().total_arcs();
+        let after = reorient(&r, &mut rng);
+        assert_eq!(after.graph().total_arcs(), before);
+        let mut e0 = r.csr().simple_edges();
+        let mut e1 = after.csr().simple_edges();
+        e0.sort_unstable();
+        e1.sort_unstable();
+        assert_eq!(e0, e1);
+    }
+
+    #[test]
+    fn braces_survive_reorientation() {
+        let g = OwnedDigraph::from_arcs(2, &[(0, 1), (1, 0)]);
+        let r = Realization::new(g);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let after = reorient(&r, &mut rng);
+            assert_eq!(after.graph().total_arcs(), 2);
+            assert!(after.graph().is_brace(NodeId::new(0), NodeId::new(1)));
+        }
+    }
+}

@@ -1,0 +1,717 @@
+//! Typed scenario specifications, validated out of the TOML subset.
+//!
+//! A spec names an initial state, default dynamics parameters, and an
+//! ordered timeline of phases — dynamics runs interleaved with
+//! perturbation events. See the repository README ("Scenario specs")
+//! for the grammar and `examples/scenarios/` for working files.
+
+use crate::toml::{self, SpecError, TomlTable, Value};
+use bbncg_core::{CostModel, DynamicsConfig, PlayerOrder, ResponseRule};
+use rand::SeedableRng as _;
+
+/// How the initial realization is produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InitSpec {
+    /// A named `bbncg_graph::generators` family (random families draw
+    /// from the run's seeded RNG; `"random"` takes the budget vector as
+    /// its parameters).
+    Family {
+        /// Registry name (see `bbncg_graph::generators::FAMILIES`).
+        family: String,
+        /// Integer parameters.
+        params: Vec<usize>,
+    },
+    /// An explicit arc list.
+    Inline {
+        /// Number of players.
+        n: usize,
+        /// `(owner, target)` arcs.
+        arcs: Vec<(usize, usize)>,
+    },
+}
+
+/// Which game the dynamics phases play.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The paper's undirected game (distances in `U(G)`).
+    Undirected,
+    /// The Laoutaris et al. directed baseline (round-robin exact best
+    /// response; `model`/`rule`/`order` do not apply).
+    Directed,
+}
+
+/// One timeline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhaseSpec {
+    /// Run best-response dynamics (fields override `[dynamics]`).
+    Dynamics {
+        /// Round budget for this phase.
+        rounds: Option<usize>,
+        /// Cost model override.
+        model: Option<CostModel>,
+        /// Response-rule override.
+        rule: Option<ResponseRule>,
+        /// Activation-order override.
+        order: Option<PlayerOrder>,
+    },
+    /// `count` new agents arrive, each buying `budget` links to
+    /// uniformly chosen existing agents.
+    Arrive {
+        /// Number of arrivals.
+        count: usize,
+        /// Links each arrival buys.
+        budget: usize,
+    },
+    /// Agents leave; arcs that pointed at them are retargeted uniformly
+    /// at random (or dropped when no legal target remains).
+    Depart {
+        /// Explicit departures (empty ⇒ pick `count` at random).
+        nodes: Vec<usize>,
+        /// Random departure count when `nodes` is empty.
+        count: usize,
+    },
+    /// Grant (`delta > 0`) or revoke (`delta < 0`) budget to a node
+    /// set: granted links go to random fresh targets, revoked links are
+    /// removed at random.
+    BudgetShock {
+        /// Explicit node set (empty ⇒ pick `count` at random).
+        nodes: Vec<usize>,
+        /// Random node count when `nodes` is empty.
+        count: usize,
+        /// Signed budget change per selected node.
+        delta: i64,
+    },
+    /// Delete `count` arcs: the adversary removes the arc whose loss
+    /// maximizes social cost (greedily, one at a time), or uniformly
+    /// random arcs when `adversarial = false`.
+    DeleteEdges {
+        /// Arcs to delete.
+        count: usize,
+        /// Worst-case (`true`, default) vs uniform deletion.
+        adversarial: bool,
+    },
+    /// Re-orient every arc by a fair coin flip using a *reseeded* RNG
+    /// (`seed` fixed in the spec, or drawn from the run stream).
+    Reorient {
+        /// Explicit reseed; `None` draws one from the run's RNG.
+        seed: Option<u64>,
+    },
+}
+
+impl PhaseSpec {
+    /// The phase's `kind` label, as written in specs and metric records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhaseSpec::Dynamics { .. } => "dynamics",
+            PhaseSpec::Arrive { .. } => "arrive",
+            PhaseSpec::Depart { .. } => "depart",
+            PhaseSpec::BudgetShock { .. } => "budget-shock",
+            PhaseSpec::DeleteEdges { .. } => "delete-edges",
+            PhaseSpec::Reorient { .. } => "reorient",
+        }
+    }
+}
+
+/// A validated scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Scenario name (for records and checkpoints).
+    pub name: String,
+    /// Base seed; run `k` of a sweep uses `seed + k`.
+    pub seed: u64,
+    /// Sweep width (number of seeds; default 1).
+    pub seeds: usize,
+    /// Initial state.
+    pub init: InitSpec,
+    /// Default dynamics parameters for `kind = "dynamics"` phases.
+    pub defaults: DynamicsConfig,
+    /// Undirected (default) or directed dynamics.
+    pub variant: Variant,
+    /// The timeline.
+    pub phases: Vec<PhaseSpec>,
+    /// FNV-1a hash of the source text; checkpoints pin it so a resume
+    /// against an edited spec fails loudly.
+    pub spec_hash: u64,
+}
+
+/// FNV-1a over raw bytes — the stable hash used for spec identity and
+/// state hashes in metric records (unlike `DefaultHasher`, guaranteed
+/// stable across platforms and std versions).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn get_int(t: &TomlTable, key: &str) -> Result<Option<i64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Int(v)) => Ok(Some(*v)),
+        Some(v) => Err(SpecError::at(
+            t.line,
+            format!(
+                "[{}] {key} must be an integer, got {}",
+                t.name,
+                v.type_name()
+            ),
+        )),
+    }
+}
+
+fn get_usize(t: &TomlTable, key: &str) -> Result<Option<usize>, SpecError> {
+    match get_int(t, key)? {
+        None => Ok(None),
+        Some(v) if v >= 0 => Ok(Some(v as usize)),
+        Some(v) => Err(SpecError::at(
+            t.line,
+            format!("[{}] {key} must be non-negative, got {v}", t.name),
+        )),
+    }
+}
+
+fn get_str<'a>(t: &'a TomlTable, key: &str) -> Result<Option<&'a str>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.as_str())),
+        Some(v) => Err(SpecError::at(
+            t.line,
+            format!("[{}] {key} must be a string, got {}", t.name, v.type_name()),
+        )),
+    }
+}
+
+fn get_bool(t: &TomlTable, key: &str) -> Result<Option<bool>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(v) => Err(SpecError::at(
+            t.line,
+            format!(
+                "[{}] {key} must be a boolean, got {}",
+                t.name,
+                v.type_name()
+            ),
+        )),
+    }
+}
+
+fn get_usize_list(t: &TomlTable, key: &str) -> Result<Option<Vec<usize>>, SpecError> {
+    let items = match t.get(key) {
+        None => return Ok(None),
+        Some(Value::List(items)) => items,
+        Some(v) => {
+            return Err(SpecError::at(
+                t.line,
+                format!("[{}] {key} must be an array, got {}", t.name, v.type_name()),
+            ))
+        }
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Value::Int(v) if *v >= 0 => out.push(*v as usize),
+            _ => {
+                return Err(SpecError::at(
+                    t.line,
+                    format!("[{}] {key} must hold non-negative integers", t.name),
+                ))
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+fn parse_model(s: &str, line: usize) -> Result<CostModel, SpecError> {
+    match s {
+        "sum" | "SUM" => Ok(CostModel::Sum),
+        "max" | "MAX" => Ok(CostModel::Max),
+        other => Err(SpecError::at(
+            line,
+            format!("unknown model {other:?} (sum|max)"),
+        )),
+    }
+}
+
+fn parse_rule(s: &str, line: usize) -> Result<ResponseRule, SpecError> {
+    match s {
+        "exact" => Ok(ResponseRule::ExactBest),
+        "better" => Ok(ResponseRule::FirstImproving),
+        "greedy" => Ok(ResponseRule::Greedy),
+        "swap" => Ok(ResponseRule::BestSwap),
+        other => Err(SpecError::at(
+            line,
+            format!("unknown rule {other:?} (exact|better|greedy|swap)"),
+        )),
+    }
+}
+
+fn parse_order(s: &str, line: usize) -> Result<PlayerOrder, SpecError> {
+    match s {
+        "rr" | "round-robin" => Ok(PlayerOrder::RoundRobin),
+        "random" => Ok(PlayerOrder::RandomPermutation),
+        other => Err(SpecError::at(
+            line,
+            format!("unknown order {other:?} (round-robin|random)"),
+        )),
+    }
+}
+
+fn check_keys(t: &TomlTable, allowed: &[&str]) -> Result<(), SpecError> {
+    for k in t.keys() {
+        if !allowed.contains(&k) {
+            return Err(SpecError::at(
+                t.line,
+                format!(
+                    "[{}] unknown key {k:?} (allowed: {})",
+                    t.name,
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_init(t: &TomlTable) -> Result<InitSpec, SpecError> {
+    check_keys(t, &["family", "params", "budgets", "n", "budget", "arcs"])?;
+    let family = get_str(t, "family")?
+        .ok_or_else(|| SpecError::at(t.line, "[init] requires family = \"...\""))?;
+    match family {
+        "inline" => {
+            let n = get_usize(t, "n")?
+                .ok_or_else(|| SpecError::at(t.line, "[init] inline requires n"))?;
+            let raw = match t.get("arcs") {
+                Some(Value::List(items)) => items,
+                _ => {
+                    return Err(SpecError::at(
+                        t.line,
+                        "[init] inline requires arcs = [[u, v], …]",
+                    ))
+                }
+            };
+            let mut arcs = Vec::with_capacity(raw.len());
+            for item in raw {
+                match item {
+                    Value::List(pair) => match pair.as_slice() {
+                        [Value::Int(u), Value::Int(v)] if *u >= 0 && *v >= 0 => {
+                            let (u, v) = (*u as usize, *v as usize);
+                            if u >= n || v >= n || u == v || arcs.contains(&(u, v)) {
+                                return Err(SpecError::at(
+                                    t.line,
+                                    format!("[init] invalid arc [{u}, {v}]"),
+                                ));
+                            }
+                            arcs.push((u, v));
+                        }
+                        _ => {
+                            return Err(SpecError::at(t.line, "[init] arcs entries must be [u, v]"))
+                        }
+                    },
+                    _ => return Err(SpecError::at(t.line, "[init] arcs entries must be [u, v]")),
+                }
+            }
+            Ok(InitSpec::Inline { n, arcs })
+        }
+        "uniform" => {
+            // Shorthand: uniform random realization of n equal budgets.
+            let n = get_usize(t, "n")?
+                .ok_or_else(|| SpecError::at(t.line, "[init] uniform requires n"))?;
+            let b = get_usize(t, "budget")?
+                .ok_or_else(|| SpecError::at(t.line, "[init] uniform requires budget"))?;
+            if n > 0 && b >= n {
+                return Err(SpecError::at(
+                    t.line,
+                    format!("[init] budget {b} ≥ n = {n}"),
+                ));
+            }
+            Ok(InitSpec::Family {
+                family: "random".into(),
+                params: vec![b; n],
+            })
+        }
+        "random" => {
+            let budgets = get_usize_list(t, "budgets")?
+                .ok_or_else(|| SpecError::at(t.line, "[init] random requires budgets = [...]"))?;
+            let n = budgets.len();
+            if let Some(&b) = budgets.iter().find(|&&b| b >= n.max(1)) {
+                return Err(SpecError::at(
+                    t.line,
+                    format!("[init] budget {b} ≥ n = {n}"),
+                ));
+            }
+            Ok(InitSpec::Family {
+                family: "random".into(),
+                params: budgets,
+            })
+        }
+        name => {
+            let known = bbncg_graph::generators::FAMILIES
+                .iter()
+                .any(|&(f, _, _)| f == name);
+            if !known {
+                return Err(SpecError::at(
+                    t.line,
+                    format!("[init] unknown family {name:?}"),
+                ));
+            }
+            let params = get_usize_list(t, "params")?
+                .ok_or_else(|| SpecError::at(t.line, "[init] requires params = [...]"))?;
+            // Dry-run the registry so arity and value constraints
+            // (cycle n ≥ 2, prefattach n > m, …) fail at `validate`
+            // time with a line number, not at `run` time. Whether
+            // `from_name` errors never depends on the RNG, so this
+            // decides exactly what the real seeded build will hit.
+            let mut probe = rand::rngs::StdRng::seed_from_u64(0);
+            if let Err(e) = bbncg_graph::generators::from_name(name, &params, &mut probe) {
+                return Err(SpecError::at(t.line, format!("[init] {e}")));
+            }
+            Ok(InitSpec::Family {
+                family: name.to_string(),
+                params,
+            })
+        }
+    }
+}
+
+fn parse_phase(t: &TomlTable) -> Result<PhaseSpec, SpecError> {
+    let kind = get_str(t, "kind")?
+        .ok_or_else(|| SpecError::at(t.line, "[[phase]] requires kind = \"...\""))?;
+    match kind {
+        "dynamics" => {
+            check_keys(t, &["kind", "rounds", "model", "rule", "order"])?;
+            Ok(PhaseSpec::Dynamics {
+                rounds: get_usize(t, "rounds")?,
+                model: get_str(t, "model")?
+                    .map(|s| parse_model(s, t.line))
+                    .transpose()?,
+                rule: get_str(t, "rule")?
+                    .map(|s| parse_rule(s, t.line))
+                    .transpose()?,
+                order: get_str(t, "order")?
+                    .map(|s| parse_order(s, t.line))
+                    .transpose()?,
+            })
+        }
+        "arrive" => {
+            check_keys(t, &["kind", "count", "budget"])?;
+            Ok(PhaseSpec::Arrive {
+                count: get_usize(t, "count")?.unwrap_or(1),
+                budget: get_usize(t, "budget")?.unwrap_or(1),
+            })
+        }
+        "depart" => {
+            check_keys(t, &["kind", "nodes", "count"])?;
+            let nodes = get_usize_list(t, "nodes")?.unwrap_or_default();
+            let count = get_usize(t, "count")?.unwrap_or(1);
+            if nodes.is_empty() && count == 0 {
+                return Err(SpecError::at(
+                    t.line,
+                    "[[phase]] depart needs nodes or count",
+                ));
+            }
+            Ok(PhaseSpec::Depart { nodes, count })
+        }
+        "budget-shock" => {
+            check_keys(t, &["kind", "nodes", "count", "delta"])?;
+            let delta = get_int(t, "delta")?
+                .ok_or_else(|| SpecError::at(t.line, "[[phase]] budget-shock requires delta"))?;
+            if delta == 0 {
+                return Err(SpecError::at(
+                    t.line,
+                    "[[phase]] budget-shock delta must be non-zero",
+                ));
+            }
+            Ok(PhaseSpec::BudgetShock {
+                nodes: get_usize_list(t, "nodes")?.unwrap_or_default(),
+                count: get_usize(t, "count")?.unwrap_or(1),
+                delta,
+            })
+        }
+        "delete-edges" => {
+            check_keys(t, &["kind", "count", "adversarial"])?;
+            Ok(PhaseSpec::DeleteEdges {
+                count: get_usize(t, "count")?.unwrap_or(1),
+                adversarial: get_bool(t, "adversarial")?.unwrap_or(true),
+            })
+        }
+        "reorient" => {
+            check_keys(t, &["kind", "seed"])?;
+            Ok(PhaseSpec::Reorient {
+                seed: get_usize(t, "seed")?.map(|s| s as u64),
+            })
+        }
+        other => Err(SpecError::at(
+            t.line,
+            format!(
+                "unknown phase kind {other:?} \
+                 (dynamics|arrive|depart|budget-shock|delete-edges|reorient)"
+            ),
+        )),
+    }
+}
+
+/// Parse and validate a scenario spec from TOML-subset source text.
+pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
+    let doc = toml::parse(text)?;
+    if !doc.root.entries.is_empty() {
+        return Err(SpecError::at(
+            doc.root.entries.first().map(|_| 1).unwrap_or(0),
+            "keys must live inside a section ([scenario], [init], [dynamics], [[phase]])",
+        ));
+    }
+    for s in &doc.sections {
+        if !matches!(s.name.as_str(), "scenario" | "init" | "dynamics" | "phase") {
+            return Err(SpecError::at(
+                s.line,
+                format!("unknown section [{}]", s.name),
+            ));
+        }
+        if (s.name == "phase") != s.is_array {
+            return Err(SpecError::at(
+                s.line,
+                format!(
+                    "[{}] must be written as {}",
+                    s.name,
+                    if s.name == "phase" {
+                        "[[phase]]"
+                    } else {
+                        "a plain [section]"
+                    }
+                ),
+            ));
+        }
+    }
+
+    let empty = TomlTable::default();
+    let sc = doc.section("scenario").unwrap_or(&empty);
+    check_keys(sc, &["name", "seed", "seeds"])?;
+    let name = get_str(sc, "name")?.unwrap_or("unnamed").to_string();
+    let seed = get_usize(sc, "seed")?.unwrap_or(0) as u64;
+    let seeds = get_usize(sc, "seeds")?.unwrap_or(1).max(1);
+
+    let init = parse_init(
+        doc.section("init")
+            .ok_or_else(|| SpecError::at(0, "missing [init] section"))?,
+    )?;
+
+    let dy = doc.section("dynamics").unwrap_or(&empty);
+    check_keys(dy, &["model", "rule", "order", "max_rounds", "variant"])?;
+    let defaults = DynamicsConfig {
+        model: get_str(dy, "model")?
+            .map(|s| parse_model(s, dy.line))
+            .transpose()?
+            .unwrap_or(CostModel::Sum),
+        rule: get_str(dy, "rule")?
+            .map(|s| parse_rule(s, dy.line))
+            .transpose()?
+            .unwrap_or(ResponseRule::ExactBest),
+        order: get_str(dy, "order")?
+            .map(|s| parse_order(s, dy.line))
+            .transpose()?
+            .unwrap_or(PlayerOrder::RoundRobin),
+        max_rounds: get_usize(dy, "max_rounds")?.unwrap_or(300),
+    };
+    let variant = match get_str(dy, "variant")?.unwrap_or("undirected") {
+        "undirected" => Variant::Undirected,
+        "directed" => Variant::Directed,
+        other => {
+            return Err(SpecError::at(
+                dy.line,
+                format!("unknown variant {other:?} (undirected|directed)"),
+            ))
+        }
+    };
+
+    let phases: Vec<PhaseSpec> = doc
+        .array_sections("phase")
+        .map(parse_phase)
+        .collect::<Result<_, _>>()?;
+    if phases.is_empty() {
+        return Err(SpecError::at(0, "scenario has no [[phase]] entries"));
+    }
+
+    Ok(ScenarioSpec {
+        name,
+        seed,
+        seeds,
+        init,
+        defaults,
+        variant,
+        phases,
+        spec_hash: fnv1a(text.as_bytes()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHURN: &str = r#"
+[scenario]
+name = "churn"
+seed = 7
+seeds = 2
+
+[init]
+family = "random"
+budgets = [1, 1, 1, 1, 1, 1]
+
+[dynamics]
+model = "sum"
+rule = "exact"
+max_rounds = 200
+
+[[phase]]
+kind = "dynamics"
+
+[[phase]]
+kind = "arrive"
+count = 2
+budget = 1
+
+[[phase]]
+kind = "dynamics"
+rounds = 50
+"#;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = parse_spec(CHURN).unwrap();
+        assert_eq!(spec.name, "churn");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.seeds, 2);
+        assert_eq!(spec.phases.len(), 3);
+        assert_eq!(spec.defaults.max_rounds, 200);
+        assert_eq!(spec.phases[0].kind(), "dynamics");
+        assert_eq!(
+            spec.phases[1],
+            PhaseSpec::Arrive {
+                count: 2,
+                budget: 1
+            }
+        );
+        match &spec.phases[2] {
+            PhaseSpec::Dynamics { rounds, .. } => assert_eq!(*rounds, Some(50)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            spec.init,
+            InitSpec::Family {
+                family: "random".into(),
+                params: vec![1; 6]
+            }
+        );
+    }
+
+    #[test]
+    fn uniform_shorthand_expands() {
+        let spec = parse_spec(
+            "[init]\nfamily = \"uniform\"\nn = 4\nbudget = 1\n[[phase]]\nkind = \"dynamics\"",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.init,
+            InitSpec::Family {
+                family: "random".into(),
+                params: vec![1; 4]
+            }
+        );
+    }
+
+    #[test]
+    fn inline_init_and_named_families() {
+        let spec = parse_spec(
+            "[init]\nfamily = \"inline\"\nn = 3\narcs = [[0, 1], [1, 2]]\n[[phase]]\nkind = \"reorient\"",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.init,
+            InitSpec::Inline {
+                n: 3,
+                arcs: vec![(0, 1), (1, 2)]
+            }
+        );
+        let spec =
+            parse_spec("[init]\nfamily = \"spider\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"")
+                .unwrap();
+        assert!(matches!(spec.init, InitSpec::Family { ref family, .. } if family == "spider"));
+    }
+
+    #[test]
+    fn rejects_bad_specs_with_reasons() {
+        let no_init = "[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(no_init)
+            .unwrap_err()
+            .to_string()
+            .contains("[init]"));
+        let no_phase = "[init]\nfamily = \"path\"\nparams = [4]";
+        assert!(parse_spec(no_phase)
+            .unwrap_err()
+            .to_string()
+            .contains("phase"));
+        let bad_kind = "[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"explode\"";
+        assert!(parse_spec(bad_kind)
+            .unwrap_err()
+            .to_string()
+            .contains("explode"));
+        let bad_family =
+            "[init]\nfamily = \"moebius\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad_family)
+            .unwrap_err()
+            .to_string()
+            .contains("moebius"));
+        // Value/arity constraints of known families fail at parse time
+        // (so `scenario validate` catches what `scenario run` would hit).
+        let bad_params = "[init]\nfamily = \"cycle\"\nparams = [1]\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad_params)
+            .unwrap_err()
+            .to_string()
+            .contains("at least 2"));
+        let bad_arity =
+            "[init]\nfamily = \"path\"\nparams = [2, 3]\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad_arity)
+            .unwrap_err()
+            .to_string()
+            .contains("parameter"));
+        let bad_pa =
+            "[init]\nfamily = \"prefattach\"\nparams = [2, 5]\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad_pa)
+            .unwrap_err()
+            .to_string()
+            .contains("n > m"));
+        let big_budget =
+            "[init]\nfamily = \"random\"\nbudgets = [9, 9]\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(big_budget)
+            .unwrap_err()
+            .to_string()
+            .contains("≥"));
+        let unknown_key =
+            "[init]\nfamily = \"path\"\nparams = [4]\nwat = 1\n[[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(unknown_key)
+            .unwrap_err()
+            .to_string()
+            .contains("wat"));
+        let zero_delta = "[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"budget-shock\"\ndelta = 0";
+        assert!(parse_spec(zero_delta)
+            .unwrap_err()
+            .to_string()
+            .contains("non-zero"));
+        let plain_phase = "[init]\nfamily = \"path\"\nparams = [4]\n[phase]\nkind = \"dynamics\"";
+        assert!(parse_spec(plain_phase)
+            .unwrap_err()
+            .to_string()
+            .contains("[[phase]]"));
+    }
+
+    #[test]
+    fn spec_hash_pins_the_source_text() {
+        let a = parse_spec(CHURN).unwrap();
+        let b = parse_spec(CHURN).unwrap();
+        assert_eq!(a.spec_hash, b.spec_hash);
+        let edited = CHURN.replace("seed = 7", "seed = 8");
+        assert_ne!(parse_spec(&edited).unwrap().spec_hash, a.spec_hash);
+    }
+}

@@ -1,0 +1,189 @@
+//! The engine's two headline guarantees, asserted end-to-end:
+//!
+//! 1. **Seed determinism** — `(spec, seed)` names a unique trajectory:
+//!    re-running emits identical metric records and final states.
+//! 2. **Bit-identical resume** — stopping mid-scenario, freezing a
+//!    [`Checkpoint`] through its text form, and resuming reproduces the
+//!    exact final state hash (and the exact remaining records) of an
+//!    uninterrupted run.
+
+use bbncg_scenario::{parse_spec, run_scenario, run_sweep, Checkpoint, MemorySink, ScenarioSpec};
+
+/// A scenario exercising every phase kind, with enough randomness
+/// (random init, random arrivals/departures/shocks, drawn reorient
+/// seed, random-permutation dynamics) that any RNG drift would show.
+const FULL: &str = r#"
+[scenario]
+name = "kitchen-sink"
+seed = 42
+seeds = 3
+
+[init]
+family = "random"
+budgets = [1, 1, 1, 1, 1, 1, 1, 1, 1, 1]
+
+[dynamics]
+model = "sum"
+rule = "exact"
+max_rounds = 200
+
+[[phase]]
+kind = "dynamics"
+
+[[phase]]
+kind = "arrive"
+count = 3
+budget = 2
+
+[[phase]]
+kind = "dynamics"
+order = "random"
+
+[[phase]]
+kind = "budget-shock"
+count = 2
+delta = 1
+
+[[phase]]
+kind = "delete-edges"
+count = 2
+
+[[phase]]
+kind = "depart"
+count = 2
+
+[[phase]]
+kind = "reorient"
+
+[[phase]]
+kind = "dynamics"
+rule = "swap"
+rounds = 300
+
+# Trailing event after the last dynamics phase: a resume landing here
+# must still report the persisted converged/cycled flags in its
+# summary record (they ride in the checkpoint, not just in memory).
+[[phase]]
+kind = "arrive"
+count = 1
+budget = 1
+"#;
+
+fn spec() -> ScenarioSpec {
+    parse_spec(FULL).unwrap()
+}
+
+#[test]
+fn identical_seeds_give_identical_trajectories() {
+    let spec = spec();
+    let mut a = MemorySink::default();
+    let mut b = MemorySink::default();
+    let ra = run_scenario(&spec, 5, None, &mut a, None, |_| ()).unwrap();
+    let rb = run_scenario(&spec, 5, None, &mut b, None, |_| ()).unwrap();
+    assert_eq!(a.records, b.records);
+    assert_eq!(ra.state, rb.state);
+    assert_eq!(ra.state_hash, rb.state_hash);
+    assert_eq!(ra.steps, rb.steps);
+    // A different seed diverges (overwhelmingly likely for this spec).
+    let mut c = MemorySink::default();
+    let rc = run_scenario(&spec, 6, None, &mut c, None, |_| ()).unwrap();
+    assert_ne!(ra.state_hash, rc.state_hash);
+}
+
+#[test]
+fn resume_from_any_phase_matches_the_uninterrupted_run() {
+    let spec = spec();
+    let mut full_sink = MemorySink::default();
+    let full = run_scenario(&spec, 9, None, &mut full_sink, None, |_| ()).unwrap();
+    assert!(full.completed);
+    assert_eq!(full.phases_done, spec.phases.len());
+
+    for stop in 1..spec.phases.len() {
+        // Run the first `stop` phases, freeze, thaw through the text
+        // format, and finish the timeline.
+        let mut head = MemorySink::default();
+        let part = run_scenario(&spec, 9, None, &mut head, Some(stop), |_| ()).unwrap();
+        assert!(!part.completed);
+        assert_eq!(part.phases_done, stop);
+        let frozen = part.checkpoint.to_text();
+        let thawed = Checkpoint::from_text(&frozen).unwrap();
+        assert_eq!(thawed, part.checkpoint);
+
+        let mut tail = MemorySink::default();
+        let resumed = run_scenario(&spec, 9, Some(thawed), &mut tail, None, |_| ()).unwrap();
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.state_hash, full.state_hash,
+            "resume after phase {stop} must reproduce the uninterrupted final hash"
+        );
+        assert_eq!(resumed.state, full.state);
+        assert_eq!(
+            resumed.steps, full.steps,
+            "cumulative steps after phase {stop}"
+        );
+        // head records + tail records = the uninterrupted stream.
+        let mut glued = head.records.clone();
+        glued.extend(tail.records.iter().cloned());
+        assert_eq!(glued, full_sink.records);
+    }
+}
+
+#[test]
+fn per_phase_checkpoints_resume_too() {
+    // The crash-resume path: take the checkpoint handed to the
+    // phase-end hook mid-run (not the returned one) and resume from it.
+    let spec = spec();
+    let full = run_scenario(&spec, 3, None, &mut MemorySink::default(), None, |_| ()).unwrap();
+    let mut third: Option<Checkpoint> = None;
+    run_scenario(&spec, 3, None, &mut MemorySink::default(), None, |ck| {
+        if ck.next_phase == 3 {
+            third = Some(ck.clone());
+        }
+    })
+    .unwrap();
+    let ck = third.expect("phase-end hook fired for phase 3");
+    let resumed =
+        run_scenario(&spec, 3, Some(ck), &mut MemorySink::default(), None, |_| ()).unwrap();
+    assert_eq!(resumed.state_hash, full.state_hash);
+}
+
+#[test]
+fn resume_rejects_a_mismatched_spec() {
+    let spec = spec();
+    let part = run_scenario(&spec, 1, None, &mut MemorySink::default(), Some(2), |_| ()).unwrap();
+    let edited = parse_spec(&FULL.replace("count = 3", "count = 4")).unwrap();
+    let err = run_scenario(
+        &edited,
+        1,
+        Some(part.checkpoint),
+        &mut MemorySink::default(),
+        None,
+        |_| (),
+    )
+    .unwrap_err();
+    assert!(err.contains("different spec"), "{err}");
+}
+
+#[test]
+fn sweeps_are_deterministic_and_ordered() {
+    let spec = spec();
+    let mut a = MemorySink::default();
+    let mut b = MemorySink::default();
+    let ra = run_sweep(&spec, &mut a);
+    let rb = run_sweep(&spec, &mut b);
+    assert_eq!(ra.len(), 3);
+    assert_eq!(a.records, b.records);
+    for (x, y) in ra.iter().zip(&rb) {
+        let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+        assert_eq!(x.state_hash, y.state_hash);
+    }
+    // Records arrive grouped by seed, seeds ascending.
+    let seeds: Vec<u64> = a.records.iter().map(|r| r.seed).collect();
+    let mut sorted = seeds.clone();
+    sorted.sort_unstable();
+    assert_eq!(seeds, sorted);
+    // Sweep trajectories equal their single-run counterparts.
+    let mut single = MemorySink::default();
+    let one = run_scenario(&spec, 43, None, &mut single, None, |_| ()).unwrap();
+    assert_eq!(one.state_hash, ra[1].as_ref().unwrap().state_hash);
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Emit a BENCH_dynamics.json perf baseline: dynamics steps/sec (engine
-# vs. the rebuild-per-candidate reference) and batched Nash-verify
-# throughput. Later PRs re-run this to show a perf trajectory.
+# vs. the rebuild-per-candidate reference), batched Nash-verify
+# throughput, and scenario-engine steps/sec on the churn example
+# (examples/scenarios/churn.toml). Later PRs re-run this to show a
+# perf trajectory.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail

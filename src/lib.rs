@@ -22,6 +22,9 @@
 //!   NP-hardness reductions;
 //! * [`analysis`] — structure analyzers and the experiment framework
 //!   regenerating every table and figure of the paper;
+//! * [`scenario`] — the declarative scenario engine: spec files,
+//!   perturbation events (churn, budget shocks, adversarial deletion),
+//!   checkpoint/resume, streaming JSONL metric sinks;
 //! * [`par`] — the minimal parallel-execution substrate.
 //!
 //! # Quickstart
@@ -46,3 +49,4 @@ pub use bbncg_directed as directed;
 pub use bbncg_facility as facility;
 pub use bbncg_graph as graph;
 pub use bbncg_par as par;
+pub use bbncg_scenario as scenario;
