@@ -1,14 +1,15 @@
 //! Perf-trajectory snapshot: dynamics steps/sec and Nash-verify
-//! throughput (engine vs. the rebuild-per-candidate reference), plus
-//! scenario-engine throughput on the churn workload.
+//! throughput (engine vs. the rebuild-per-candidate reference), the
+//! queue-vs-bitset cost-kernel comparison (n=32 and n=256 workloads),
+//! plus scenario-engine throughput on the churn workload.
 //!
 //! Run through `scripts/bench_snapshot.sh` (needs the `naive-ref`
 //! feature); writes a `BENCH_dynamics.json` baseline so later PRs can
 //! show a perf trajectory instead of a single point.
 
-use bbncg_core::dynamics::{run_dynamics, DynamicsConfig};
+use bbncg_core::dynamics::{run_dynamics, run_dynamics_with_kernel, DynamicsConfig};
 use bbncg_core::naive::run_dynamics_rebuild;
-use bbncg_core::{audit_equilibrium, BudgetVector, CostModel, Realization};
+use bbncg_core::{audit_equilibrium, BudgetVector, CostKernel, CostModel, Realization};
 use bbncg_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,6 +21,14 @@ use std::time::Instant;
 const N: usize = 32;
 const RUNS: u64 = 8;
 const MAX_ROUNDS: usize = 400;
+
+/// The kernel-comparison workload the bitset kernel exists for: unit
+/// budgets at n=256, exact best-response dynamics (255 candidate BFS
+/// per activation). Two seeds keep the queue side of the comparison
+/// affordable; both kernels trace identical trajectories, so the step
+/// counts cancel out of the ratio.
+const KERNEL_N: usize = 256;
+const KERNEL_RUNS: u64 = 2;
 
 /// The scenario-engine workload: the checked-in churn example
 /// (dynamics under arrivals/departures), embedded at compile time so
@@ -42,21 +51,58 @@ fn measure_scenario() -> (f64, usize) {
     (steps as f64 / secs, steps)
 }
 
-fn initial(seed: u64) -> Realization {
+fn initial_n(n: usize, seed: u64) -> Realization {
     let mut rng = StdRng::seed_from_u64(seed);
-    let budgets = BudgetVector::uniform(N, 1);
+    let budgets = BudgetVector::uniform(n, 1);
     Realization::new(generators::random_realization(budgets.as_slice(), &mut rng))
+}
+
+fn initial(seed: u64) -> Realization {
+    initial_n(N, seed)
 }
 
 /// `(steps_per_sec, total_steps)` for `runs` dynamics trajectories.
 fn measure(runs: u64, f: impl Fn(Realization) -> usize) -> (f64, usize) {
+    measure_n(N, runs, f)
+}
+
+/// [`measure`] over `n`-vertex starts.
+fn measure_n(n: usize, runs: u64, f: impl Fn(Realization) -> usize) -> (f64, usize) {
     let t = Instant::now();
     let mut steps = 0usize;
     for seed in 0..runs {
-        steps += f(initial(seed));
+        steps += f(initial_n(n, seed));
     }
     let secs = t.elapsed().as_secs_f64();
     (steps as f64 / secs, steps)
+}
+
+/// Queue-vs-bitset dynamics throughput on an `n`-vertex unit-budget
+/// workload: `(queue sps, bitset sps, total steps)`. Asserts the two
+/// kernels trace step-identical trajectories (convergence is *not*
+/// required — at n=256 the round cap keeps the queue side affordable;
+/// identical step counts make the ratio workload-fair regardless).
+fn measure_kernels(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, usize) {
+    let model = CostModel::Sum;
+    let run_with = |kernel: CostKernel| {
+        measure_n(n, runs, |init| {
+            let mut rng = StdRng::seed_from_u64(0);
+            run_dynamics_with_kernel(
+                init,
+                DynamicsConfig::exact(model, max_rounds),
+                &mut rng,
+                kernel,
+            )
+            .steps
+        })
+    };
+    let (queue_sps, queue_steps) = run_with(CostKernel::Queue);
+    let (bitset_sps, bitset_steps) = run_with(CostKernel::Bitset);
+    assert_eq!(
+        queue_steps, bitset_steps,
+        "kernels must trace identical trajectories"
+    );
+    (queue_sps, bitset_sps, queue_steps)
 }
 
 fn main() {
@@ -118,6 +164,24 @@ fn main() {
     let _ = writeln!(json, "  \"engine_speedup_vs_naive\": {speedup:.2},");
     let _ = writeln!(json, "  \"nash_verify_players_per_sec\": {verify_pps:.1},");
     let _ = writeln!(json, "  \"total_steps\": {engine_steps},");
+
+    // Cost-kernel comparison: the same exact-dynamics workload priced
+    // by the queue vs the word-parallel bitset kernel, at the existing
+    // n=32 size and at the n=256 size the bitset kernel targets.
+    let (q32, b32, _) = measure_kernels(N, RUNS, MAX_ROUNDS);
+    let (q256, b256, steps256) = measure_kernels(KERNEL_N, KERNEL_RUNS, 6);
+    let speedup256 = b256 / q256;
+    let _ = writeln!(
+        json,
+        "  \"kernel_workload_n256\": \"unit-budget exact dynamics, n={KERNEL_N}, {KERNEL_RUNS} seeds, 6 rounds\","
+    );
+    let _ = writeln!(json, "  \"kernel_steps_per_sec_queue_n32\": {q32:.1},");
+    let _ = writeln!(json, "  \"kernel_steps_per_sec_bitset_n32\": {b32:.1},");
+    let _ = writeln!(json, "  \"kernel_steps_per_sec_queue_n256\": {q256:.1},");
+    let _ = writeln!(json, "  \"kernel_steps_per_sec_bitset_n256\": {b256:.1},");
+    let _ = writeln!(json, "  \"kernel_bitset_speedup_n256\": {speedup256:.2},");
+    let _ = writeln!(json, "  \"kernel_total_steps_n256\": {steps256},");
+
     let (scenario_sps, scenario_steps) = measure_scenario();
     let _ = writeln!(
         json,
@@ -135,5 +199,10 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "acceptance: engine must be >= 2x the naive-rebuild reference (got {speedup:.2}x)"
+    );
+    assert!(
+        speedup256 >= 2.0,
+        "acceptance: bitset kernel must be >= 2x the queue kernel at n={KERNEL_N} \
+         (got {speedup256:.2}x)"
     );
 }

@@ -626,6 +626,7 @@ fn scenario_convergence_stats(
             params: budgets.as_slice().to_vec(),
         },
         defaults: cfg,
+        kernel: bbncg_core::CostKernel::Auto,
         variant: Variant::Undirected,
         phases: vec![PhaseSpec::Dynamics {
             rounds: None,

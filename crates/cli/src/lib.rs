@@ -21,11 +21,11 @@ use bbncg_analysis::{connectivity_dichotomy, path_decomposition, unit_structure}
 use bbncg_constructions::{
     binary_tree_equilibrium, shift_equilibrium, spider_equilibrium, theorem23_equilibrium,
 };
-use bbncg_core::dynamics::{run_dynamics, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg_core::dynamics::{run_dynamics_with_kernel, DynamicsConfig, PlayerOrder, ResponseRule};
 use bbncg_core::{
     best_swap_response, exact_best_response, exact_game_stats, greedy_best_response,
-    is_nash_equilibrium, is_swap_equilibrium, parse_realization, write_realization, BudgetVector,
-    CostModel, Realization,
+    is_nash_equilibrium_with_kernel, is_swap_equilibrium_with_kernel, parse_realization,
+    write_realization, BudgetVector, CostKernel, CostModel, Realization,
 };
 use bbncg_graph::{dot, generators, GraphMetrics, NodeId};
 use rand::rngs::StdRng;
@@ -107,6 +107,16 @@ fn parse_model(args: &Args) -> Result<CostModel, String> {
     }
 }
 
+/// `--kernel queue|bitset|auto` (default auto). Kernels are
+/// move-for-move equivalent, so this never changes a report — only how
+/// fast it is produced.
+fn parse_kernel(args: &Args) -> Result<CostKernel, String> {
+    match args.get("kernel") {
+        None => Ok(CostKernel::Auto),
+        Some(s) => CostKernel::parse(s).map_err(|e| format!("--kernel: {e}")),
+    }
+}
+
 fn load_realization(path: &str) -> Result<Realization, String> {
     let text = if path == "-" {
         use std::io::Read as _;
@@ -150,6 +160,7 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
     let path = args.positional(0).ok_or("verify needs a FILE (or -)")?;
     let r = load_realization(path)?;
     let model = parse_model(args)?;
+    let kernel = parse_kernel(args)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -163,13 +174,13 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
         return Err("--swap and --audit are mutually exclusive".into());
     }
     if args.has("--swap") {
-        let ok = is_swap_equilibrium(&r, model);
+        let ok = is_swap_equilibrium_with_kernel(&r, model, kernel);
         let _ = writeln!(out, "swap equilibrium ({}) = {}", model.label(), ok);
     } else if args.has("--audit") {
         // Full batched engine pass: verdict, exact best-response gap
         // and every violator from one audit_equilibrium sweep (no
         // early exit — each player's whole candidate space is priced).
-        let audit = bbncg_core::audit_equilibrium(&r, model);
+        let audit = bbncg_core::audit_equilibrium_with_kernel(&r, model, kernel);
         let ok = audit.is_nash();
         let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
         let _ = writeln!(out, "best-response gap = {}", audit.gap());
@@ -184,10 +195,10 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
         // Default: early-exiting engine passes — players short-circuit
         // on the first profitable deviation, and the parallel check
         // stops all workers once any player is refuted.
-        let ok = is_nash_equilibrium(&r, model);
+        let ok = is_nash_equilibrium_with_kernel(&r, model, kernel);
         let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
         if !ok {
-            if let Some(v) = bbncg_core::find_violation(&r, model) {
+            if let Some(v) = bbncg_core::find_violation_with_kernel(&r, model, kernel) {
                 let _ = writeln!(
                     out,
                     "violator: player {} can improve {} -> {}",
@@ -248,6 +259,7 @@ pub fn cmd_best_response(args: &Args) -> Result<String, String> {
 /// command line (asserted end-to-end in `tests/end_to_end.rs`).
 pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
     let model = parse_model(args)?;
+    let kernel = parse_kernel(args)?;
     let seed: u64 = args
         .get("seed")
         .unwrap_or("0")
@@ -287,7 +299,7 @@ pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
         rule,
         max_rounds: rounds,
     };
-    let report = run_dynamics(initial, cfg, &mut rng);
+    let report = run_dynamics_with_kernel(initial, cfg, &mut rng, kernel);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -356,6 +368,12 @@ pub fn cmd_scenario(args: &Args) -> Result<String, String> {
     let mut spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some(s) = args.get("seed") {
         spec.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if args.get("kernel").is_some() {
+        // Overrides the spec's [dynamics] kernel field. Safe for
+        // resumes too: kernels are move-for-move equivalent, so the
+        // continued trajectory is unchanged.
+        spec.kernel = parse_kernel(args)?;
     }
     let stop_after: Option<usize> = args
         .get("stop-after")
@@ -561,21 +579,25 @@ USAGE: bbncg <COMMAND> [ARGS]
 
 COMMANDS:
   construct       --budgets 1,1,2,0 | --spider K | --btree H | --shift K
-  verify          FILE [--model sum|max] [--swap|--audit]
+  verify          FILE [--model sum|max] [--swap|--audit] [--kernel queue|bitset|auto]
   best-response   FILE --player I [--model sum|max] [--rule exact|greedy|swap]
   dynamics        [FILE] --budgets LIST [--model sum|max] [--seed S]
                   [--rule exact|better|greedy|swap] [--order rr|random]
-                  [--rounds N] [--emit profile]
+                  [--rounds N] [--emit profile] [--kernel queue|bitset|auto]
   analyze         FILE
   exact-poa       --budgets LIST [--model sum|max] [--limit N]
   scenario        run SPEC [--seed S] [--out FILE] [--checkpoint FILE] [--stop-after K]
                   | resume SPEC --checkpoint FILE [--out FILE]
                   | validate SPEC...
+                  (all: [--kernel queue|bitset|auto], overriding the spec)
   dot             FILE
 
 Profiles use the plain-text `bbncg v1` format; FILE may be `-` (stdin).
 Dynamics and scenarios are seed-deterministic: identical seeds (and
 specs) produce identical reports, metric records and final profiles.
+--kernel picks the BFS machinery pricing candidate deviations (word-
+parallel bitset vs queue; auto picks by instance size). Kernels are
+move-for-move equivalent: they never change a result, only throughput.
 Scenario specs are TOML-subset files (see README \"Scenario specs\");
 metric records are JSONL, one line per phase.
 ";
@@ -656,6 +678,35 @@ mod tests {
         let profile_start = out.find("bbncg v1").unwrap();
         let r = bbncg_core::parse_realization(&out[profile_start..]).unwrap();
         assert_eq!(r.n(), 4);
+    }
+
+    #[test]
+    fn kernel_flag_is_report_invariant() {
+        // The same dynamics command under each kernel: identical
+        // reports and identical emitted profiles (kernels are
+        // move-for-move equivalent). "auto" and a bad value parse/fail
+        // as expected, on verify too.
+        let base = ["dynamics", "--budgets", "1,1,1,1,1,1", "--seed", "11"];
+        let mut outs = Vec::new();
+        for kernel in ["queue", "bitset", "auto"] {
+            let mut line: Vec<&str> = base.to_vec();
+            line.extend(["--kernel", kernel, "--emit", "profile"]);
+            outs.push(run(&line).unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "queue vs bitset");
+        assert_eq!(outs[0], outs[2], "queue vs auto");
+        assert!(run(&["dynamics", "--budgets", "1,1", "--kernel", "warp"])
+            .unwrap_err()
+            .contains("unknown kernel"));
+
+        let profile = run(&["construct", "--budgets", "1,1,2,0"]).unwrap();
+        let path = std::env::temp_dir().join("bbncg_cli_test_kernel.bbncg");
+        std::fs::write(&path, &profile).unwrap();
+        let q = run(&["verify", path.to_str().unwrap(), "--kernel", "queue"]).unwrap();
+        let b = run(&["verify", path.to_str().unwrap(), "--kernel", "bitset"]).unwrap();
+        assert_eq!(q, b);
+        assert!(q.contains("Nash equilibrium (SUM) = true"), "{q}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

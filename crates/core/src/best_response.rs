@@ -86,14 +86,20 @@ pub fn exact_best_response_with(
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = scratch.cost_of(&targets);
-        if best.as_ref().is_none_or(|s| cost < s.cost) {
-            best = Some(ScoredStrategy {
-                targets: targets.clone(),
-                cost,
-            });
-            if cost <= lb {
-                break; // provably optimal
+        // Per-candidate pruning: when the candidate's own Lemma 2.2
+        // bound cannot beat the incumbent, skip its BFS entirely. A
+        // pruned candidate's true cost is ≥ the incumbent, so neither
+        // the optimum nor the lexicographic tie-break can change.
+        let incumbent = best.as_ref().map_or(u64::MAX, |s| s.cost);
+        if let Some(cost) = scratch.cost_of_pruned(&targets, incumbent) {
+            if cost < incumbent {
+                best = Some(ScoredStrategy {
+                    targets: targets.clone(),
+                    cost,
+                });
+                if cost <= lb {
+                    break; // provably optimal
+                }
             }
         }
         if !odometer.advance() {
@@ -145,11 +151,12 @@ pub fn exact_best_response_cost_with(
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = scratch.cost_of(&targets);
-        if cost < best {
-            best = cost;
-            if best <= lb || stop_below.is_some_and(|s| best < s) {
-                break;
+        if let Some(cost) = scratch.cost_of_pruned(&targets, best) {
+            if cost < best {
+                best = cost;
+                if best <= lb || stop_below.is_some_and(|s| best < s) {
+                    break;
+                }
             }
         }
         if !odometer.advance() {
@@ -189,9 +196,11 @@ pub fn greedy_best_response_with(
             trial.clear();
             trial.extend_from_slice(&chosen);
             trial.push(t);
-            let cost = scratch.cost_of(&trial);
-            if best_t.is_none_or(|(c, _)| cost < c) {
-                best_t = Some((cost, t));
+            let incumbent = best_t.map_or(u64::MAX, |(c, _)| c);
+            if let Some(cost) = scratch.cost_of_pruned(&trial, incumbent) {
+                if cost < incumbent {
+                    best_t = Some((cost, t));
+                }
             }
         }
         let (_, t) = best_t.expect("pool cannot be empty while budget remains");
@@ -255,13 +264,16 @@ pub fn first_improving_response_with(
     loop {
         targets.clear();
         targets.extend(odometer.indices().iter().map(|&i| pool[i]));
-        let cost = scratch.cost_of(&targets);
-        if cost < current {
-            found = Some(ScoredStrategy {
-                targets: targets.clone(),
-                cost,
-            });
-            break;
+        // Pruned candidates cost ≥ current, so they are never the
+        // first improvement — the returned strategy is unchanged.
+        if let Some(cost) = scratch.cost_of_pruned(&targets, current) {
+            if cost < current {
+                found = Some(ScoredStrategy {
+                    targets: targets.clone(),
+                    cost,
+                });
+                break;
+            }
         }
         if !odometer.advance() {
             break;
@@ -309,11 +321,12 @@ pub fn best_swap_response_with(
             trial.clear();
             trial.extend_from_slice(&current);
             trial[i] = new;
-            let cost = scratch.cost_of(&trial);
-            if cost < best.cost {
-                let mut targets = trial.clone();
-                targets.sort_unstable();
-                best = ScoredStrategy { targets, cost };
+            if let Some(cost) = scratch.cost_of_pruned(&trial, best.cost) {
+                if cost < best.cost {
+                    let mut targets = trial.clone();
+                    targets.sort_unstable();
+                    best = ScoredStrategy { targets, cost };
+                }
             }
         }
     }

@@ -37,9 +37,10 @@
 //! successive profiles differ by single moves, which is exactly the
 //! dynamics access pattern.
 
-use crate::cost::{cost_from_bfs, CostModel};
+use crate::cost::{c_inf, cost_from_bfs, CostModel};
+use crate::kernel::CostKernel;
 use crate::realization::Realization;
-use bbncg_graph::{BfsScratch, NodeId, OwnedDigraph, PatchableCsr};
+use bbncg_graph::{BfsScratch, BitAdjacency, BitBfsScratch, NodeId, OwnedDigraph, PatchableCsr};
 
 /// Reusable engine state for pricing candidate deviations.
 #[derive(Debug)]
@@ -50,10 +51,21 @@ pub struct DeviationScratch {
     /// In-place-editable undirected view of `mirror`.
     patch: PatchableCsr,
     bfs: BfsScratch,
+    /// The kernel the caller asked for (`Auto` re-resolves when the
+    /// engine is rebuilt for a different instance size).
+    kernel: CostKernel,
+    /// Word-parallel presence mirror of `patch`, maintained through the
+    /// same strategy diffs; `Some` iff the resolved kernel is `Bitset`.
+    bits: Option<BitAdjacency>,
+    bitbfs: BitBfsScratch,
     /// Component labels of the graph with the active player's arcs
     /// removed (valid while a session is active).
     comp_label: Vec<u32>,
     comp_count: usize,
+    /// Size of each component, indexed by label (valid with
+    /// `comp_label`; prices the disconnection terms of the per-
+    /// candidate lower bound without a BFS).
+    comp_sizes: Vec<usize>,
     /// Distinct in-neighbour count of the active player in the
     /// arcs-removed graph (for the Lemma 2.2 lower bound).
     distinct_in: usize,
@@ -68,25 +80,81 @@ pub struct DeviationScratch {
     pub(crate) cand_buf: Vec<NodeId>,
 }
 
+/// Apply one player's strategy change to the patchable CSR **and** its
+/// bit mirror. The mirror is a presence matrix over a multigraph, so a
+/// removed arc clears its bit only when the patch (already updated)
+/// lost the last occurrence of the edge — a brace owned from the other
+/// side keeps the bit alive.
+fn apply_strategy_patch(
+    patch: &mut PatchableCsr,
+    bits: Option<&mut BitAdjacency>,
+    owner: NodeId,
+    old: &[NodeId],
+    new: &[NodeId],
+) {
+    patch.replace_strategy(owner, old, new);
+    if let Some(bits) = bits {
+        for &t in old.iter().filter(|t| !new.contains(t)) {
+            if !patch.neighbors(owner).contains(&t) {
+                bits.clear_edge(owner, t);
+            }
+        }
+        for &t in new.iter().filter(|t| !old.contains(t)) {
+            bits.set_edge(owner, t);
+        }
+    }
+}
+
 impl DeviationScratch {
-    /// Build the engine for `r`'s profile. This is the one full
+    /// Build the engine for `r`'s profile with the default
+    /// ([`CostKernel::Auto`]) kernel. This is the one full
     /// construction; everything afterwards is incremental.
     pub fn new(r: &Realization) -> Self {
+        Self::with_kernel(r, CostKernel::Auto)
+    }
+
+    /// Build the engine with an explicit cost kernel. Kernels are
+    /// move-for-move equivalent; the choice only affects throughput.
+    pub fn with_kernel(r: &Realization, kernel: CostKernel) -> Self {
         let mirror = r.graph().clone();
         let patch = PatchableCsr::from_digraph(&mirror);
         let n = mirror.n();
+        let bits = match kernel.resolve(n) {
+            CostKernel::Bitset => Some(BitAdjacency::from_adjacency(&patch)),
+            _ => None,
+        };
         DeviationScratch {
             mirror,
             patch,
             bfs: BfsScratch::new(n),
+            kernel,
+            bits,
+            bitbfs: BitBfsScratch::new(n),
             comp_label: vec![u32::MAX; n],
             comp_count: 0,
+            comp_sizes: Vec::new(),
             distinct_in: 0,
             active: None,
             label_buf: Vec::with_capacity(8),
             dedup_buf: Vec::with_capacity(8),
             pool_buf: Vec::with_capacity(n),
             cand_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// The kernel this engine was built with (possibly `Auto`).
+    #[inline]
+    pub fn kernel(&self) -> CostKernel {
+        self.kernel
+    }
+
+    /// The concrete kernel pricing candidates right now.
+    #[inline]
+    pub fn resolved_kernel(&self) -> CostKernel {
+        if self.bits.is_some() {
+            CostKernel::Bitset
+        } else {
+            CostKernel::Queue
         }
     }
 
@@ -113,7 +181,13 @@ impl DeviationScratch {
     /// `mirror` exactly.
     fn close_session(&mut self) {
         if let Some((u, _)) = self.active.take() {
-            self.patch.replace_strategy(u, &[], self.mirror.out(u));
+            apply_strategy_patch(
+                &mut self.patch,
+                self.bits.as_mut(),
+                u,
+                &[],
+                self.mirror.out(u),
+            );
         }
     }
 
@@ -121,8 +195,9 @@ impl DeviationScratch {
     /// strategies and patching only what changed.
     fn sync(&mut self, r: &Realization) {
         if self.mirror.n() != r.n() {
-            // Different instance size: start over (not a hot path).
-            *self = DeviationScratch::new(r);
+            // Different instance size: start over (not a hot path). The
+            // requested kernel survives; `Auto` re-resolves for the new n.
+            *self = DeviationScratch::with_kernel(r, self.kernel);
             return;
         }
         self.close_session();
@@ -131,11 +206,12 @@ impl DeviationScratch {
             let want = r.graph().out(u);
             let have = self.mirror.out(u);
             if have != want {
-                self.patch.replace_strategy(u, have, want);
+                apply_strategy_patch(&mut self.patch, self.bits.as_mut(), u, have, want);
                 self.mirror.set_out_from_slice(u, want);
             }
         }
         debug_assert!(self.patch.same_graph_as(r.csr()));
+        debug_assert!(self.bits.as_ref().is_none_or(|b| b.mirrors(&self.patch)));
     }
 
     /// Open a pricing session for player `u` of `r` under `model`:
@@ -154,7 +230,13 @@ impl DeviationScratch {
             return; // session already open for exactly this state
         }
         self.sync(r);
-        self.patch.replace_strategy(u, self.mirror.out(u), &[]);
+        apply_strategy_patch(
+            &mut self.patch,
+            self.bits.as_mut(),
+            u,
+            self.mirror.out(u),
+            &[],
+        );
         self.active = Some((u, model));
         self.recompute_components();
         self.recompute_distinct_in(u);
@@ -174,6 +256,11 @@ impl DeviationScratch {
     fn recompute_components(&mut self) {
         self.comp_count =
             bbncg_graph::components_into(&self.patch, &mut self.bfs, &mut self.comp_label);
+        self.comp_sizes.clear();
+        self.comp_sizes.resize(self.comp_count, 0);
+        for &l in &self.comp_label {
+            self.comp_sizes[l as usize] += 1;
+        }
     }
 
     fn recompute_distinct_in(&mut self, u: NodeId) {
@@ -184,9 +271,11 @@ impl DeviationScratch {
         self.distinct_in = self.dedup_buf.len();
     }
 
-    /// Component count of the graph if the active player plays
+    /// Component structure of the graph if the active player plays
     /// `targets`: the components touched by `{u} ∪ targets` merge.
-    fn kappa_after(&mut self, u: NodeId, targets: &[NodeId]) -> usize {
+    /// Returns `(κ after the move, vertices reachable from u)` — both
+    /// exact, computed from the cached labelling without a BFS.
+    fn merge_stats(&mut self, u: NodeId, targets: &[NodeId]) -> (usize, usize) {
         self.label_buf.clear();
         self.label_buf.push(self.comp_label[u.index()]);
         for &t in targets {
@@ -194,19 +283,35 @@ impl DeviationScratch {
         }
         self.label_buf.sort_unstable();
         self.label_buf.dedup();
-        self.comp_count - (self.label_buf.len() - 1)
+        let reachable: usize = self
+            .label_buf
+            .iter()
+            .map(|&l| self.comp_sizes[l as usize])
+            .sum();
+        (self.comp_count - (self.label_buf.len() - 1), reachable)
     }
 
     /// Price the candidate strategy `targets` for the active player —
-    /// one patched BFS, zero allocation, zero rebuilds. `targets` need
-    /// not have full budget size (the greedy rule prices prefixes).
+    /// one patched BFS (through the selected kernel), zero allocation,
+    /// zero rebuilds. `targets` need not have full budget size (the
+    /// greedy rule prices prefixes).
     ///
     /// # Panics
     /// Panics if no session is open.
     pub fn cost_of(&mut self, targets: &[NodeId]) -> u64 {
+        let (u, _) = self.active.expect("no deviation session open");
+        let (kappa, _) = self.merge_stats(u, targets);
+        self.cost_with_kappa(targets, kappa)
+    }
+
+    /// Kernel-dispatched pricing with the component count already in
+    /// hand (so the pruned path computes merge stats exactly once).
+    fn cost_with_kappa(&mut self, targets: &[NodeId], kappa: usize) -> u64 {
         let (u, model) = self.active.expect("no deviation session open");
-        let kappa = self.kappa_after(u, targets);
-        let stats = self.bfs.run_patched(&self.patch, u, u, targets);
+        let stats = match &self.bits {
+            Some(bits) => self.bitbfs.run_patched(bits, u, u, targets),
+            None => self.bfs.run_patched(&self.patch, u, u, targets),
+        };
         cost_from_bfs(
             model,
             self.n(),
@@ -215,6 +320,90 @@ impl DeviationScratch {
             stats.max_dist,
             stats.sum_dist,
         )
+    }
+
+    /// Price `targets` only if its Lemma 2.2-style lower bound beats
+    /// `incumbent`: returns `None` (no BFS run) when the bound already
+    /// meets or exceeds the incumbent — such a candidate can never
+    /// *strictly* improve on it, so every search loop can skip it
+    /// without changing its result or its tie-breaking. In the MAX
+    /// model a candidate that leaves the graph disconnected is priced
+    /// exactly from the component structure alone (`κ'·n²`), also
+    /// without a BFS.
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn cost_of_pruned(&mut self, targets: &[NodeId], incumbent: u64) -> Option<u64> {
+        let (bound, exact, kappa) = self.candidate_bound(targets);
+        if bound >= incumbent {
+            return None;
+        }
+        if exact {
+            debug_assert_eq!(bound, self.cost_of(targets));
+            return Some(bound);
+        }
+        Some(self.cost_with_kappa(targets, kappa))
+    }
+
+    /// Lower bound on the cost of the *specific* candidate `targets`
+    /// for the active player, from component structure and distance-1
+    /// counting only (no BFS). Tighter than [`Self::cost_lower_bound`]:
+    /// the vertices at distance 1 are exactly
+    /// `targets ∪ in-neighbours`, reachability is exactly the merged
+    /// components, and everything else reached is at distance ≥ 2.
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn candidate_lower_bound(&mut self, targets: &[NodeId]) -> u64 {
+        self.candidate_bound(targets).0
+    }
+
+    /// `(bound, is_exact, κ after the move)` for
+    /// [`Self::candidate_lower_bound`]; `is_exact` holds when the
+    /// bound equals the true cost (every reached vertex provably at
+    /// distance 1, or a MAX-model candidate that leaves the graph
+    /// disconnected). κ rides along so the pruned pricing path never
+    /// recomputes the merge stats.
+    fn candidate_bound(&mut self, targets: &[NodeId]) -> (u64, bool, usize) {
+        let (u, model) = self.active.expect("no deviation session open");
+        let (kappa, reachable) = self.merge_stats(u, targets);
+        let n = self.n();
+        if n <= 1 {
+            return (0, false, kappa);
+        }
+        let cinf = c_inf(n);
+        // |targets ∪ in-neighbours(u)|: targets are tiny, so dedup by
+        // scan; in-neighbour membership via binary search in the sorted
+        // distinct-in list `dedup_buf` built at session open.
+        let mut extra = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            if t == u || targets[..i].contains(&t) {
+                continue;
+            }
+            if self.dedup_buf.binary_search(&t).is_err() {
+                extra += 1;
+            }
+        }
+        let d1 = (self.distinct_in + extra).min(reachable - 1);
+        // d1 is the exact distance-1 count, so when it covers every
+        // reached vertex the bound *is* the cost in both models.
+        let all_at_one = d1 == reachable - 1;
+        match model {
+            CostModel::Sum => (
+                d1 as u64 + 2 * (reachable - 1 - d1) as u64 + (n - reachable) as u64 * cinf,
+                all_at_one,
+                kappa,
+            ),
+            CostModel::Max => {
+                if reachable == n {
+                    (if d1 == n - 1 { 1 } else { 2 }, all_at_one, kappa)
+                } else {
+                    // Disconnected MAX cost is κ'·n² regardless of the
+                    // BFS: the local-diameter term saturates at n².
+                    (kappa as u64 * cinf, true, kappa)
+                }
+            }
+        }
     }
 
     /// Lower bound on the cost of *any* size-`b` strategy for the
@@ -352,5 +541,102 @@ mod tests {
         let r = Realization::new(OwnedDigraph::from_arcs(2, &[(0, 1)]));
         let mut scratch = DeviationScratch::new(&r);
         scratch.cost_of(&[v(1)]);
+    }
+
+    #[test]
+    fn bitset_kernel_prices_identically() {
+        // Forced bitset kernel on a small instance (Auto would pick
+        // queue here): every candidate's cost matches the queue kernel
+        // and the full recompute, including across components.
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (3, 4)]);
+        let r = Realization::new(g);
+        let mut queue = DeviationScratch::with_kernel(&r, CostKernel::Queue);
+        let mut bitset = DeviationScratch::with_kernel(&r, CostKernel::Bitset);
+        assert_eq!(queue.resolved_kernel(), CostKernel::Queue);
+        assert_eq!(bitset.resolved_kernel(), CostKernel::Bitset);
+        for model in CostModel::ALL {
+            for u in 0..5 {
+                let u = v(u);
+                if r.graph().out_degree(u) != 1 {
+                    continue;
+                }
+                queue.begin(&r, u, model);
+                bitset.begin(&r, u, model);
+                for t in (0..5).filter(|&t| t != u.index()) {
+                    let want = r.with_strategy(u, vec![v(t)]).cost(u, model);
+                    assert_eq!(queue.cost_of(&[v(t)]), want, "queue {u}->{t} {model:?}");
+                    assert_eq!(bitset.cost_of(&[v(t)]), want, "bitset {u}->{t} {model:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_mirror_survives_braces_and_moves() {
+        // 0 <-> 1 brace: detaching player 0 must keep the {0,1} bit
+        // alive (player 1's arc remains), and re-attaching restores it.
+        let g = OwnedDigraph::from_arcs(3, &[(0, 1), (1, 0), (2, 0)]);
+        let mut r = Realization::new(g);
+        let mut scratch = DeviationScratch::with_kernel(&r, CostKernel::Bitset);
+        scratch.begin(&r, v(0), CostModel::Sum);
+        // In the detached graph, 0 still neighbours 1 (brace) and 2.
+        assert_eq!(scratch.cost_of(&[v(2)]), {
+            let dev = r.with_strategy(v(0), vec![v(2)]);
+            dev.cost(v(0), CostModel::Sum)
+        });
+        // Apply a move and keep pricing through the diff-synced mirror.
+        r.set_strategy(v(0), vec![v(2)]);
+        for u in 0..3 {
+            let u = v(u);
+            if r.graph().out_degree(u) == 0 {
+                continue;
+            }
+            scratch.begin(&r, u, CostModel::Max);
+            for t in (0..3).filter(|&t| t != u.index()) {
+                let dev = r.with_strategy(u, vec![v(t)]);
+                assert_eq!(scratch.cost_of(&[v(t)]), dev.cost(u, CostModel::Max));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_lower_bound_is_sound_and_pruning_is_lossless() {
+        // Disconnected instance: the bound's cross-component pricing
+        // (C_inf per unreached vertex in SUM, κ'·n² in MAX) must stay
+        // below every candidate's true cost.
+        let g = OwnedDigraph::from_arcs(6, &[(0, 1), (1, 2), (3, 4)]);
+        let r = Realization::new(g);
+        for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+            let mut scratch = DeviationScratch::with_kernel(&r, kernel);
+            for model in CostModel::ALL {
+                for u in 0..6 {
+                    let u = v(u);
+                    scratch.begin(&r, u, model);
+                    for t in (0..6).filter(|&t| t != u.index()) {
+                        let cost = scratch.cost_of(&[v(t)]);
+                        let lb = scratch.candidate_lower_bound(&[v(t)]);
+                        assert!(lb <= cost, "bound {lb} > cost {cost} ({u}->{t} {model:?})");
+                        // cost_of_pruned is exact below the incumbent…
+                        assert_eq!(scratch.cost_of_pruned(&[v(t)], u64::MAX), Some(cost));
+                        // …and only ever skips candidates that cannot
+                        // strictly beat it.
+                        if scratch.cost_of_pruned(&[v(t)], cost).is_none() {
+                            assert!(lb >= cost);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_survives_instance_resize() {
+        let r5 = Realization::new(OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2)]));
+        let r3 = Realization::new(OwnedDigraph::from_arcs(3, &[(0, 1)]));
+        let mut scratch = DeviationScratch::with_kernel(&r5, CostKernel::Bitset);
+        scratch.begin(&r3, v(0), CostModel::Sum); // size change → rebuild
+        assert_eq!(scratch.kernel(), CostKernel::Bitset);
+        assert_eq!(scratch.resolved_kernel(), CostKernel::Bitset);
+        assert_eq!(scratch.cost_of(&[v(1)]), r3.cost(v(0), CostModel::Sum));
     }
 }

@@ -150,6 +150,20 @@ pub fn run_dynamics(
     run_dynamics_impl(initial, cfg, rng, &mut scratch, None).0
 }
 
+/// [`run_dynamics`] with an explicit [`CostKernel`](crate::CostKernel)
+/// pricing every candidate. Kernels are move-for-move equivalent, so
+/// the trajectory, step count and final profile are kernel-independent
+/// (enforced by `tests/kernel_parity.rs`); only throughput differs.
+pub fn run_dynamics_with_kernel(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+    kernel: crate::CostKernel,
+) -> DynamicsReport {
+    let mut scratch = DeviationScratch::with_kernel(&initial, kernel);
+    run_dynamics_impl(initial, cfg, rng, &mut scratch, None).0
+}
+
 /// [`run_dynamics`] that also records a per-round [`RoundTrace`]
 /// (including a row for the initial state).
 pub fn run_dynamics_traced(

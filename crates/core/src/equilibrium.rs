@@ -14,6 +14,7 @@
 use crate::best_response::{best_swap_response_with, exact_best_response_cost_with};
 use crate::cost::CostModel;
 use crate::deviation::DeviationScratch;
+use crate::kernel::CostKernel;
 use crate::realization::Realization;
 use bbncg_graph::{BfsScratch, NodeId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,11 +68,22 @@ pub fn is_best_response_with(
 /// assert!(!is_nash_equilibrium(&path, CostModel::Sum));
 /// ```
 pub fn is_nash_equilibrium(r: &Realization, model: CostModel) -> bool {
+    is_nash_equilibrium_with_kernel(r, model, CostKernel::Auto)
+}
+
+/// [`is_nash_equilibrium`] with an explicit [`CostKernel`] (each worker
+/// builds its own kernel state through `par_map_init`). Kernels are
+/// move-for-move equivalent, so the verdict is kernel-independent.
+pub fn is_nash_equilibrium_with_kernel(
+    r: &Realization,
+    model: CostModel,
+    kernel: CostKernel,
+) -> bool {
     let n = r.n();
     let refuted = AtomicBool::new(false);
     let flags = bbncg_par::par_map_init(
         n,
-        || DeviationScratch::new(r),
+        || DeviationScratch::with_kernel(r, kernel),
         |scratch, i| {
             if refuted.load(Ordering::Relaxed) {
                 return true; // skip work; overall answer already false
@@ -89,7 +101,16 @@ pub fn is_nash_equilibrium(r: &Realization, model: CostModel) -> bool {
 /// First player (in id order) with a profitable deviation, with its
 /// current and best costs. Deterministic; `None` means equilibrium.
 pub fn find_violation(r: &Realization, model: CostModel) -> Option<Violation> {
-    let mut scratch = DeviationScratch::new(r);
+    find_violation_with_kernel(r, model, CostKernel::Auto)
+}
+
+/// [`find_violation`] with an explicit [`CostKernel`].
+pub fn find_violation_with_kernel(
+    r: &Realization,
+    model: CostModel,
+    kernel: CostKernel,
+) -> Option<Violation> {
+    let mut scratch = DeviationScratch::with_kernel(r, kernel);
     for i in 0..r.n() {
         let u = NodeId::new(i);
         if r.graph().out_degree(u) == 0 {
@@ -114,11 +135,20 @@ pub fn find_violation(r: &Realization, model: CostModel) -> Option<Violation> {
 /// equilibrium notion of Alon et al.'s basic network creation games;
 /// every Nash equilibrium of the budget game is also a swap equilibrium.
 pub fn is_swap_equilibrium(r: &Realization, model: CostModel) -> bool {
+    is_swap_equilibrium_with_kernel(r, model, CostKernel::Auto)
+}
+
+/// [`is_swap_equilibrium`] with an explicit [`CostKernel`].
+pub fn is_swap_equilibrium_with_kernel(
+    r: &Realization,
+    model: CostModel,
+    kernel: CostKernel,
+) -> bool {
     let n = r.n();
     let refuted = AtomicBool::new(false);
     let flags = bbncg_par::par_map_init(
         n,
-        || DeviationScratch::new(r),
+        || DeviationScratch::with_kernel(r, kernel),
         |scratch, i| {
             if refuted.load(Ordering::Relaxed) {
                 return true;
@@ -199,10 +229,20 @@ impl NashAudit {
 
 /// Run the batched parallel equilibrium audit (see [`NashAudit`]).
 pub fn audit_equilibrium(r: &Realization, model: CostModel) -> NashAudit {
+    audit_equilibrium_with_kernel(r, model, CostKernel::Auto)
+}
+
+/// [`audit_equilibrium`] with an explicit [`CostKernel`]: one engine
+/// (and one kernel state) per worker, threaded through `par_map_init`.
+pub fn audit_equilibrium_with_kernel(
+    r: &Realization,
+    model: CostModel,
+    kernel: CostKernel,
+) -> NashAudit {
     let n = r.n();
     let per_player = bbncg_par::par_map_init(
         n,
-        || DeviationScratch::new(r),
+        || DeviationScratch::with_kernel(r, kernel),
         |scratch, i| {
             let u = NodeId::new(i);
             scratch.begin(r, u, model);

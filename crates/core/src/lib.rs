@@ -14,6 +14,9 @@
 //!   cached undirected views;
 //! * [`oracle`] — O(n+m), allocation-free pricing of candidate
 //!   deviations (the engine under everything else);
+//! * [`kernel`] — pluggable cost kernels (queue vs word-parallel bitset
+//!   BFS) behind the pricing path, plus the per-candidate Lemma 2.2
+//!   lower-bound pruning;
 //! * [`best_response`] — exact (NP-hard, Theorem 2.1), greedy, and
 //!   swap-restricted solvers;
 //! * [`equilibrium`] — exact Nash verification, swap equilibria, and the
@@ -35,6 +38,7 @@ pub mod dynamics;
 pub mod enumerate;
 pub mod equilibrium;
 pub mod io;
+pub mod kernel;
 #[cfg(any(test, feature = "naive-ref"))]
 pub mod naive;
 pub mod oracle;
@@ -52,20 +56,22 @@ pub use budget::{BudgetVector, InstanceClass};
 pub use cost::{c_inf, vertex_cost, CostModel};
 pub use deviation::DeviationScratch;
 pub use dynamics::{
-    run_dynamics, run_dynamics_traced, run_dynamics_with_scratch, DynamicsConfig, DynamicsReport,
-    PlayerOrder, ResponseRule, RoundTrace,
+    run_dynamics, run_dynamics_traced, run_dynamics_with_kernel, run_dynamics_with_scratch,
+    DynamicsConfig, DynamicsReport, PlayerOrder, ResponseRule, RoundTrace,
 };
 pub use enumerate::{
     decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,
 };
 pub use equilibrium::{
-    audit_equilibrium, best_response_gap, find_violation, is_best_response, is_best_response_with,
-    is_nash_equilibrium, is_swap_equilibrium, lemma22_certifies, lemma22_certifies_all, NashAudit,
-    Violation,
+    audit_equilibrium, audit_equilibrium_with_kernel, best_response_gap, find_violation,
+    find_violation_with_kernel, is_best_response, is_best_response_with, is_nash_equilibrium,
+    is_nash_equilibrium_with_kernel, is_swap_equilibrium, is_swap_equilibrium_with_kernel,
+    lemma22_certifies, lemma22_certifies_all, NashAudit, Violation,
 };
 pub use io::{
     parse_realization, parse_snapshot, write_realization, write_snapshot, ParseError, Snapshot,
 };
+pub use kernel::CostKernel;
 pub use oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
 pub use poa::{opt_diameter_lower_bound, social_cost, PoAEstimate};
 pub use realization::Realization;

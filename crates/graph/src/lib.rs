@@ -10,6 +10,10 @@
 //!   sparse row form, the structure all distances are measured in;
 //! * [`BfsScratch`] — allocation-free repeated BFS (the workspace's
 //!   hottest loop);
+//! * [`BitAdjacency`] / [`BitBfsScratch`] — word-parallel mirror of the
+//!   same loop: n × ⌈n/64⌉ bit rows and a frontier-bitset BFS that
+//!   produces identical [`BfsStats`] in `O(n²/64)` word ops per query
+//!   (the deviation engine's `bitset` cost kernel);
 //! * [`distance`] — eccentricities, diameter, distance sums and the
 //!   all-pairs matrix, with parallel variants;
 //! * [`mod@components`], [`cycles`], [`connectivity`] — the structural
@@ -24,6 +28,8 @@
 
 pub mod adjacency;
 pub mod bfs;
+pub mod bitadj;
+pub mod bitbfs;
 pub mod components;
 pub mod connectivity;
 pub mod csr;
@@ -38,6 +44,8 @@ pub mod patch;
 
 pub use adjacency::Adjacency;
 pub use bfs::{BfsScratch, BfsStats, UNREACHED};
+pub use bitadj::BitAdjacency;
+pub use bitbfs::BitBfsScratch;
 pub use components::{component_count, components, components_into, is_connected, Components};
 pub use connectivity::{
     articulation_points, is_k_connected, local_vertex_connectivity, menger_paths,

@@ -3,7 +3,8 @@
 use bbncg_graph::{
     components, diameter, distance_to_set, eccentricities, generators, is_connected,
     local_vertex_connectivity, menger_paths, two_core_mask, unique_cycle, vertex_connectivity,
-    BfsScratch, Csr, Diameter, DistanceMatrix, GraphMetrics, NodeId, PatchableCsr,
+    BfsScratch, BitAdjacency, BitBfsScratch, Csr, Diameter, DistanceMatrix, GraphMetrics, NodeId,
+    PatchableCsr,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -189,6 +190,85 @@ proptest! {
             prop_assert!(patch.same_graph_as(&truth));
         }
         prop_assert_eq!(patch.rebuilds(), 0);
+    }
+
+    /// Kernel parity at the BFS level: on random digraphs (connected
+    /// and disconnected alike), the word-parallel bitset BFS returns
+    /// exactly the queue kernel's statistics — plain, and through
+    /// `run_patched` with a random candidate strategy (the shape every
+    /// deviation pricing takes).
+    #[test]
+    fn bitset_bfs_matches_queue_bfs(n in 2usize..80, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random budgets including zeros: the realizations this
+        // produces are frequently disconnected.
+        let budgets: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 3).collect();
+        let g = generators::random_realization(&budgets, &mut rng);
+        let patch = PatchableCsr::from_digraph(&g);
+        let bits = BitAdjacency::from_adjacency(&patch);
+        prop_assert!(bits.mirrors(&patch));
+        let mut queue = BfsScratch::new(n);
+        let mut bitset = BitBfsScratch::new(n);
+        for src in (0..n).map(NodeId::new) {
+            prop_assert_eq!(queue.run(&patch, src), bitset.run(&bits, src));
+        }
+        // Patched runs: a random owner plays a random candidate set.
+        let owner = NodeId::new(rng.gen_range(0..n));
+        let b = 1 + rng.gen_range(0..3.min(n - 1));
+        let mut targets: Vec<NodeId> = Vec::new();
+        while targets.len() < b {
+            let t = NodeId::new(rng.gen_range(0..n));
+            if t != owner && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        targets.sort_unstable();
+        for src in (0..n).map(NodeId::new) {
+            prop_assert_eq!(
+                queue.run_patched(&patch, src, owner, &targets),
+                bitset.run_patched(&bits, src, owner, &targets)
+            );
+        }
+    }
+
+    /// The bit mirror stays exact across a random sequence of in-place
+    /// strategy replacements when maintained the way the deviation
+    /// engine maintains it (clear a bit only when the multigraph lost
+    /// its last occurrence of the edge).
+    #[test]
+    fn bit_mirror_tracks_patch_sessions(n in 3usize..40, moves in 1usize..25, seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| (i + 1 + seed as usize) % 3).collect();
+        let mut g = generators::random_realization(&budgets, &mut rng);
+        let mut patch = PatchableCsr::from_digraph(&g);
+        let mut bits = BitAdjacency::from_adjacency(&patch);
+        for _ in 0..moves {
+            let u = NodeId::new(rng.gen_range(0..n));
+            let b = g.out_degree(u);
+            if b == 0 {
+                continue;
+            }
+            let mut pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+            for i in 0..b {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let mut new = pool[..b].to_vec();
+            new.sort_unstable();
+            let old = g.out(u).to_vec();
+            patch.replace_strategy(u, &old, &new);
+            // The engine's maintenance discipline, replicated here.
+            for &t in old.iter().filter(|t| !new.contains(t)) {
+                if !patch.neighbors(u).contains(&t) {
+                    bits.clear_edge(u, t);
+                }
+            }
+            for &t in new.iter().filter(|t| !old.contains(t)) {
+                bits.set_edge(u, t);
+            }
+            g.set_out(u, new);
+            prop_assert!(bits.mirrors(&patch));
+        }
     }
 
     /// Component labels partition the vertex set and component count

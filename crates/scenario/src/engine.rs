@@ -15,7 +15,9 @@ use crate::events;
 use crate::sink::{MemorySink, MetricRecord, MetricSink, SeedReorderer};
 use crate::spec::{fnv1a, InitSpec, PhaseSpec, ScenarioSpec, Variant};
 use bbncg_core::dynamics::{run_dynamics_with_scratch, DynamicsConfig};
-use bbncg_core::{parse_snapshot, write_snapshot, DeviationScratch, Realization, Snapshot};
+use bbncg_core::{
+    parse_snapshot, write_snapshot, CostKernel, DeviationScratch, Realization, Snapshot,
+};
 use bbncg_directed::{run_directed_dynamics, DirectedRealization};
 use bbncg_graph::{generators, OwnedDigraph};
 use rand::rngs::StdRng;
@@ -56,6 +58,10 @@ pub struct Checkpoint {
     pub converged: Option<bool>,
     /// Last dynamics phase so far: was a cycle proven?
     pub cycled: Option<bool>,
+    /// Cost kernel the run was priced with. Recorded for
+    /// observability; kernels are move-for-move equivalent, so resuming
+    /// under a different kernel continues the identical trajectory.
+    pub kernel: CostKernel,
     /// Exact RNG stream position.
     pub rng_state: [u64; 4],
     /// The frozen profile.
@@ -77,6 +83,7 @@ impl Checkpoint {
                 ("rounds".into(), self.rounds.to_string()),
                 ("converged".into(), tristate_str(self.converged).into()),
                 ("cycled".into(), tristate_str(self.cycled).into()),
+                ("kernel".into(), self.kernel.label().into()),
             ],
         })
     }
@@ -106,6 +113,12 @@ impl Checkpoint {
             rounds: num("rounds")?,
             converged: tristate_parse(&get("converged")?)?,
             cycled: tristate_parse(&get("cycled")?)?,
+            // Absent in pre-kernel checkpoints; the default is the
+            // behaviour they were written under.
+            kernel: match snap.meta.iter().find(|(k, _)| k == "kernel") {
+                None => CostKernel::Auto,
+                Some((_, v)) => CostKernel::parse(v)?,
+            },
             rng_state: snap.rng_state,
             state: snap.realization,
         })
@@ -281,7 +294,9 @@ fn run_scenario_with_scratch(
                 let cfg = dynamics_config(spec, phase);
                 match spec.variant {
                     Variant::Undirected => {
-                        let engine = scratch.get_or_insert_with(|| DeviationScratch::new(&state));
+                        let engine = scratch.get_or_insert_with(|| {
+                            DeviationScratch::with_kernel(&state, spec.kernel)
+                        });
                         let report = run_dynamics_with_scratch(state, cfg, &mut rng, engine);
                         state = report.state;
                         phase_steps = report.steps;
@@ -371,6 +386,7 @@ fn run_scenario_with_scratch(
             rounds,
             converged,
             cycled,
+            kernel: spec.kernel,
             rng_state: rng.state(),
             state: state.clone(),
         };
@@ -405,6 +421,7 @@ fn run_scenario_with_scratch(
         rounds,
         converged,
         cycled,
+        kernel: spec.kernel,
         rng_state: rng.state(),
         state: state.clone(),
     };

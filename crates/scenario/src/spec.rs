@@ -6,7 +6,7 @@
 //! for the grammar and `examples/scenarios/` for working files.
 
 use crate::toml::{self, SpecError, TomlTable, Value};
-use bbncg_core::{CostModel, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg_core::{CostKernel, CostModel, DynamicsConfig, PlayerOrder, ResponseRule};
 use rand::SeedableRng as _;
 
 /// How the initial realization is produced.
@@ -125,6 +125,12 @@ pub struct ScenarioSpec {
     pub init: InitSpec,
     /// Default dynamics parameters for `kind = "dynamics"` phases.
     pub defaults: DynamicsConfig,
+    /// Cost kernel pricing every candidate deviation
+    /// (`[dynamics] kernel = "queue"|"bitset"|"auto"`, default auto).
+    /// Kernels are move-for-move equivalent, so this is purely a
+    /// throughput knob: trajectories, records, checkpoints and resumes
+    /// are kernel-independent.
+    pub kernel: CostKernel,
     /// Undirected (default) or directed dynamics.
     pub variant: Variant,
     /// The timeline.
@@ -498,7 +504,10 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
     )?;
 
     let dy = doc.section("dynamics").unwrap_or(&empty);
-    check_keys(dy, &["model", "rule", "order", "max_rounds", "variant"])?;
+    check_keys(
+        dy,
+        &["model", "rule", "order", "max_rounds", "variant", "kernel"],
+    )?;
     let defaults = DynamicsConfig {
         model: get_str(dy, "model")?
             .map(|s| parse_model(s, dy.line))
@@ -513,6 +522,10 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
             .transpose()?
             .unwrap_or(PlayerOrder::RoundRobin),
         max_rounds: get_usize(dy, "max_rounds")?.unwrap_or(300),
+    };
+    let kernel = match get_str(dy, "kernel")? {
+        None => CostKernel::Auto,
+        Some(s) => CostKernel::parse(s).map_err(|e| SpecError::at(dy.line, e))?,
     };
     let variant = match get_str(dy, "variant")?.unwrap_or("undirected") {
         "undirected" => Variant::Undirected,
@@ -539,6 +552,7 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
         seeds,
         init,
         defaults,
+        kernel,
         variant,
         phases,
         spec_hash: fnv1a(text.as_bytes()),
@@ -604,6 +618,26 @@ rounds = 50
                 params: vec![1; 6]
             }
         );
+    }
+
+    #[test]
+    fn kernel_field_parses_and_defaults() {
+        let spec = parse_spec(CHURN).unwrap();
+        assert_eq!(spec.kernel, CostKernel::Auto);
+        for (label, want) in [
+            ("queue", CostKernel::Queue),
+            ("bitset", CostKernel::Bitset),
+            ("auto", CostKernel::Auto),
+        ] {
+            let text = format!(
+                "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nkernel = \"{label}\"\n\
+                 [[phase]]\nkind = \"dynamics\""
+            );
+            assert_eq!(parse_spec(&text).unwrap().kernel, want, "{label}");
+        }
+        let bad = "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nkernel = \"warp\"\n\
+                   [[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad).unwrap_err().to_string().contains("warp"));
     }
 
     #[test]

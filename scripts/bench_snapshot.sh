@@ -1,9 +1,26 @@
 #!/usr/bin/env bash
 # Emit a BENCH_dynamics.json perf baseline: dynamics steps/sec (engine
 # vs. the rebuild-per-candidate reference), batched Nash-verify
-# throughput, and scenario-engine steps/sec on the churn example
-# (examples/scenarios/churn.toml). Later PRs re-run this to show a
-# perf trajectory.
+# throughput, the cost-kernel comparison, and scenario-engine
+# steps/sec on the churn example (examples/scenarios/churn.toml).
+# Later PRs re-run this to show a perf trajectory.
+#
+# Kernel-comparison fields (see `bbncg_core::kernel`):
+#   kernel_workload_n256             — the workload description for the
+#                                      n=256 columns (unit budgets,
+#                                      exact best response, capped
+#                                      rounds so the queue side stays
+#                                      affordable)
+#   kernel_steps_per_sec_queue_n32   — queue kernel, existing n=32
+#   kernel_steps_per_sec_bitset_n32  — bitset kernel, existing n=32
+#   kernel_steps_per_sec_queue_n256  — queue kernel, n=256 workload
+#   kernel_steps_per_sec_bitset_n256 — bitset kernel, n=256 workload
+#   kernel_bitset_speedup_n256       — bitset/queue ratio at n=256; the
+#                                      binary asserts >= 2.0 (the PR 3
+#                                      acceptance bar)
+#   kernel_total_steps_n256          — applied deviations (identical
+#                                      across kernels by construction;
+#                                      asserted)
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail
