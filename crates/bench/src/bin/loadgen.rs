@@ -1,0 +1,157 @@
+//! `loadgen` — hammer a `bbncg-serve` instance with concurrent
+//! clients and record sustained throughput + latency percentiles.
+//!
+//! Spawns an in-process server (4 workers — the acceptance
+//! configuration) on an ephemeral port, then `CLIENTS` client threads
+//! each submit `REQUESTS_PER_CLIENT` scenario jobs over real TCP and
+//! stream the results back. Every stream is verified byte-for-byte
+//! against the offline reference for its seed, so "fast but wrong"
+//! cannot pass: the run aborts on any dropped or corrupted stream.
+//! Backpressure (HTTP 429) is handled the way a real client would —
+//! bounded retry with a short pause — and counted in the report.
+//!
+//! Output: a `BENCH_serve.json` snapshot (path = first arg, default
+//! `BENCH_serve.json`) with requests/sec and p50/p99 latency, written
+//! by `scripts/bench_snapshot.sh` alongside `BENCH_dynamics.json`.
+
+use bbncg_scenario::{parse_spec, run_scenario, MemorySink};
+use bbncg_serve::{client, spawn, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 64;
+const REQUESTS_PER_CLIENT: usize = 4;
+const SERVER_WORKERS: usize = 4;
+// Deliberately smaller than the client count, so the run exercises the
+// 429 backpressure path under real contention (retries are counted).
+const QUEUE_CAPACITY: usize = 32;
+const DISTINCT_SEEDS: u64 = 8;
+
+fn spec_text() -> String {
+    "[scenario]\nname = \"loadgen\"\nseed = 0\n\n\
+     [init]\nfamily = \"uniform\"\nn = 16\nbudget = 1\n\n\
+     [dynamics]\nmodel = \"sum\"\nrule = \"exact\"\nmax_rounds = 200\n\n\
+     [[phase]]\nkind = \"dynamics\"\n\n\
+     [[phase]]\nkind = \"arrive\"\ncount = 2\nbudget = 1\n\n\
+     [[phase]]\nkind = \"dynamics\"\n"
+        .to_string()
+}
+
+/// Offline reference stream for one seed (the corruption oracle).
+fn reference_lines(text: &str, seed: u64) -> Vec<String> {
+    let spec = parse_spec(text).expect("loadgen spec parses");
+    let mut sink = MemorySink::default();
+    run_scenario(&spec, seed, None, &mut sink, None, |_| ()).expect("offline reference run");
+    sink.records.iter().map(|r| r.to_json()).collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let server = spawn(ServerConfig {
+        workers: SERVER_WORKERS,
+        queue_capacity: QUEUE_CAPACITY,
+        ..ServerConfig::default()
+    })
+    .expect("bind loadgen server");
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).expect("server up");
+
+    let text = spec_text();
+    let references: Vec<Vec<String>> = (0..DISTINCT_SEEDS)
+        .map(|s| reference_lines(&text, s))
+        .collect();
+
+    let retries_429 = AtomicUsize::new(0);
+    let corrupted = AtomicUsize::new(0);
+    let started = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = &addr;
+                let text = &text;
+                let references = &references;
+                let retries_429 = &retries_429;
+                let corrupted = &corrupted;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let seed = ((c * REQUESTS_PER_CLIENT + r) as u64) % DISTINCT_SEEDS;
+                        let t0 = Instant::now();
+                        // Submit with bounded 429 retry — backpressure
+                        // is part of the protocol, not a failure.
+                        let receipt = loop {
+                            let resp = client::request(
+                                addr,
+                                "POST",
+                                &format!("/jobs?seed={seed}"),
+                                text.as_bytes(),
+                            )
+                            .expect("submit");
+                            match resp.status {
+                                202 => break resp.text(),
+                                429 => {
+                                    retries_429.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                code => panic!("submit refused ({code}): {}", resp.text()),
+                            }
+                        };
+                        let id = client::job_id(&receipt).expect("job id in receipt");
+                        let mut lines = Vec::new();
+                        client::stream_lines(addr, &format!("/jobs/{id}/stream"), |l| {
+                            lines.push(l.to_string());
+                            true
+                        })
+                        .expect("stream");
+                        if lines != references[seed as usize] {
+                            corrupted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    server.shutdown(false);
+    server.join();
+
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = all.len();
+    let corrupted = corrupted.load(Ordering::Relaxed);
+    assert_eq!(
+        total,
+        CLIENTS * REQUESTS_PER_CLIENT,
+        "every request must complete (dropped streams are a failure)"
+    );
+    assert_eq!(corrupted, 0, "corrupted streams detected");
+
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"server_workers\": {SERVER_WORKERS},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
+         \"requests_total\": {total},\n  \"requests_per_sec\": {:.1},\n  \
+         \"latency_p50_ms\": {:.2},\n  \"latency_p99_ms\": {:.2},\n  \
+         \"retries_429\": {},\n  \"dropped_streams\": 0,\n  \"corrupted_streams\": {corrupted}\n}}\n",
+        total as f64 / wall,
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        retries_429.load(Ordering::Relaxed),
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

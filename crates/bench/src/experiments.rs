@@ -648,6 +648,7 @@ fn scenario_convergence_stats(
                     steps: o.steps,
                     rounds: o.rounds,
                     cycled: o.cycled.unwrap_or(false),
+                    cancelled: false,
                 },
             }
         })

@@ -41,7 +41,16 @@ pub struct Args {
 }
 
 /// Switch-style flags (no value).
-const SWITCHES: &[&str] = &["--swap", "--audit", "--trace", "--help"];
+const SWITCHES: &[&str] = &[
+    "--swap",
+    "--audit",
+    "--trace",
+    "--help",
+    "--no-stream",
+    "--status",
+    "--shutdown",
+    "--abort",
+];
 
 impl Args {
     /// Parse raw arguments (everything after the subcommand).
@@ -563,6 +572,153 @@ pub fn cmd_exact_poa(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `bbncg serve` — run the job server until something POSTs
+/// `/shutdown` (or `bbncg submit --shutdown` does it for you).
+///
+/// * `--addr HOST:PORT` (default `127.0.0.1:7199`; port 0 picks a free
+///   port) — bind address.
+/// * `--threads N` — worker-pool size (the global flag; it also bounds
+///   every parallel primitive inside jobs). Defaults to
+///   `BBNCG_THREADS` or the machine's parallelism.
+/// * `--queue N` (default 64) — bounded queue capacity; submissions
+///   beyond it bounce with HTTP 429.
+/// * `--checkpoint-dir DIR` — persist a `job-{id}.ck` checkpoint after
+///   every phase of single-seed scenario jobs (crash recovery via
+///   `bbncg scenario resume`).
+///
+/// The bound address is printed (and flushed) before the server
+/// blocks, so scripts can scrape it even under `--addr ...:0`.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7199");
+    let queue_capacity: usize = args
+        .get("queue")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|e| format!("--queue: {e}"))?;
+    let checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    if let Some(d) = &checkpoint_dir {
+        std::fs::create_dir_all(d).map_err(|e| format!("--checkpoint-dir {}: {e}", d.display()))?;
+    }
+    let handle = bbncg_serve::spawn(bbncg_serve::ServerConfig {
+        addr: addr.to_string(),
+        workers: 0, // bbncg_par::max_threads(), i.e. --threads / BBNCG_THREADS
+        queue_capacity,
+        checkpoint_dir,
+        ..bbncg_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    println!(
+        "bbncg-serve listening on {} (workers = {}, queue = {})",
+        handle.addr(),
+        handle.workers(),
+        queue_capacity
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok("drained; all workers exited\n".into())
+}
+
+/// `bbncg submit` — client for a running `bbncg serve`.
+///
+/// * `submit SPEC --addr HOST:PORT [--type scenario|verify]
+///   [--model sum|max] [--kernel K] [--seed S]` — POST the file (or
+///   `-` for stdin) as a job and stream its JSONL records to stdout;
+///   the stream is byte-identical to `bbncg scenario run SPEC --out`
+///   for the same spec and seed. `--no-stream` returns the submission
+///   receipt instead of following the job.
+/// * `submit --status --addr …` — the server's `/healthz` document.
+/// * `submit --shutdown [--abort] --addr …` — begin a graceful drain
+///   (`--abort` also cancels in-flight jobs).
+/// * `--wait-server SECS` (default 30) — how long to poll for the
+///   server to come up before giving up.
+pub fn cmd_submit(args: &Args) -> Result<String, String> {
+    use bbncg_serve::client;
+    let addr = args.get("addr").ok_or("submit needs --addr HOST:PORT")?;
+    let wait_secs: u64 = args
+        .get("wait-server")
+        .unwrap_or("30")
+        .parse()
+        .map_err(|e| format!("--wait-server: {e}"))?;
+    client::wait_ready(addr, std::time::Duration::from_secs(wait_secs))?;
+    if args.has("--status") {
+        let resp = client::request(addr, "GET", "/healthz", b"")?;
+        return Ok(resp.text() + "\n");
+    }
+    if args.has("--shutdown") {
+        let target = if args.has("--abort") {
+            "/shutdown?mode=abort"
+        } else {
+            "/shutdown"
+        };
+        let resp = client::request(addr, "POST", target, b"")?;
+        if resp.status != 200 {
+            return Err(format!(
+                "shutdown failed ({}): {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        return Ok(resp.text() + "\n");
+    }
+
+    let path = args
+        .positional(0)
+        .ok_or("submit needs a SPEC file (or -), or --status / --shutdown")?;
+    let body = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let mut query = Vec::new();
+    for key in ["type", "model", "kernel", "seed"] {
+        if let Some(v) = args.get(key) {
+            query.push(format!("{key}={v}"));
+        }
+    }
+    let target = if query.is_empty() {
+        "/jobs".to_string()
+    } else {
+        format!("/jobs?{}", query.join("&"))
+    };
+    let resp = client::request(addr, "POST", &target, body.as_bytes())?;
+    match resp.status {
+        202 => {}
+        429 => return Err(format!("server backpressure (429): {}", resp.text())),
+        code => return Err(format!("submission refused ({code}): {}", resp.text())),
+    }
+    if args.has("--no-stream") {
+        return Ok(resp.text() + "\n");
+    }
+    let receipt = resp.text();
+    let id = client::job_id(&receipt)
+        .ok_or_else(|| format!("unparseable submission receipt: {receipt}"))?;
+    let mut out = String::new();
+    let stream_status = client::stream_lines(addr, &format!("/jobs/{id}/stream"), |line| {
+        out.push_str(line);
+        out.push('\n');
+        true
+    })?;
+    if stream_status != 200 {
+        return Err(format!(
+            "stream for job {id} answered HTTP {stream_status} \
+             (job may have been evicted; raise the server's history limit)"
+        ));
+    }
+    // Surface a failed/cancelled/vanished job as an error so scripts
+    // notice — only a completed job may exit 0.
+    let status = client::request(addr, "GET", &format!("/jobs/{id}"), b"")?.text();
+    if !status.contains("\"state\":\"completed\"") {
+        return Err(format!("job {id} did not complete: {status}"));
+    }
+    Ok(out)
+}
+
 /// `bbncg dot FILE` — DOT rendering of a saved profile.
 pub fn cmd_dot(args: &Args) -> Result<String, String> {
     let path = args.positional(0).ok_or("dot needs a FILE (or -)")?;
@@ -590,6 +746,10 @@ COMMANDS:
                   | resume SPEC --checkpoint FILE [--out FILE]
                   | validate SPEC...
                   (all: [--kernel queue|bitset|auto], overriding the spec)
+  serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR]
+  submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
+                  [--kernel K] [--seed S] [--no-stream] [--wait-server SECS]
+                  | --status --addr ... | --shutdown [--abort] --addr ...
   dot             FILE
 
 Profiles use the plain-text `bbncg v1` format; FILE may be `-` (stdin).
@@ -598,8 +758,15 @@ specs) produce identical reports, metric records and final profiles.
 --kernel picks the BFS machinery pricing candidate deviations (word-
 parallel bitset vs queue; auto picks by instance size). Kernels are
 move-for-move equivalent: they never change a result, only throughput.
+--threads N (any command) pins the worker-thread bound, overriding
+BBNCG_THREADS: dynamics/verify/scenario parallelism and the serve
+worker pool all respect it.
 Scenario specs are TOML-subset files (see README \"Scenario specs\");
 metric records are JSONL, one line per phase.
+`serve` turns the workspace into a long-running service: POST a spec
+to /jobs, stream /jobs/{id}/stream, and the JSONL you get is byte-
+identical to the offline `scenario run` for the same spec and seed
+(429 = queue full; retry later). `submit` is the matching client.
 ";
 
 /// Dispatch a full command line (without the program name).
@@ -609,6 +776,17 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
     if args.has("--help") {
         return Ok(USAGE.to_string());
     }
+    // Global: `--threads N` pins the worker-thread bound for every
+    // parallel primitive in the process (dynamics candidate pricing,
+    // scenario sweeps, the serve worker pool), overriding
+    // BBNCG_THREADS and auto-detection.
+    if let Some(t) = args.get("threads") {
+        let n: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        bbncg_par::set_max_threads(n);
+    }
     match cmd.as_str() {
         "construct" => cmd_construct(&args),
         "verify" => cmd_verify(&args),
@@ -617,6 +795,8 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         "analyze" => cmd_analyze(&args),
         "exact-poa" => cmd_exact_poa(&args),
         "scenario" => cmd_scenario(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

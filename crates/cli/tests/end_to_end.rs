@@ -162,3 +162,144 @@ fn malformed_profile_is_rejected_cleanly() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("header"), "{err}");
 }
+
+#[test]
+fn serve_submit_roundtrip_with_threads_bound() {
+    use std::io::BufRead as _;
+    use std::time::{Duration, Instant};
+
+    // Start a server on an ephemeral port with `--threads 2` while the
+    // environment says 7: the flag must win, and the worker pool must
+    // be sized by it (observable in /healthz).
+    let mut serve = bbncg()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .env("BBNCG_THREADS", "7")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut banner = String::new();
+    std::io::BufReader::new(serve.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let status = bbncg()
+        .args(["submit", "--status", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(status.status.success());
+    let health = String::from_utf8(status.stdout).unwrap();
+    assert!(
+        health.contains("\"workers\":2"),
+        "--threads must size the pool over BBNCG_THREADS=7: {health}"
+    );
+
+    // Same spec, same seed: the served stream is byte-identical to the
+    // offline run.
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("bbncg_cli_serve_spec.toml");
+    let out_path = dir.join("bbncg_cli_serve_offline.jsonl");
+    std::fs::write(
+        &spec_path,
+        "[scenario]\nname = \"e2e\"\nseed = 4\n\n[init]\nfamily = \"uniform\"\nn = 12\nbudget = 1\n\n\
+         [[phase]]\nkind = \"dynamics\"\n\n[[phase]]\nkind = \"arrive\"\ncount = 2\nbudget = 1\n\n\
+         [[phase]]\nkind = \"dynamics\"\n",
+    )
+    .unwrap();
+    let offline = bbncg()
+        .args([
+            "scenario",
+            "run",
+            spec_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(offline.status.success());
+    let served = bbncg()
+        .args(["submit", spec_path.to_str().unwrap(), "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        served.status.success(),
+        "{}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    let offline_bytes = std::fs::read(&out_path).unwrap();
+    assert_eq!(
+        String::from_utf8(served.stdout).unwrap(),
+        String::from_utf8(offline_bytes).unwrap(),
+        "served stream must be byte-identical to the offline run"
+    );
+
+    // Graceful drain via the client, then the server process exits 0.
+    let shutdown = bbncg()
+        .args(["submit", "--shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        shutdown.status.success(),
+        "shutdown failed: {}",
+        String::from_utf8_lossy(&shutdown.stderr)
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        if let Some(code) = serve.try_wait().unwrap() {
+            break code;
+        }
+        if Instant::now() > deadline {
+            let _ = serve.kill();
+            panic!("serve did not exit after shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(code.success());
+    std::fs::remove_file(&spec_path).ok();
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn threads_flag_rejects_zero_and_garbage() {
+    for bad in ["0", "banana"] {
+        let out = bbncg()
+            .args(["dynamics", "--budgets", "1,1", "--threads", bad])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--threads {bad} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("--threads"), "{err}");
+    }
+    // A legal value works end-to-end (and stays deterministic).
+    let a = bbncg()
+        .args([
+            "dynamics",
+            "--budgets",
+            "1,1,1,1",
+            "--seed",
+            "5",
+            "--threads",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    let b = bbncg()
+        .args([
+            "dynamics",
+            "--budgets",
+            "1,1,1,1",
+            "--seed",
+            "5",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "thread count must never change results");
+}

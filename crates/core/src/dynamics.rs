@@ -18,6 +18,7 @@ use crate::best_response::{
     best_swap_response_with, exact_best_response_with, first_improving_response_with,
     greedy_best_response_with,
 };
+use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::deviation::DeviationScratch;
 use crate::realization::Realization;
@@ -103,6 +104,10 @@ pub struct DynamicsReport {
     /// — the answer to the paper's §8 convergence question is "no" for
     /// that trajectory.)
     pub cycled: bool,
+    /// Was the run stopped early by a [`CancelToken`]? A cancelled run
+    /// reports `converged = false` and leaves `state` at the last
+    /// completed round, so it can be checkpointed and resumed.
+    pub cancelled: bool,
 }
 
 fn profile_hash(r: &Realization) -> u64 {
@@ -147,7 +152,7 @@ pub fn run_dynamics(
     rng: &mut impl Rng,
 ) -> DynamicsReport {
     let mut scratch = DeviationScratch::new(&initial);
-    run_dynamics_impl(initial, cfg, rng, &mut scratch, None).0
+    run_dynamics_impl(initial, cfg, rng, &mut scratch, None, None).0
 }
 
 /// [`run_dynamics`] with an explicit [`CostKernel`](crate::CostKernel)
@@ -161,7 +166,7 @@ pub fn run_dynamics_with_kernel(
     kernel: crate::CostKernel,
 ) -> DynamicsReport {
     let mut scratch = DeviationScratch::with_kernel(&initial, kernel);
-    run_dynamics_impl(initial, cfg, rng, &mut scratch, None).0
+    run_dynamics_impl(initial, cfg, rng, &mut scratch, None, None).0
 }
 
 /// [`run_dynamics`] that also records a per-round [`RoundTrace`]
@@ -173,7 +178,7 @@ pub fn run_dynamics_traced(
 ) -> (DynamicsReport, Vec<RoundTrace>) {
     let mut trace = Vec::new();
     let mut scratch = DeviationScratch::new(&initial);
-    let report = run_dynamics_impl(initial, cfg, rng, &mut scratch, Some(&mut trace)).0;
+    let report = run_dynamics_impl(initial, cfg, rng, &mut scratch, Some(&mut trace), None).0;
     (report, trace)
 }
 
@@ -190,7 +195,24 @@ pub fn run_dynamics_with_scratch(
     rng: &mut impl Rng,
     scratch: &mut DeviationScratch,
 ) -> DynamicsReport {
-    run_dynamics_impl(initial, cfg, rng, scratch, None).0
+    run_dynamics_impl(initial, cfg, rng, scratch, None, None).0
+}
+
+/// [`run_dynamics_with_scratch`] that additionally polls a
+/// [`CancelToken`] at every round boundary. When the token fires the
+/// run stops after the round in flight, reporting
+/// `cancelled = true, converged = false` with the state of the last
+/// completed round — a consistent profile that can be frozen into a
+/// checkpoint and resumed later. An un-cancelled token changes nothing:
+/// the trajectory is identical to [`run_dynamics_with_scratch`].
+pub fn run_dynamics_with_scratch_cancellable(
+    initial: Realization,
+    cfg: DynamicsConfig,
+    rng: &mut impl Rng,
+    scratch: &mut DeviationScratch,
+    cancel: &CancelToken,
+) -> DynamicsReport {
+    run_dynamics_impl(initial, cfg, rng, scratch, None, Some(cancel)).0
 }
 
 fn snapshot(
@@ -213,6 +235,7 @@ fn run_dynamics_impl(
     rng: &mut impl Rng,
     scratch: &mut DeviationScratch,
     mut trace: Option<&mut Vec<RoundTrace>>,
+    cancel: Option<&CancelToken>,
 ) -> (DynamicsReport, ()) {
     let n = initial.n();
     let mut state = initial;
@@ -231,6 +254,19 @@ fn run_dynamics_impl(
     // to `state` by diffing (one move at a time ⇒ O(1) edge patches),
     // so no candidate pricing ever rebuilds the undirected view.
     while rounds < cfg.max_rounds {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return (
+                DynamicsReport {
+                    state,
+                    converged: false,
+                    steps,
+                    rounds,
+                    cycled: false,
+                    cancelled: true,
+                },
+                (),
+            );
+        }
         if cfg.order == PlayerOrder::RandomPermutation {
             order.shuffle(rng);
         }
@@ -278,6 +314,7 @@ fn run_dynamics_impl(
                     steps,
                     rounds,
                     cycled: false,
+                    cancelled: false,
                 },
                 (),
             );
@@ -290,6 +327,7 @@ fn run_dynamics_impl(
                     steps,
                     rounds,
                     cycled: true,
+                    cancelled: false,
                 },
                 (),
             );
@@ -302,6 +340,7 @@ fn run_dynamics_impl(
             steps,
             rounds,
             cycled: false,
+            cancelled: false,
         },
         (),
     )
@@ -410,6 +449,48 @@ mod tests {
                                           // Social diameter never gets worse than the start on this
                                           // instance (not a general law; a sanity anchor for the trace).
         assert!(last.social_diameter <= trace[0].social_diameter);
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_the_first_round() {
+        let initial = Realization::new(generators::path(8));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = DeviationScratch::new(&initial);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let report = run_dynamics_with_scratch_cancellable(
+            initial.clone(),
+            DynamicsConfig::exact(CostModel::Sum, 100),
+            &mut rng,
+            &mut scratch,
+            &cancel,
+        );
+        assert!(report.cancelled);
+        assert!(!report.converged);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.state, initial, "state untouched on early cancel");
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let initial = Realization::new(generators::path(6));
+        let cfg = DynamicsConfig::exact(CostModel::Sum, 50);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let plain = run_dynamics(initial.clone(), cfg, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let mut scratch = DeviationScratch::new(&initial);
+        let tokened = run_dynamics_with_scratch_cancellable(
+            initial,
+            cfg,
+            &mut rng_b,
+            &mut scratch,
+            &CancelToken::new(),
+        );
+        assert_eq!(plain.state, tokened.state);
+        assert_eq!(plain.steps, tokened.steps);
+        assert_eq!(plain.rounds, tokened.rounds);
+        assert!(!tokened.cancelled);
     }
 
     #[test]

@@ -198,6 +198,13 @@ pub fn write_snapshot(s: &Snapshot) -> String {
 /// structural damage is [`ParseError::BadLine`] with the offending line
 /// number, and the embedded profile is validated by
 /// [`parse_realization`] (line numbers restart inside the profile).
+///
+/// **Forward compatibility:** unknown header fields — lines of the form
+/// `<bare-key> …` before the `profile` marker, where `<bare-key>` is
+/// ASCII alphanumeric plus `_`/`-` — are skipped, so binaries at this
+/// version keep reading checkpoints written by future versions that
+/// append new fields (they must append fields, not reshape existing
+/// ones). Lines that are not even field-shaped still fail loudly.
 pub fn parse_snapshot(text: &str) -> Result<Snapshot, ParseError> {
     let mut lines = text.lines().enumerate();
     let header = lines.next().map(|(_, l)| l.trim());
@@ -222,6 +229,9 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, ParseError> {
     let mut meta = Vec::new();
     for (ln, line) in lines.by_ref() {
         let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
         if line == "profile" {
             let body: String = text.lines().skip(ln + 1).collect::<Vec<_>>().join("\n");
             let realization = parse_realization(&body)?;
@@ -231,13 +241,28 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, ParseError> {
                 meta,
             });
         }
-        let rest = line
-            .strip_prefix("meta ")
-            .ok_or_else(|| ParseError::BadLine(ln + 1, line.to_string()))?;
-        let (k, v) = rest
-            .split_once(' ')
-            .ok_or_else(|| ParseError::BadLine(ln + 1, line.to_string()))?;
-        meta.push((k.to_string(), v.trim().to_string()));
+        if let Some(rest) = line.strip_prefix("meta ") {
+            let (k, v) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::BadLine(ln + 1, line.to_string()))?;
+            meta.push((k.to_string(), v.trim().to_string()));
+            continue;
+        }
+        // Unknown field: skip if the line is field-shaped (a bare key,
+        // optionally followed by a value) so old binaries read new
+        // checkpoints; anything else is damage. A *known* field name
+        // that failed its own parse (a bare `meta` with no key/value,
+        // a stray `rng`, `profile` with trailing junk) is damage too —
+        // forward compatibility must not swallow corrupted known
+        // fields.
+        let key = line.split_whitespace().next().unwrap_or("");
+        let is_bare_key = !key.is_empty()
+            && key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        if !is_bare_key || matches!(key, "meta" | "rng" | "profile") {
+            return Err(ParseError::BadLine(ln + 1, line.to_string()));
+        }
     }
     // Ran out of lines without a `profile` marker.
     Err(ParseError::BadHeader)
@@ -339,10 +364,23 @@ mod tests {
             parse_snapshot("bbncg-snapshot v1\nrng 1 2 3\nprofile\n"),
             Err(ParseError::BadLine(2, _))
         ));
+        // Not even field-shaped (no bare key): damage, not an unknown
+        // field to skip.
         assert!(matches!(
-            parse_snapshot("bbncg-snapshot v1\nrng 1 2 3 4\nbogus line\n"),
+            parse_snapshot("bbncg-snapshot v1\nrng 1 2 3 4\n??? ???\n"),
             Err(ParseError::BadLine(3, _))
         ));
+        // Corrupted *known* fields are damage too — the unknown-field
+        // skip must not swallow a truncated `meta` or a stray `rng`.
+        for damaged in ["meta\n", "meta onlykey\n", "rng 9 9\n", "profile now\n"] {
+            assert!(
+                matches!(
+                    parse_snapshot(&format!("bbncg-snapshot v1\nrng 1 2 3 4\n{damaged}")),
+                    Err(ParseError::BadLine(3, _))
+                ),
+                "{damaged:?} must be rejected"
+            );
+        }
         // Truncated before the profile marker.
         assert_eq!(
             parse_snapshot("bbncg-snapshot v1\nrng 1 2 3 4\nmeta a b\n"),
@@ -355,6 +393,30 @@ mod tests {
             parse_snapshot(text),
             Err(ParseError::BudgetMismatch { player: 1, .. })
         ));
+    }
+
+    #[test]
+    fn snapshot_skips_unknown_fields_for_forward_compat() {
+        // A "future" writer appends fields this version has never heard
+        // of; parsing must skip them and still recover everything it
+        // does understand, bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Realization::new(generators::random_realization(&[1, 1, 2], &mut rng));
+        let snap = Snapshot {
+            realization: r,
+            rng_state: rng.state(),
+            meta: vec![("seed".into(), "9".into())],
+        };
+        let text = write_snapshot(&snap);
+        // Inject extra fields after the rng line (i.e. before `profile`),
+        // in the shapes a future version would plausibly add.
+        let injected = text.replacen(
+            "meta seed 9\n",
+            "shard-count 16\nmeta seed 9\ncompression none v2\nepoch 1234\n\n",
+            1,
+        );
+        assert_ne!(injected, text);
+        assert_eq!(parse_snapshot(&injected).unwrap(), snap);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`cost`] — the two cost functions;
 //! * [`realization`] — strategy profiles as ownership digraphs with
 //!   cached undirected views;
+//! * [`cancel`] — cooperative cancellation tokens for long-running
+//!   dynamics and the orchestrators/services built on them;
 //! * [`oracle`] — O(n+m), allocation-free pricing of candidate
 //!   deviations (the engine under everything else);
 //! * [`kernel`] — pluggable cost kernels (queue vs word-parallel bitset
@@ -32,6 +34,7 @@
 
 pub mod best_response;
 pub mod budget;
+pub mod cancel;
 pub mod cost;
 pub mod deviation;
 pub mod dynamics;
@@ -53,11 +56,13 @@ pub use best_response::{
     MAX_EXACT_CANDIDATES,
 };
 pub use budget::{BudgetVector, InstanceClass};
+pub use cancel::CancelToken;
 pub use cost::{c_inf, vertex_cost, CostModel};
 pub use deviation::DeviationScratch;
 pub use dynamics::{
     run_dynamics, run_dynamics_traced, run_dynamics_with_kernel, run_dynamics_with_scratch,
-    DynamicsConfig, DynamicsReport, PlayerOrder, ResponseRule, RoundTrace,
+    run_dynamics_with_scratch_cancellable, DynamicsConfig, DynamicsReport, PlayerOrder,
+    ResponseRule, RoundTrace,
 };
 pub use enumerate::{
     decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,

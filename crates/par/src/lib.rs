@@ -36,12 +36,15 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+static CACHED_MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Upper bound on worker threads, overridable with the `BBNCG_THREADS`
 /// environment variable (useful for benchmarking scaling and for forcing
-/// serial execution under `BBNCG_THREADS=1`).
+/// serial execution under `BBNCG_THREADS=1`) or programmatically with
+/// [`set_max_threads`] (the CLI's `--threads` flag, which wins over the
+/// environment).
 pub fn max_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
+    let cached = CACHED_MAX_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
@@ -54,8 +57,18 @@ pub fn max_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-    CACHED.store(n, Ordering::Relaxed);
+    CACHED_MAX_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Pin the worker-thread bound for the whole process, overriding both
+/// `BBNCG_THREADS` and auto-detected parallelism (and any value a prior
+/// [`max_threads`] call cached). `n = 0` is treated as 1 so a bad flag
+/// can never disable execution outright. Intended for process startup
+/// (the CLI's `--threads`); calling it mid-computation only affects
+/// parallel calls that start afterwards.
+pub fn set_max_threads(n: usize) {
+    CACHED_MAX_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Number of workers appropriate for `len` items: never more threads than

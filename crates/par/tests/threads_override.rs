@@ -1,0 +1,67 @@
+//! `set_max_threads` must actually bound how many workers the parallel
+//! primitives spawn — this is what the CLI's `--threads` flag (and the
+//! serve worker pool sizing) relies on.
+//!
+//! This lives in its own integration-test binary so the process-global
+//! thread cap can be pinned without racing the unit tests.
+
+use bbncg_par::{max_threads, par_map_init, set_max_threads, workers_for};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[test]
+fn set_max_threads_bounds_worker_count() {
+    // Pin the cap *before* anything can cache an auto-detected value.
+    set_max_threads(2);
+    assert_eq!(max_threads(), 2);
+    assert_eq!(workers_for(1_000_000), 2);
+
+    // par_map_init runs init() exactly once per spawned worker, so the
+    // init count observes the true number of workers.
+    let inits = AtomicUsize::new(0);
+    let threads = Mutex::new(HashSet::new());
+    let out = par_map_init(
+        10_000,
+        || {
+            inits.fetch_add(1, Ordering::Relaxed);
+        },
+        |(), i| {
+            threads.lock().unwrap().insert(std::thread::current().id());
+            i * 2
+        },
+    );
+    assert_eq!(out.len(), 10_000);
+    assert!(out.iter().enumerate().all(|(i, &x)| x == i * 2));
+    assert!(
+        inits.load(Ordering::Relaxed) <= 2,
+        "more init() calls than the pinned thread cap"
+    );
+    assert!(
+        threads.lock().unwrap().len() <= 2,
+        "work ran on more distinct threads than the pinned cap"
+    );
+
+    // The override is re-assignable: dropping to 1 forces the serial
+    // fast path (zero spawned workers — the caller's thread does all
+    // the work, observable as a single distinct thread id).
+    set_max_threads(1);
+    assert_eq!(workers_for(4096), 1);
+    let serial_threads = Mutex::new(HashSet::new());
+    par_map_init(
+        4096,
+        || (),
+        |(), i| {
+            serial_threads
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            i
+        },
+    );
+    assert_eq!(serial_threads.lock().unwrap().len(), 1);
+
+    // 0 can never wedge the process: it clamps to 1.
+    set_max_threads(0);
+    assert_eq!(max_threads(), 1);
+}

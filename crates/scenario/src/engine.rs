@@ -14,9 +14,10 @@
 use crate::events;
 use crate::sink::{MemorySink, MetricRecord, MetricSink, SeedReorderer};
 use crate::spec::{fnv1a, InitSpec, PhaseSpec, ScenarioSpec, Variant};
-use bbncg_core::dynamics::{run_dynamics_with_scratch, DynamicsConfig};
+use bbncg_core::dynamics::{run_dynamics_with_scratch_cancellable, DynamicsConfig};
 use bbncg_core::{
-    parse_snapshot, write_snapshot, CostKernel, DeviationScratch, Realization, Snapshot,
+    parse_snapshot, write_snapshot, CancelToken, CostKernel, DeviationScratch, Realization,
+    Snapshot,
 };
 use bbncg_directed::{run_directed_dynamics, DirectedRealization};
 use bbncg_graph::{generators, OwnedDigraph};
@@ -149,8 +150,14 @@ fn tristate_parse(s: &str) -> Result<Option<bool>, String> {
 pub struct RunOutcome {
     /// The run's seed.
     pub seed: u64,
-    /// Did the run execute the whole timeline (vs `stop_after`)?
+    /// Did the run execute the whole timeline (vs `stop_after` or a
+    /// fired [`CancelToken`])?
     pub completed: bool,
+    /// Was the run stopped by a [`CancelToken`]? The outcome's
+    /// `checkpoint` then freezes the last *completed* phase boundary
+    /// (an in-flight dynamics phase is abandoned, never half-recorded),
+    /// so resuming it replays the cancelled phase bit-identically.
+    pub cancelled: bool,
     /// Phases executed across the run's whole life (resume included).
     pub phases_done: usize,
     /// Cumulative applied deviations.
@@ -220,7 +227,7 @@ pub fn run_scenario(
     mut on_phase_end: impl FnMut(&Checkpoint),
 ) -> Result<RunOutcome, String> {
     let mut scratch: Option<DeviationScratch> = None;
-    run_scenario_with_scratch(
+    run_scenario_with_engine(
         spec,
         seed,
         from,
@@ -228,14 +235,29 @@ pub fn run_scenario(
         stop_after,
         &mut on_phase_end,
         &mut scratch,
+        &CancelToken::new(),
     )
 }
 
 /// [`run_scenario`] with a caller-owned (worker-local) deviation
-/// engine slot — what [`run_sweep`] threads through `par_map_init` so
-/// a whole batch of seeds shares one engine arena per worker.
+/// engine slot and a [`CancelToken`].
+///
+/// The engine slot is what [`run_sweep`] threads through
+/// `par_map_init` so a whole batch of seeds shares one engine arena
+/// per worker — and what a long-running service threads through its
+/// worker pool so consecutive *jobs* reuse the same arena (the slot is
+/// filled on first dynamics phase and re-synced by diffing ever
+/// after).
+///
+/// Cancellation is cooperative and phase-atomic: the token is polled
+/// at every phase boundary and at every dynamics round. When it fires,
+/// the run winds back to the last completed phase boundary (an
+/// in-flight dynamics phase is abandoned — its partial record is never
+/// emitted) and returns `Ok` with `cancelled = true`; the outcome's
+/// checkpoint resumes bit-identically, exactly like a `stop_after`
+/// stop at that phase.
 #[allow(clippy::too_many_arguments)]
-fn run_scenario_with_scratch(
+pub fn run_scenario_with_engine(
     spec: &ScenarioSpec,
     seed: u64,
     from: Option<Checkpoint>,
@@ -243,7 +265,17 @@ fn run_scenario_with_scratch(
     stop_after: Option<usize>,
     on_phase_end: &mut dyn FnMut(&Checkpoint),
     scratch: &mut Option<DeviationScratch>,
+    cancel: &CancelToken,
 ) -> Result<RunOutcome, String> {
+    // A reused engine slot keeps its construction-time kernel. If this
+    // run asks for a different one (a later job's `?kernel=` override,
+    // say), drop the slot so the first dynamics phase rebuilds under
+    // the requested kernel — otherwise the override would be silently
+    // ignored. (Kernels are move-for-move equivalent, so this guards
+    // throughput and observability, never the trajectory.)
+    if scratch.as_ref().is_some_and(|s| s.kernel() != spec.kernel) {
+        *scratch = None;
+    }
     let (mut state, mut rng, start_phase, mut steps, mut rounds, mut converged, mut cycled) =
         match from {
             None => {
@@ -280,12 +312,18 @@ fn run_scenario_with_scratch(
 
     let mut phases_done = start_phase;
     let mut completed = true;
+    let mut cancelled = false;
     for (i, phase) in spec.phases.iter().enumerate().skip(start_phase) {
         if let Some(stop) = stop_after {
             if phases_done >= stop {
                 completed = false;
                 break;
             }
+        }
+        if cancel.is_cancelled() {
+            completed = false;
+            cancelled = true;
+            break;
         }
         let mut phase_steps = 0usize;
         let mut phase_rounds = 0usize;
@@ -297,7 +335,22 @@ fn run_scenario_with_scratch(
                         let engine = scratch.get_or_insert_with(|| {
                             DeviationScratch::with_kernel(&state, spec.kernel)
                         });
-                        let report = run_dynamics_with_scratch(state, cfg, &mut rng, engine);
+                        // Pre-phase snapshot: a mid-phase cancellation
+                        // winds back here, so the outcome's checkpoint
+                        // is always a phase boundary and resumes
+                        // bit-identically.
+                        let pre_state = state.clone();
+                        let pre_rng = rng.state();
+                        let report = run_dynamics_with_scratch_cancellable(
+                            state, cfg, &mut rng, engine, cancel,
+                        );
+                        if report.cancelled {
+                            state = pre_state;
+                            rng = StdRng::from_state(pre_rng);
+                            completed = false;
+                            cancelled = true;
+                            break;
+                        }
                         state = report.state;
                         phase_steps = report.steps;
                         phase_rounds = report.rounds;
@@ -428,6 +481,7 @@ fn run_scenario_with_scratch(
     Ok(RunOutcome {
         seed,
         completed,
+        cancelled,
         phases_done,
         steps,
         rounds,
@@ -451,6 +505,21 @@ pub fn run_sweep(
     spec: &ScenarioSpec,
     sink: &mut (dyn MetricSink + Send),
 ) -> Vec<Result<RunOutcome, String>> {
+    run_sweep_cancellable(spec, sink, &CancelToken::new())
+}
+
+/// [`run_sweep`] with a [`CancelToken`] shared by every worker. When
+/// the token fires, each in-flight seed winds back to its last
+/// completed phase boundary and returns with `cancelled = true`
+/// (seeds that already finished keep their complete record streams);
+/// seeds not yet started return immediately as cancelled with zero
+/// phases done. The record stream stays in seed order and every
+/// emitted record is one a full run would also have emitted.
+pub fn run_sweep_cancellable(
+    spec: &ScenarioSpec,
+    sink: &mut (dyn MetricSink + Send),
+    cancel: &CancelToken,
+) -> Vec<Result<RunOutcome, String>> {
     let seeds = spec.seeds;
     let reorder = Mutex::new(SeedReorderer::new(sink));
     bbncg_par::par_map_init(
@@ -459,8 +528,16 @@ pub fn run_sweep(
         |scratch, i| {
             let seed = spec.seed + i as u64;
             let mut local = MemorySink::default();
-            let outcome =
-                run_scenario_with_scratch(spec, seed, None, &mut local, None, &mut |_| (), scratch);
+            let outcome = run_scenario_with_engine(
+                spec,
+                seed,
+                None,
+                &mut local,
+                None,
+                &mut |_| (),
+                scratch,
+                cancel,
+            );
             reorder
                 .lock()
                 .expect("sweep sink poisoned")

@@ -1,0 +1,91 @@
+//! Spec-parser hardening: duplicate keys and duplicate `[section]`
+//! headers must be rejected with a line-numbered `SpecError` — never
+//! resolved silently by last-write-wins — all the way through
+//! `parse_spec` (the path every CLI invocation and every served job
+//! submission goes through).
+
+use bbncg_scenario::{parse_spec, toml};
+
+const GOOD: &str = "\
+[scenario]
+name = \"hardening\"
+seed = 1
+
+[init]
+family = \"uniform\"
+n = 6
+budget = 1
+
+[dynamics]
+model = \"sum\"
+
+[[phase]]
+kind = \"dynamics\"
+";
+
+#[test]
+fn baseline_spec_parses() {
+    parse_spec(GOOD).unwrap();
+}
+
+#[test]
+fn duplicate_key_in_section_is_rejected_with_line() {
+    // `seed` twice in [scenario]: the second write must fail, not win.
+    let text = GOOD.replace("seed = 1\n", "seed = 1\nseed = 2\n");
+    let err = parse_spec(&text).unwrap_err();
+    assert_eq!(err.line, 4, "{err}");
+    assert!(err.to_string().contains("duplicate key \"seed\""), "{err}");
+}
+
+#[test]
+fn duplicate_key_in_phase_table_is_rejected() {
+    let text = GOOD.replace(
+        "kind = \"dynamics\"\n",
+        "kind = \"dynamics\"\nkind = \"arrive\"\n",
+    );
+    let err = parse_spec(&text).unwrap_err();
+    assert!(err.to_string().contains("duplicate key \"kind\""), "{err}");
+}
+
+#[test]
+fn duplicate_section_header_is_rejected_with_line() {
+    // A second [dynamics] section later in the file must fail loudly —
+    // previously-shadowed settings are exactly the silent-misconfig
+    // class this guards against.
+    let text = format!("{GOOD}\n[dynamics]\nmodel = \"max\"\n");
+    let err = parse_spec(&text).unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate section [dynamics]"),
+        "{err}"
+    );
+    assert_eq!(err.line, GOOD.lines().count() + 2, "{err}");
+}
+
+#[test]
+fn duplicate_scenario_and_init_sections_are_rejected() {
+    for section in ["scenario", "init"] {
+        let text = format!("{GOOD}\n[{section}]\n");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains(&format!("duplicate section [{section}]")),
+            "{section}: {err}"
+        );
+    }
+}
+
+#[test]
+fn raw_parser_rejects_duplicates_in_root_table() {
+    let err = toml::parse("a = 1\nb = 2\na = 3").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().contains("duplicate key \"a\""), "{err}");
+}
+
+#[test]
+fn array_of_tables_repetition_is_still_allowed() {
+    // [[phase]] repetition is the timeline — hardening must not
+    // break it; same-named keys in *different* tables are fine.
+    let text = format!("{GOOD}\n[[phase]]\nkind = \"arrive\"\n");
+    let spec = parse_spec(&text).unwrap();
+    assert_eq!(spec.phases.len(), 2);
+}

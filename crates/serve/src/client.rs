@@ -1,0 +1,205 @@
+//! A minimal blocking HTTP/1.1 client for the server's own dialect —
+//! what `bbncg submit`, the load generator, and the end-to-end tests
+//! speak. Supports exactly what the server emits: `Content-Length`
+//! bodies and chunked streaming responses, one request per connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A complete (non-streaming) response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// The body, chunked-decoded if need be.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // A generous cap so a wedged server fails tests instead of hanging
+    // them; streaming long jobs refreshes this per read.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> Result<(), String> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bbncg\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send: {e}"))
+}
+
+struct ResponseHead {
+    status: u16,
+    chunked: bool,
+    content_length: Option<usize>,
+}
+
+fn read_head(r: &mut BufReader<TcpStream>) -> Result<ResponseHead, String> {
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut chunked = false;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+        }
+    }
+    Ok(ResponseHead {
+        status,
+        chunked,
+        content_length,
+    })
+}
+
+/// Read one chunk; `Ok(None)` is the terminating zero chunk.
+fn read_chunk(r: &mut BufReader<TcpStream>) -> Result<Option<Vec<u8>>, String> {
+    let mut size_line = String::new();
+    r.read_line(&mut size_line)
+        .map_err(|e| format!("read chunk size: {e}"))?;
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+    let mut data = vec![0u8; size + 2]; // chunk + CRLF
+    r.read_exact(&mut data)
+        .map_err(|e| format!("read chunk: {e}"))?;
+    data.truncate(size);
+    if size == 0 {
+        return Ok(None);
+    }
+    Ok(Some(data))
+}
+
+/// One request/response exchange. Chunked responses are fully drained
+/// into `body` (use [`stream_lines`] to observe records as they land).
+pub fn request(addr: &str, method: &str, target: &str, body: &[u8]) -> Result<Response, String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, method, target, body)?;
+    let mut reader = BufReader::new(stream);
+    let head = read_head(&mut reader)?;
+    let mut body = Vec::new();
+    if head.chunked {
+        while let Some(chunk) = read_chunk(&mut reader)? {
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(len) = head.content_length {
+        body.resize(len, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+    } else {
+        reader
+            .read_to_end(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+    }
+    Ok(Response {
+        status: head.status,
+        body,
+    })
+}
+
+/// Extract the job id from a `POST /jobs` submission receipt
+/// (`{"job":N,…}`). The one place the receipt format is parsed —
+/// every consumer (CLI, load generator, tests) goes through here.
+pub fn job_id(receipt: &str) -> Option<u64> {
+    let at = receipt.find("\"job\":")? + 6;
+    receipt[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// GET a chunked stream and hand each complete line (without its
+/// newline) to `on_line` as it arrives. Return `false` from `on_line`
+/// to drop the connection mid-stream (the server must tolerate this).
+/// Returns the response status.
+pub fn stream_lines(
+    addr: &str,
+    target: &str,
+    mut on_line: impl FnMut(&str) -> bool,
+) -> Result<u16, String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, "GET", target, b"")?;
+    let mut reader = BufReader::new(stream);
+    let head = read_head(&mut reader)?;
+    // The head answered within the timeout, so the server is alive;
+    // from here the stream is quiet for as long as the job's current
+    // phase runs (records are emitted at phase boundaries only), which
+    // can legitimately exceed any fixed timeout. Block indefinitely —
+    // the server closes the stream when the job ends.
+    let _ = reader.get_ref().set_read_timeout(None);
+    if !head.chunked {
+        // Error responses are plain bodies; drain and report status.
+        let mut rest = Vec::new();
+        let _ = reader.read_to_end(&mut rest);
+        return Ok(head.status);
+    }
+    let mut pending = String::new();
+    while let Some(chunk) = read_chunk(&mut reader)? {
+        pending.push_str(&String::from_utf8_lossy(&chunk));
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            if !on_line(line.trim_end_matches('\n')) {
+                return Ok(head.status); // deliberate early disconnect
+            }
+        }
+    }
+    Ok(head.status)
+}
+
+/// Poll `GET /healthz` until the server answers 200 or the timeout
+/// lapses — the "wait for the server to come up" helper CI and tests
+/// lean on instead of sleeping.
+pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    let mut last_err = String::from("never tried");
+    while Instant::now() < deadline {
+        match request(addr, "GET", "/healthz", b"") {
+            Ok(resp) if resp.status == 200 => return Ok(()),
+            Ok(resp) => last_err = format!("healthz returned {}", resp.status),
+            Err(e) => last_err = e,
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Err(format!("server at {addr} not ready: {last_err}"))
+}

@@ -1,0 +1,277 @@
+//! A hand-rolled HTTP/1.1 subset.
+//!
+//! The workspace builds fully offline, so — in the `io.rs`/`toml.rs`
+//! tradition — this is a small, strict parser over `std::net` rather
+//! than a dependency. The accepted subset is exactly what the job
+//! server needs: one request per connection (`Connection: close`
+//! semantics), `Content-Length` bodies with a hard size cap, and
+//! chunked transfer encoding on responses for streaming JSONL.
+//!
+//! Anything outside the subset fails loudly with a 4xx so clients
+//! never see silent misbehaviour: an over-long request line or header
+//! block is `413`, a malformed request line or header is `400`, and a
+//! body larger than the server's cap is `413` *before* the server
+//! buffers it.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Default cap on request bodies (scenario specs are a few KiB; 1 MiB
+/// leaves two orders of magnitude of headroom).
+pub const DEFAULT_MAX_BODY: usize = 1 << 20;
+
+/// Cap on the request line plus header block.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// A parse failure that maps onto an HTTP status code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — the request is malformed.
+    BadRequest(String),
+    /// 413 — request line, header block, or body exceeds a cap.
+    TooLarge(String),
+    /// The peer vanished (or broke the connection) mid-request; there
+    /// is nobody left to answer, so handlers drop these silently.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The status line this error should be answered with (where
+    /// answering is still possible).
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::TooLarge(_) => (413, "Payload Too Large"),
+            HttpError::Disconnected => (400, "Bad Request"),
+        }
+    }
+
+    /// Human detail for the error body.
+    pub fn detail(&self) -> &str {
+        match self {
+            HttpError::BadRequest(s) | HttpError::TooLarge(s) => s,
+            HttpError::Disconnected => "client disconnected",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Path component of the target, query string stripped.
+    pub path: String,
+    /// `key=value` pairs from the query string, in order. No
+    /// percent-decoding — the API surface is plain ASCII by design.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header value for `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line, enforcing `remaining_head`
+/// bytes of budget across the whole head.
+fn read_head_line(
+    r: &mut BufReader<TcpStream>,
+    remaining_head: &mut usize,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Disconnected);
+                }
+                break;
+            }
+            Ok(_) => {
+                if *remaining_head == 0 {
+                    return Err(HttpError::TooLarge("request head too large".into()));
+                }
+                *remaining_head -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequest("non-UTF-8 in request head".into()))
+}
+
+/// Parse one request from `stream`, capping the body at `max_body`.
+pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Request, HttpError> {
+    let mut head_budget = MAX_HEAD;
+    let request_line = read_head_line(r, &mut head_budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !method
+        .chars()
+        .all(|c| c.is_ascii_alphabetic() && c.is_ascii_uppercase())
+    {
+        return Err(HttpError::BadRequest(format!("bad method {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("bad target {target:?}")));
+    }
+    let query: Vec<(String, String)> = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(r, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte cap"
+        )));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked request bodies are not supported".into(),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::Disconnected)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Write a complete (non-streaming) response with a `Content-Length`
+/// body. Always `Connection: close` — the server is one request per
+/// connection by design.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Write the head of a chunked streaming response; follow with
+/// [`write_chunk`] calls and one [`finish_chunked`].
+pub fn start_chunked(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+/// Write one chunk (flushed immediately so consumers see records as
+/// they are produced, not when the job ends).
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the stream
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminate a chunked stream.
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Minimal JSON string escaping for hand-built response bodies (the
+/// same subset `bbncg_scenario::sink` emits).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,197 @@
+//! Jobs: what the server queues, runs, streams, and reports on.
+
+use crate::http::json_escape;
+use crate::stream::LineBuffer;
+use bbncg_core::{CancelToken, CostKernel, CostModel, Realization};
+use bbncg_scenario::ScenarioSpec;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a job computes.
+pub enum JobKind {
+    /// Run a scenario spec (single seed or whole sweep): one JSONL
+    /// metric record per phase streams out exactly as `bbncg scenario
+    /// run --out` would have written it.
+    Scenario {
+        /// The validated spec (validated at submit time, so a bad spec
+        /// is a 400 at the door, not a failed job later).
+        spec: Box<ScenarioSpec>,
+    },
+    /// Audit a posted `bbncg v1` profile for Nash equilibrium: one
+    /// JSON verdict line streams out.
+    Verify {
+        /// The profile to audit.
+        realization: Box<Realization>,
+        /// Cost model to audit under.
+        model: CostModel,
+        /// Cost kernel pricing the audit.
+        kernel: CostKernel,
+    },
+}
+
+impl JobKind {
+    /// Label for status reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Scenario { .. } => "scenario",
+            JobKind::Verify { .. } => "verify",
+        }
+    }
+}
+
+/// Lifecycle of a job. Terminal states are `Completed`, `Failed`, and
+/// `Cancelled`; exactly one is ever reached, after which the job's
+/// stream is closed and its queue/worker slot is free again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In the bounded queue, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished the whole computation.
+    Completed,
+    /// The computation returned an error (carried in the payload).
+    Failed(String),
+    /// A cancel request (or an abort-mode shutdown) stopped it.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Status label as served in JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Is this one of the three terminal states?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+}
+
+/// One submitted job. Shared between the HTTP handlers (status,
+/// stream, cancel) and the worker executing it.
+pub struct Job {
+    /// Server-assigned id (monotonic per server).
+    pub id: u64,
+    /// What to compute.
+    pub kind: JobKind,
+    /// Cooperative cancellation flag, fired by `POST /jobs/{id}/cancel`
+    /// and by abort-mode shutdown.
+    pub cancel: CancelToken,
+    /// The result stream (JSONL lines; closed exactly once, when the
+    /// job reaches a terminal status).
+    pub lines: Arc<LineBuffer>,
+    status: Mutex<JobStatus>,
+    status_cv: Condvar,
+}
+
+impl Job {
+    /// A fresh `Queued` job.
+    pub fn new(id: u64, kind: JobKind) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            kind,
+            cancel: CancelToken::new(),
+            lines: LineBuffer::new(),
+            status: Mutex::new(JobStatus::Queued),
+            status_cv: Condvar::new(),
+        })
+    }
+
+    /// Current status (cloned).
+    pub fn status(&self) -> JobStatus {
+        self.status.lock().expect("job status poisoned").clone()
+    }
+
+    /// Transition to `next`. Terminal states also close the stream, so
+    /// every follower unblocks; transitions out of a terminal state are
+    /// ignored (first terminal verdict wins — e.g. a cancel racing a
+    /// natural completion).
+    pub fn set_status(&self, next: JobStatus) {
+        let mut st = self.status.lock().expect("job status poisoned");
+        if st.is_terminal() {
+            return;
+        }
+        let terminal = next.is_terminal();
+        *st = next;
+        drop(st);
+        if terminal {
+            self.lines.close();
+        }
+        self.status_cv.notify_all();
+    }
+
+    /// Block until the job reaches a terminal status, and return it.
+    pub fn wait_terminal(&self) -> JobStatus {
+        let mut st = self.status.lock().expect("job status poisoned");
+        while !st.is_terminal() {
+            st = self.status_cv.wait(st).expect("job status poisoned");
+        }
+        st.clone()
+    }
+
+    /// One-line JSON status document (the `GET /jobs/{id}` body).
+    pub fn status_json(&self) -> String {
+        let status = self.status();
+        let mut s = format!(
+            "{{\"job\":{},\"kind\":\"{}\",\"state\":\"{}\",\"records\":{}",
+            self.id,
+            self.kind.label(),
+            status.label(),
+            self.lines.len()
+        );
+        if let JobStatus::Failed(err) = &status {
+            s.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario_job(id: u64) -> Arc<Job> {
+        let spec = bbncg_scenario::parse_spec(
+            "[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"",
+        )
+        .unwrap();
+        Job::new(
+            id,
+            JobKind::Scenario {
+                spec: Box::new(spec),
+            },
+        )
+    }
+
+    #[test]
+    fn terminal_status_wins_and_closes_stream() {
+        let job = scenario_job(7);
+        assert_eq!(job.status(), JobStatus::Queued);
+        job.set_status(JobStatus::Running);
+        job.set_status(JobStatus::Completed);
+        assert!(job.lines.is_closed());
+        // A late cancel must not overwrite the completion.
+        job.set_status(JobStatus::Cancelled);
+        assert_eq!(job.status(), JobStatus::Completed);
+        assert_eq!(job.wait_terminal(), JobStatus::Completed);
+    }
+
+    #[test]
+    fn status_json_carries_error_detail() {
+        let job = scenario_job(3);
+        job.set_status(JobStatus::Failed("phase 2: \"bad\"".into()));
+        let json = job.status_json();
+        assert!(json.contains("\"state\":\"failed\""), "{json}");
+        assert!(json.contains("\\\"bad\\\""), "{json}");
+    }
+}

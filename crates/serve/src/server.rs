@@ -1,0 +1,616 @@
+//! The job server: listener, router, bounded queue, worker pool.
+//!
+//! Architecture (all `std`, no dependencies):
+//!
+//! * an **accept loop** takes one thread and hands each connection to
+//!   a short-lived handler thread (one request per connection);
+//! * a **bounded job queue** (`VecDeque` + condvar) decouples
+//!   submission from execution — when it is full, `POST /jobs`
+//!   answers `429` immediately instead of queueing unbounded work
+//!   (backpressure the client can see and retry on);
+//! * a **worker pool** of `workers` threads executes jobs; each worker
+//!   owns one reusable [`DeviationScratch`] slot (the
+//!   `par_map_init` discipline lifted to job granularity), so
+//!   consecutive same-size jobs never rebuild the engine arena;
+//! * every job streams its results through a [`LineBuffer`], which any
+//!   number of `GET /jobs/{id}/stream` connections replay-and-follow;
+//! * **graceful drain**: `POST /shutdown` (or
+//!   [`ServerHandle::shutdown`], which a supervisor should call on
+//!   SIGTERM) stops accepting connections and lets the queue run dry
+//!   before the workers exit; `?mode=abort` additionally fires every
+//!   job's [`CancelToken`](bbncg_core::CancelToken) so in-flight
+//!   dynamics wind down at the next round boundary.
+//!
+//! Routes:
+//!
+//! | Method | Path                | Answer |
+//! |--------|---------------------|--------|
+//! | GET    | `/healthz`          | server + pool stats |
+//! | POST   | `/jobs`             | submit (body = scenario spec TOML, or `?type=verify` + `bbncg v1` profile) |
+//! | GET    | `/jobs`             | id + state of every job |
+//! | GET    | `/jobs/{id}`        | one job's status document |
+//! | GET    | `/jobs/{id}/stream` | chunked JSONL result stream |
+//! | POST   | `/jobs/{id}/cancel` | fire the job's cancel token |
+//! | POST   | `/shutdown`         | drain (finish queue) or `?mode=abort` |
+
+use crate::http::{
+    finish_chunked, json_escape, read_request, start_chunked, write_chunk, write_response,
+    HttpError, Request, DEFAULT_MAX_BODY,
+};
+use crate::job::{Job, JobKind, JobStatus};
+use crate::stream::BufferSink;
+use bbncg_core::{
+    audit_equilibrium_with_kernel, parse_realization, CostKernel, CostModel, DeviationScratch,
+};
+use bbncg_scenario::{parse_spec, run_scenario_with_engine, run_sweep_cancellable, Checkpoint};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// the returned handle).
+    pub addr: String,
+    /// Worker-pool size; 0 means [`bbncg_par::max_threads`] (which the
+    /// CLI's `--threads` flag pins).
+    pub workers: usize,
+    /// Bounded queue capacity: at most this many jobs wait; beyond it,
+    /// submissions bounce with `429`.
+    pub queue_capacity: usize,
+    /// Request-body cap in bytes (`413` beyond it).
+    pub max_body: usize,
+    /// When set, single-seed scenario jobs write a `job-{id}.ck`
+    /// checkpoint here after every completed phase, so long jobs
+    /// survive a server crash (`bbncg scenario resume` picks them up).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// How many *terminal* (completed/failed/cancelled) jobs to retain
+    /// for status queries and stream replay. Beyond it, the oldest
+    /// terminal jobs are evicted at submission time, bounding the
+    /// server's memory over an unbounded lifetime; queued and running
+    /// jobs are never evicted.
+    pub history_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 64,
+            max_body: DEFAULT_MAX_BODY,
+            checkpoint_dir: None,
+            history_limit: 256,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    workers: usize,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    running: AtomicUsize,
+    draining: AtomicBool,
+    /// In-flight connection handlers; join() waits for zero so every
+    /// response written during a drain (including /shutdown's own 200)
+    /// reaches its client before the process exits.
+    open_conns: Mutex<usize>,
+    conns_cv: Condvar,
+}
+
+/// A running server: its bound address plus the accept/worker threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Begin a graceful drain: stop accepting connections and reject
+    /// new submissions; workers finish the queue and exit. With
+    /// `abort`, every job's cancel token fires first, so in-flight
+    /// work winds down at its next cancellation point instead of
+    /// running to completion. This is what a process supervisor should
+    /// invoke on SIGTERM (std cannot install signal handlers without
+    /// a libc dependency, so the hook is explicit).
+    pub fn shutdown(&self, abort: bool) {
+        begin_drain(&self.shared, abort);
+    }
+
+    /// Wait for the accept loop and every worker to exit. Call after
+    /// [`ServerHandle::shutdown`] (or after something POSTs
+    /// `/shutdown`); joining a server nobody is draining blocks
+    /// forever by design.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Connection handlers are detached threads; wait for the last
+        // of them so no response (the drain's own 200 in particular)
+        // is cut off by process exit. Bounded: handlers either answer
+        // promptly or hit the 30s request read timeout, and by now
+        // every job is terminal so no stream can follow forever.
+        let mut open = self.shared.open_conns.lock().expect("conns poisoned");
+        while *open > 0 {
+            open = self.shared.conns_cv.wait(open).expect("conns poisoned");
+        }
+    }
+
+    /// A job by id, if it exists (test/introspection hook).
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs poisoned")
+            .get(&id)
+            .cloned()
+    }
+}
+
+fn begin_drain(shared: &Arc<Shared>, abort: bool) {
+    shared.draining.store(true, Ordering::SeqCst);
+    if abort {
+        for job in shared.jobs.lock().expect("jobs poisoned").values() {
+            job.cancel.cancel();
+        }
+    }
+    shared.queue_cv.notify_all();
+    // Wake the accept loop out of its blocking accept() with a throwaway
+    // connection; it re-checks the drain flag before handling anything.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Bind, spawn the worker pool and accept loop, and return the handle.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if cfg.workers == 0 {
+        bbncg_par::max_threads()
+    } else {
+        cfg.workers
+    };
+    let shared = Arc::new(Shared {
+        cfg,
+        addr,
+        workers,
+        jobs: Mutex::new(BTreeMap::new()),
+        next_id: AtomicU64::new(0),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        running: AtomicUsize::new(0),
+        draining: AtomicBool::new(false),
+        open_conns: Mutex::new(0),
+        conns_cv: Condvar::new(),
+    });
+    let mut worker_threads = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let sh = Arc::clone(&shared);
+        worker_threads.push(std::thread::spawn(move || worker_loop(sh)));
+    }
+    let sh = Arc::clone(&shared);
+    let accept_thread = Some(std::thread::spawn(move || accept_loop(sh, listener)));
+    Ok(ServerHandle {
+        shared,
+        accept_thread,
+        worker_threads,
+    })
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let sh = Arc::clone(&shared);
+        *shared.open_conns.lock().expect("conns poisoned") += 1;
+        // One short-lived thread per connection. Handler panics (none
+        // are expected) would die with their thread, never the server;
+        // the guard keeps the open-connection count honest either way.
+        std::thread::spawn(move || {
+            struct ConnGuard(Arc<Shared>);
+            impl Drop for ConnGuard {
+                fn drop(&mut self) {
+                    let mut open = self.0.open_conns.lock().expect("conns poisoned");
+                    *open -= 1;
+                    self.0.conns_cv.notify_all();
+                }
+            }
+            let guard = ConnGuard(Arc::clone(&sh));
+            handle_connection(sh, stream);
+            drop(guard);
+        });
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    // The worker-local engine slot: filled by the first single-seed
+    // scenario job, re-synced by diffing (or transparently rebuilt on
+    // size change) by every job after it — `par_map_init`'s
+    // one-engine-per-worker discipline at job granularity.
+    let mut scratch: Option<DeviationScratch> = None;
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).expect("queue poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        shared.running.fetch_add(1, Ordering::SeqCst);
+        execute_job(&shared, &job, &mut scratch);
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn execute_job(shared: &Shared, job: &Arc<Job>, scratch: &mut Option<DeviationScratch>) {
+    if job.cancel.is_cancelled() {
+        job.set_status(JobStatus::Cancelled);
+        return;
+    }
+    job.set_status(JobStatus::Running);
+    match &job.kind {
+        JobKind::Scenario { spec } => {
+            let mut sink = BufferSink::new(Arc::clone(&job.lines));
+            if spec.seeds > 1 {
+                let outcomes = run_sweep_cancellable(spec, &mut sink, &job.cancel);
+                let mut errors = Vec::new();
+                let mut cancelled = false;
+                for (i, o) in outcomes.into_iter().enumerate() {
+                    match o {
+                        Ok(o) => cancelled |= o.cancelled,
+                        Err(e) => errors.push(format!("seed {}: {e}", spec.seed + i as u64)),
+                    }
+                }
+                job.set_status(if cancelled {
+                    JobStatus::Cancelled
+                } else if errors.is_empty() {
+                    JobStatus::Completed
+                } else {
+                    JobStatus::Failed(errors.join("; "))
+                });
+            } else {
+                let ck_path = shared
+                    .cfg
+                    .checkpoint_dir
+                    .as_ref()
+                    .map(|d| d.join(format!("job-{}.ck", job.id)));
+                let mut on_phase_end = |ck: &Checkpoint| {
+                    if let Some(p) = &ck_path {
+                        // Best-effort: a failed checkpoint write must
+                        // not kill the job (same policy as the CLI).
+                        let _ = std::fs::write(p, ck.to_text());
+                    }
+                };
+                match run_scenario_with_engine(
+                    spec,
+                    spec.seed,
+                    None,
+                    &mut sink,
+                    None,
+                    &mut on_phase_end,
+                    scratch,
+                    &job.cancel,
+                ) {
+                    Ok(o) if o.cancelled => job.set_status(JobStatus::Cancelled),
+                    Ok(_) => job.set_status(JobStatus::Completed),
+                    Err(e) => job.set_status(JobStatus::Failed(e)),
+                }
+            }
+        }
+        JobKind::Verify {
+            realization,
+            model,
+            kernel,
+        } => {
+            let audit = audit_equilibrium_with_kernel(realization, *model, *kernel);
+            let violations = audit.violations();
+            job.lines.push(format!(
+                "{{\"kind\":\"verify\",\"model\":\"{}\",\"n\":{},\"nash\":{},\"gap\":{},\"violators\":{},\"social_cost\":{}}}",
+                model.label(),
+                realization.n(),
+                audit.is_nash(),
+                audit.gap(),
+                violations.len(),
+                realization.social_diameter(),
+            ));
+            job.set_status(JobStatus::Completed);
+        }
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // A client gets 30 seconds to deliver its request head + body; an
+    // idle or byte-trickling connection then errors out of
+    // read_request and releases this handler thread, instead of
+    // pinning it forever (responses are writes, so streaming followers
+    // are unaffected by the *read* timeout). Writes get their own cap:
+    // a connected-but-not-reading stream follower (zero TCP window)
+    // would otherwise block write_chunk forever and stall join()'s
+    // open-connection wait. 60s per write is generous for any reader
+    // that is actually consuming.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let req = match read_request(&mut reader, shared.cfg.max_body) {
+        Ok(r) => r,
+        Err(HttpError::Disconnected) => return,
+        Err(e) => {
+            let (code, reason) = e.status();
+            let body = format!("{{\"error\":\"{}\"}}", json_escape(e.detail()));
+            let _ = write_response(
+                &mut writer,
+                code,
+                reason,
+                "application/json",
+                body.as_bytes(),
+            );
+            return;
+        }
+    };
+    route(&shared, &req, &mut writer);
+}
+
+fn respond_json(w: &mut impl Write, status: u16, reason: &str, body: String) {
+    let _ = write_response(w, status, reason, "application/json", body.as_bytes());
+}
+
+fn error_json(w: &mut impl Write, status: u16, reason: &str, detail: &str) {
+    respond_json(
+        w,
+        status,
+        reason,
+        format!("{{\"error\":\"{}\"}}", json_escape(detail)),
+    );
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+            let jobs = shared.jobs.lock().expect("jobs poisoned").len();
+            respond_json(
+                w,
+                200,
+                "OK",
+                format!(
+                    "{{\"status\":\"{}\",\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"running\":{},\"jobs\":{}}}",
+                    if shared.draining.load(Ordering::SeqCst) { "draining" } else { "ok" },
+                    shared.workers,
+                    queue_depth,
+                    shared.cfg.queue_capacity,
+                    shared.running.load(Ordering::SeqCst),
+                    jobs,
+                ),
+            );
+        }
+        ("POST", ["jobs"]) => submit(shared, req, w),
+        ("GET", ["jobs"]) => {
+            let jobs = shared.jobs.lock().expect("jobs poisoned");
+            let docs: Vec<String> = jobs.values().map(|j| j.status_json()).collect();
+            respond_json(w, 200, "OK", format!("[{}]", docs.join(",")));
+        }
+        ("GET", ["jobs", id]) => match lookup(shared, id) {
+            Some(job) => respond_json(w, 200, "OK", job.status_json()),
+            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+        },
+        ("POST", ["jobs", id, "cancel"]) => match lookup(shared, id) {
+            Some(job) => {
+                job.cancel.cancel();
+                // A still-queued job is pulled out of the queue so its
+                // slot frees *now* (a corpse left in the deque would
+                // keep bouncing live submissions with 429 until a
+                // worker got around to popping it) and retired
+                // immediately; a running one winds down at its next
+                // cancellation point (set_status ignores the race
+                // either way).
+                shared
+                    .queue
+                    .lock()
+                    .expect("queue poisoned")
+                    .retain(|j| j.id != job.id);
+                if job.status() == JobStatus::Queued {
+                    job.set_status(JobStatus::Cancelled);
+                }
+                respond_json(w, 200, "OK", job.status_json());
+            }
+            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+        },
+        ("GET", ["jobs", id, "stream"]) => match lookup(shared, id) {
+            Some(job) => stream_job(&job, w),
+            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+        },
+        ("POST", ["shutdown"]) => {
+            let abort = req.query_get("mode") == Some("abort");
+            // Drain *before* answering: once the client reads this
+            // response, no later submission can be accepted — the 200
+            // is a promise, not a prediction.
+            begin_drain(shared, abort);
+            respond_json(w, 200, "OK", "{\"status\":\"draining\"}".into());
+        }
+        _ => error_json(
+            w,
+            404,
+            "Not Found",
+            &format!("no route {} {}", req.method, req.path),
+        ),
+    }
+}
+
+fn lookup(shared: &Shared, id: &str) -> Option<Arc<Job>> {
+    let id: u64 = id.parse().ok()?;
+    shared.jobs.lock().expect("jobs poisoned").get(&id).cloned()
+}
+
+fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return error_json(w, 503, "Service Unavailable", "server is draining");
+    }
+    let kind = match build_job_kind(req) {
+        Ok(k) => k,
+        Err(e) => return error_json(w, 400, "Bad Request", &e),
+    };
+    // Reserve a queue slot and register the job in one critical
+    // section, so the id is routable the instant the submitter sees it
+    // and the capacity check can never over-admit.
+    let job = {
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        // Re-check the drain flag *inside* the queue lock: workers
+        // decide to exit under this same lock, so a submission that
+        // passes here is guaranteed a live worker — without this, a
+        // drain racing the check above could strand an accepted job
+        // (202 receipt, no worker left, stream never closes).
+        if shared.draining.load(Ordering::SeqCst) {
+            drop(q);
+            return error_json(w, 503, "Service Unavailable", "server is draining");
+        }
+        if q.len() >= shared.cfg.queue_capacity {
+            drop(q);
+            return error_json(
+                w,
+                429,
+                "Too Many Requests",
+                &format!(
+                    "queue full ({} jobs queued); retry later",
+                    shared.cfg.queue_capacity
+                ),
+            );
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let job = Job::new(id, kind);
+        {
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            jobs.insert(id, Arc::clone(&job));
+            // Retention: evict the oldest terminal jobs beyond the
+            // history cap, so an always-on server's memory is bounded
+            // (each retained job holds its whole record stream). A
+            // follower mid-replay keeps its own Arc and finishes
+            // unaffected; later GETs of an evicted id are 404.
+            let terminal: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.status().is_terminal())
+                .map(|(&k, _)| k)
+                .collect();
+            if terminal.len() > shared.cfg.history_limit {
+                for k in &terminal[..terminal.len() - shared.cfg.history_limit] {
+                    jobs.remove(k);
+                }
+            }
+        }
+        q.push_back(Arc::clone(&job));
+        shared.queue_cv.notify_one();
+        job
+    };
+    respond_json(
+        w,
+        202,
+        "Accepted",
+        format!(
+            "{{\"job\":{},\"kind\":\"{}\",\"state\":\"queued\",\"stream\":\"/jobs/{}/stream\"}}",
+            job.id,
+            job.kind.label(),
+            job.id
+        ),
+    );
+}
+
+fn parse_kernel_param(req: &Request) -> Result<CostKernel, String> {
+    match req.query_get("kernel") {
+        None => Ok(CostKernel::Auto),
+        Some(s) => CostKernel::parse(s),
+    }
+}
+
+fn parse_model_param(req: &Request, default: CostModel) -> Result<CostModel, String> {
+    match req.query_get("model") {
+        None => Ok(default),
+        Some("sum") | Some("SUM") => Ok(CostModel::Sum),
+        Some("max") | Some("MAX") => Ok(CostModel::Max),
+        Some(other) => Err(format!("unknown model {other:?} (sum|max)")),
+    }
+}
+
+fn build_job_kind(req: &Request) -> Result<JobKind, String> {
+    let body = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    match req.query_get("type").unwrap_or("scenario") {
+        "scenario" => {
+            let mut spec = parse_spec(body).map_err(|e| format!("spec: {e}"))?;
+            if let Some(s) = req.query_get("seed") {
+                spec.seed = s.parse().map_err(|e| format!("seed: {e}"))?;
+            }
+            if req.query_get("kernel").is_some() {
+                spec.kernel = parse_kernel_param(req)?;
+            }
+            // `?model=` overrides the spec's *default* model (explicit
+            // per-phase model overrides in [[phase]] still win, same
+            // as offline).
+            spec.defaults.model = parse_model_param(req, spec.defaults.model)?;
+            Ok(JobKind::Scenario {
+                spec: Box::new(spec),
+            })
+        }
+        "verify" => {
+            let realization = parse_realization(body).map_err(|e| format!("profile: {e}"))?;
+            Ok(JobKind::Verify {
+                realization: Box::new(realization),
+                model: parse_model_param(req, CostModel::Sum)?,
+                kernel: parse_kernel_param(req)?,
+            })
+        }
+        other => Err(format!("unknown job type {other:?} (scenario|verify)")),
+    }
+}
+
+fn stream_job(job: &Arc<Job>, w: &mut TcpStream) {
+    if start_chunked(w, 200, "OK", "application/x-ndjson").is_err() {
+        return;
+    }
+    let mut idx = 0;
+    let mut line_buf = String::new();
+    while let Some(line) = job.lines.wait_line(idx) {
+        idx += 1;
+        line_buf.clear();
+        line_buf.push_str(&line);
+        line_buf.push('\n');
+        if write_chunk(w, line_buf.as_bytes()).is_err() {
+            // Client went away mid-stream. The job is untouched — it
+            // keeps its queue slot accounting and other followers keep
+            // streaming; only this connection ends.
+            return;
+        }
+    }
+    let _ = finish_chunked(w);
+}

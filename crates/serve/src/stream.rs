@@ -1,0 +1,160 @@
+//! The socket-facing result stream: a shared, append-only line buffer
+//! bridging the scenario engine's `MetricSink` to any number of
+//! concurrent HTTP readers.
+//!
+//! The worker thread appends JSONL lines as phases complete; each
+//! streaming connection replays the buffer from the start and then
+//! follows live appends, so a client that connects late (or
+//! reconnects) sees exactly the same byte stream as one that was there
+//! from the beginning. Readers never block the writer — a slow or
+//! vanished client only stalls its own connection thread.
+
+use bbncg_scenario::{MetricRecord, MetricSink};
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Default)]
+struct State {
+    lines: Vec<String>,
+    closed: bool,
+}
+
+/// An append-only, multi-reader line buffer with blocking iteration.
+#[derive(Default)]
+pub struct LineBuffer {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl LineBuffer {
+    /// A fresh, open, empty buffer.
+    pub fn new() -> Arc<LineBuffer> {
+        Arc::new(LineBuffer::default())
+    }
+
+    /// Append one line (without trailing newline).
+    pub fn push(&self, line: String) {
+        let mut st = self.state.lock().expect("line buffer poisoned");
+        st.lines.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Mark the stream complete: readers drain what is buffered and
+    /// then see end-of-stream instead of blocking forever.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("line buffer poisoned");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Has [`LineBuffer::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("line buffer poisoned").closed
+    }
+
+    /// Lines appended so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("line buffer poisoned").lines.len()
+    }
+
+    /// Is the buffer still empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking read of line `idx`: waits until that line exists or
+    /// the buffer closes. `None` means end-of-stream (closed and
+    /// `idx` is past the final line).
+    pub fn wait_line(&self, idx: usize) -> Option<String> {
+        let mut st = self.state.lock().expect("line buffer poisoned");
+        loop {
+            if idx < st.lines.len() {
+                return Some(st.lines[idx].clone());
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).expect("line buffer poisoned");
+        }
+    }
+
+    /// Snapshot of the whole buffer (tests, replay-only readers).
+    pub fn snapshot(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("line buffer poisoned")
+            .lines
+            .clone()
+    }
+}
+
+/// `MetricSink` adapter: every record becomes one buffered JSONL line —
+/// the *same* line `JsonlSink` would have written to a file, which is
+/// what makes served streams byte-identical to offline runs.
+pub struct BufferSink {
+    buffer: Arc<LineBuffer>,
+}
+
+impl BufferSink {
+    /// Sink into `buffer`.
+    pub fn new(buffer: Arc<LineBuffer>) -> Self {
+        BufferSink { buffer }
+    }
+}
+
+impl MetricSink for BufferSink {
+    fn record(&mut self, rec: &MetricRecord) {
+        self.buffer.push(rec.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn replay_then_follow_then_eof() {
+        let buf = LineBuffer::new();
+        buf.push("a".into());
+        buf.push("b".into());
+        assert_eq!(buf.wait_line(0).as_deref(), Some("a"));
+        assert_eq!(buf.wait_line(1).as_deref(), Some("b"));
+        let writer = Arc::clone(&buf);
+        let t = thread::spawn(move || {
+            writer.push("c".into());
+            writer.close();
+        });
+        assert_eq!(buf.wait_line(2).as_deref(), Some("c"));
+        assert_eq!(buf.wait_line(3), None);
+        t.join().unwrap();
+        assert!(buf.is_closed());
+        assert_eq!(buf.snapshot(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn many_readers_see_identical_streams() {
+        let buf = LineBuffer::new();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&buf);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut i = 0;
+                    while let Some(line) = b.wait_line(i) {
+                        got.push(line);
+                        i += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            buf.push(format!("line-{i}"));
+        }
+        buf.close();
+        let want: Vec<String> = (0..100).map(|i| format!("line-{i}")).collect();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), want);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Server protocol edge cases: malformed request lines, oversized
+//! bodies, bad submissions, and clients that vanish mid-stream. The
+//! server must answer 4xx where an answer is possible, and must never
+//! panic or leak a queue/worker slot.
+
+use bbncg_serve::{client, spawn, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const TINY_SPEC: &str = "\
+[scenario]
+name = \"edge\"
+seed = 1
+
+[init]
+family = \"uniform\"
+n = 8
+budget = 1
+
+[[phase]]
+kind = \"dynamics\"
+";
+
+/// A spec with many cheap phases: long enough to still be running when
+/// the test pokes at it, cancellable at every phase boundary.
+fn long_spec(pairs: usize) -> String {
+    let mut s = String::from(
+        "[scenario]\nname = \"long\"\nseed = 2\n\n[init]\nfamily = \"uniform\"\nn = 24\nbudget = 1\n",
+    );
+    for _ in 0..pairs {
+        s.push_str("\n[[phase]]\nkind = \"reorient\"\n\n[[phase]]\nkind = \"dynamics\"\n");
+    }
+    s
+}
+
+fn poll_until(what: &str, deadline: Duration, f: impl Fn() -> bool) {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// Pull an integer field out of a flat JSON body.
+fn json_int(body: &str, key: &str) -> i64 {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}"));
+    body[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '-')
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).unwrap();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    for garbage in [
+        "GARBAGE\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /healthz\r\n\r\n",
+        "get /healthz HTTP/1.1\r\n\r\n",
+        "GET healthz HTTP/1.1\r\n\r\n",
+        "GET /healthz SPDY/9\r\n\r\n",
+        "POST /jobs HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        "POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        "GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    ] {
+        let resp = raw_exchange(&addr, garbage.as_bytes());
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "{garbage:?} answered {resp:?}"
+        );
+    }
+
+    // The server is fully alive afterwards.
+    let health = client::request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn oversized_bodies_get_413_before_buffering() {
+    let server = spawn(ServerConfig {
+        max_body: 4096,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    // Declared oversize: rejected from the Content-Length header alone
+    // (no 5 MiB ever crosses the wire, let alone the parser).
+    let resp = raw_exchange(
+        &addr,
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 5000000\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+
+    // An over-long head is capped too.
+    let huge_header = format!(
+        "GET /healthz HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+        "x".repeat(64 * 1024)
+    );
+    let resp = raw_exchange(&addr, huge_header.as_bytes());
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+
+    // Within the cap still works.
+    let ok = client::request(&addr, "POST", "/jobs", TINY_SPEC.as_bytes()).unwrap();
+    assert_eq!(ok.status, 202, "{}", ok.text());
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn bad_submissions_and_unknown_routes() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    // Unparseable spec: 400 with the parser's line-numbered message.
+    let resp = client::request(&addr, "POST", "/jobs", b"[init]\nwat = \"???\"").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("spec"), "{}", resp.text());
+
+    // Duplicate-key specs bounce at the door with the hardened parser.
+    let dup = TINY_SPEC.replace("seed = 1\n", "seed = 1\nseed = 2\n");
+    let resp = client::request(&addr, "POST", "/jobs", dup.as_bytes()).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("duplicate key"), "{}", resp.text());
+
+    // Unknown job type, bad verify profile, unknown routes, bad ids.
+    let resp = client::request(&addr, "POST", "/jobs?type=warp", b"").unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client::request(&addr, "POST", "/jobs?type=verify", b"not a profile").unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client::request(&addr, "GET", "/frobnicate", b"").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client::request(&addr, "GET", "/jobs/999", b"").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client::request(&addr, "GET", "/jobs/notanumber/stream", b"").unwrap();
+    assert_eq!(resp.status, 404);
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn disconnect_mid_stream_leaks_nothing() {
+    let server = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    let resp = client::request(&addr, "POST", "/jobs", long_spec(300).as_bytes()).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+
+    // Follow the stream briefly, then hang up mid-job.
+    let mut seen = 0;
+    client::stream_lines(&addr, "/jobs/1/stream", |_| {
+        seen += 1;
+        seen < 3
+    })
+    .unwrap();
+    assert_eq!(seen, 3);
+
+    // The job is untouched by the vanished client: still running (or
+    // at least not failed), a fresh stream replays from the start, and
+    // cancel + drain reclaim the worker.
+    let status = client::request(&addr, "GET", "/jobs/1", b"").unwrap();
+    assert!(
+        !status.text().contains("failed"),
+        "job damaged by client disconnect: {}",
+        status.text()
+    );
+    let cancel = client::request(&addr, "POST", "/jobs/1/cancel", b"").unwrap();
+    assert_eq!(cancel.status, 200);
+    poll_until(
+        "cancelled job to stop running",
+        Duration::from_secs(30),
+        || {
+            let h = client::request(&addr, "GET", "/healthz", b"").unwrap();
+            json_int(&h.text(), "running") == 0
+        },
+    );
+
+    // The reclaimed worker happily runs the next job to completion.
+    let resp = client::request(&addr, "POST", "/jobs", TINY_SPEC.as_bytes()).unwrap();
+    assert_eq!(resp.status, 202);
+    let mut lines = Vec::new();
+    client::stream_lines(&addr, "/jobs/2/stream", |l| {
+        lines.push(l.to_string());
+        true
+    })
+    .unwrap();
+    assert_eq!(lines.len(), 2, "1 phase + summary: {lines:?}");
+    assert!(lines[1].contains("\"kind\":\"summary\""));
+    let status = client::request(&addr, "GET", "/jobs/2", b"").unwrap();
+    assert!(
+        status.text().contains("\"state\":\"completed\""),
+        "{}",
+        status.text()
+    );
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn cancel_is_idempotent_and_queued_jobs_cancel_instantly() {
+    let server = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    // Occupy the single worker, then queue a second job behind it.
+    let a = client::request(&addr, "POST", "/jobs", long_spec(300).as_bytes()).unwrap();
+    assert_eq!(a.status, 202);
+    poll_until("job 1 to start", Duration::from_secs(30), || {
+        let h = client::request(&addr, "GET", "/healthz", b"").unwrap();
+        json_int(&h.text(), "running") == 1
+    });
+    let b = client::request(&addr, "POST", "/jobs", TINY_SPEC.as_bytes()).unwrap();
+    assert_eq!(b.status, 202);
+
+    // Cancelling the queued job retires it without a worker ever
+    // touching it; its stream is an immediate clean EOF.
+    let resp = client::request(&addr, "POST", "/jobs/2/cancel", b"").unwrap();
+    assert!(
+        resp.text().contains("\"state\":\"cancelled\""),
+        "{}",
+        resp.text()
+    );
+    let mut got_lines = 0;
+    client::stream_lines(&addr, "/jobs/2/stream", |_| {
+        got_lines += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(
+        got_lines, 0,
+        "cancelled-while-queued job must stream nothing"
+    );
+
+    // Cancel the running one twice: same answer, no error.
+    for _ in 0..2 {
+        let resp = client::request(&addr, "POST", "/jobs/1/cancel", b"").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    poll_until("job 1 to cancel", Duration::from_secs(30), || {
+        let s = client::request(&addr, "GET", "/jobs/1", b"").unwrap();
+        s.text().contains("\"state\":\"cancelled\"")
+    });
+    server.shutdown(false);
+    server.join();
+}

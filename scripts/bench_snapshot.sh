@@ -22,8 +22,24 @@
 #                                      across kernels by construction;
 #                                      asserted)
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Also emits BENCH_serve.json via the `loadgen` bin: an in-process
+# bbncg-serve instance (4 workers, bounded queue) hammered by 64
+# concurrent TCP clients, each stream verified byte-for-byte against
+# the offline reference. Fields:
+#   clients / requests_per_client / server_workers / queue_capacity
+#                        — the load shape
+#   requests_total       — completed submit+stream round trips
+#   requests_per_sec     — round trips per wall-clock second
+#   latency_p50_ms, latency_p99_ms
+#                        — per-request submit→stream-complete latency
+#   retries_429          — backpressure bounces absorbed by retry
+#   dropped_streams, corrupted_streams
+#                        — must both be 0 (the binary asserts)
+#
+# Usage: scripts/bench_snapshot.sh [output.json] [serve-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_dynamics.json}"
+serve_out="${2:-BENCH_serve.json}"
 cargo run --release -q -p bbncg-bench --features naive-ref --bin bench_snapshot -- "$out"
+cargo run --release -q -p bbncg-bench --bin loadgen -- "$serve_out"

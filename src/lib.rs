@@ -25,6 +25,9 @@
 //! * [`scenario`] — the declarative scenario engine: spec files,
 //!   perturbation events (churn, budget shocks, adversarial deletion),
 //!   checkpoint/resume, streaming JSONL metric sinks;
+//! * [`serve`] — the dependency-free HTTP job server: scenario/verify
+//!   jobs over a bounded queue and worker pool, chunked JSONL result
+//!   streams byte-identical to offline runs;
 //! * [`par`] — the minimal parallel-execution substrate.
 //!
 //! # Quickstart
@@ -50,3 +53,4 @@ pub use bbncg_facility as facility;
 pub use bbncg_graph as graph;
 pub use bbncg_par as par;
 pub use bbncg_scenario as scenario;
+pub use bbncg_serve as serve;
