@@ -25,10 +25,8 @@ fn bench_rules(c: &mut Criterion) {
                 let initial =
                     Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
                 let cfg = DynamicsConfig {
-                    model: CostModel::Sum,
-                    order: PlayerOrder::RoundRobin,
                     rule,
-                    max_rounds: 400,
+                    ..DynamicsConfig::exact(CostModel::Sum, 400)
                 };
                 black_box(run_dynamics(initial, cfg, &mut rng).steps)
             })
@@ -51,10 +49,8 @@ fn bench_orders(c: &mut Criterion) {
                 let initial =
                     Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
                 let cfg = DynamicsConfig {
-                    model: CostModel::Max,
                     order,
-                    rule: ResponseRule::ExactBest,
-                    max_rounds: 400,
+                    ..DynamicsConfig::exact(CostModel::Max, 400)
                 };
                 black_box(run_dynamics(initial, cfg, &mut rng).rounds)
             })

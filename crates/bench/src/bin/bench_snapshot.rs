@@ -9,7 +9,9 @@
 
 use bbncg_core::dynamics::{run_dynamics, run_dynamics_with_kernel, DynamicsConfig};
 use bbncg_core::naive::run_dynamics_rebuild;
-use bbncg_core::{audit_equilibrium, BudgetVector, CostKernel, CostModel, Realization};
+use bbncg_core::{
+    audit_equilibrium, BudgetVector, CostKernel, CostModel, Realization, RoundExecutor,
+};
 use bbncg_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +31,24 @@ const MAX_ROUNDS: usize = 400;
 /// counts cancel out of the ratio.
 const KERNEL_N: usize = 256;
 const KERNEL_RUNS: u64 = 2;
+
+/// The round-executor workloads: unit budgets under exact best
+/// response, capped rounds (the affordability trick the kernel
+/// comparison already uses) — but with enough rounds that the
+/// near-converged tail is represented: a best-response trajectory is
+/// one dense opening round and then progressively quieter sweeps, and
+/// the quiet sweeps (including the final convergence-check round every
+/// run pays) are where intra-round parallelism lives. n=256 tracks the
+/// crossover size, n=1024 is the large-n target the speculative
+/// executor exists for. Sequential and speculative runs are asserted
+/// step-identical, so steps/sec ratios are workload-fair by
+/// construction.
+const ROUNDS_SMALL_N: usize = 256;
+const ROUNDS_SMALL_RUNS: u64 = 2;
+const ROUNDS_SMALL_CAP: usize = 8;
+const ROUNDS_LARGE_N: usize = 1024;
+const ROUNDS_LARGE_RUNS: u64 = 1;
+const ROUNDS_LARGE_CAP: usize = 5;
 
 /// The scenario-engine workload: the checked-in churn example
 /// (dynamics under arrivals/departures), embedded at compile time so
@@ -87,9 +107,13 @@ fn measure_kernels(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, usize) 
     let run_with = |kernel: CostKernel| {
         measure_n(n, runs, |init| {
             let mut rng = StdRng::seed_from_u64(0);
+            // Pinned sequential so the kernel series isolates kernel
+            // effects on every host (Auto would go speculative at
+            // these sizes on multi-core machines; the rounds_* fields
+            // track that axis separately).
             run_dynamics_with_kernel(
                 init,
-                DynamicsConfig::exact(model, max_rounds),
+                DynamicsConfig::exact(model, max_rounds).with_executor(RoundExecutor::Sequential),
                 &mut rng,
                 kernel,
             )
@@ -105,6 +129,54 @@ fn measure_kernels(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, usize) 
     (queue_sps, bitset_sps, queue_steps)
 }
 
+/// `(steps_per_sec, total_steps)` for the round-executor workload
+/// under `executor` with the worker-thread cap pinned to `threads`
+/// for the duration of the measurement.
+fn measure_rounds(
+    n: usize,
+    runs: u64,
+    max_rounds: usize,
+    executor: RoundExecutor,
+    threads: usize,
+) -> (f64, usize) {
+    bbncg_par::set_max_threads(threads);
+    measure_n(n, runs, |init| {
+        let mut rng = StdRng::seed_from_u64(0);
+        run_dynamics_with_kernel(
+            init,
+            DynamicsConfig::exact(CostModel::Sum, max_rounds).with_executor(executor),
+            &mut rng,
+            CostKernel::Auto,
+        )
+        .steps
+    })
+}
+
+/// Sequential-vs-speculative steps/sec on one workload size:
+/// `(seq t1, spec t1, spec t2, spec t8, total steps)`. Asserts the
+/// executors trace step-identical trajectories (the tentpole
+/// invariant) before reporting any ratio.
+fn measure_round_executors(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, f64, f64, usize) {
+    let (seq_sps, seq_steps) = measure_rounds(n, runs, max_rounds, RoundExecutor::Sequential, 1);
+    let (spec1_sps, spec1_steps) =
+        measure_rounds(n, runs, max_rounds, RoundExecutor::Speculative, 1);
+    let (spec2_sps, spec2_steps) =
+        measure_rounds(n, runs, max_rounds, RoundExecutor::Speculative, 2);
+    let (spec8_sps, spec8_steps) =
+        measure_rounds(n, runs, max_rounds, RoundExecutor::Speculative, 8);
+    for (label, steps) in [
+        ("spec t1", spec1_steps),
+        ("spec t2", spec2_steps),
+        ("spec t8", spec8_steps),
+    ] {
+        assert_eq!(
+            seq_steps, steps,
+            "round executors must trace identical trajectories (n={n}, {label})"
+        );
+    }
+    (seq_sps, spec1_sps, spec2_sps, spec8_sps, seq_steps)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -113,7 +185,13 @@ fn main() {
 
     let (engine_sps, engine_steps) = measure(RUNS, |init| {
         let mut rng = StdRng::seed_from_u64(0);
-        let rep = run_dynamics(init, DynamicsConfig::exact(model, MAX_ROUNDS), &mut rng);
+        // Pinned sequential: this series predates round executors and
+        // must stay host-independent (see measure_kernels).
+        let rep = run_dynamics(
+            init,
+            DynamicsConfig::exact(model, MAX_ROUNDS).with_executor(RoundExecutor::Sequential),
+            &mut rng,
+        );
         assert!(rep.converged, "workload must converge for a fair count");
         rep.steps
     });
@@ -182,6 +260,67 @@ fn main() {
     let _ = writeln!(json, "  \"kernel_bitset_speedup_n256\": {speedup256:.2},");
     let _ = writeln!(json, "  \"kernel_total_steps_n256\": {steps256},");
 
+    // Round-executor comparison: sequential vs speculative rounds on
+    // the same exact-dynamics workload, speculative at 1/2/8 worker
+    // threads. The thread cap is pinned per measurement and restored
+    // afterwards so the scenario measurement below keeps the host
+    // default.
+    let base_threads = bbncg_par::max_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let (rseq_256, rspec_256_t1, rspec_256_t2, rspec_256_t8, rsteps_256) =
+        measure_round_executors(ROUNDS_SMALL_N, ROUNDS_SMALL_RUNS, ROUNDS_SMALL_CAP);
+    let (rseq_1024, rspec_1024_t1, rspec_1024_t2, rspec_1024_t8, rsteps_1024) =
+        measure_round_executors(ROUNDS_LARGE_N, ROUNDS_LARGE_RUNS, ROUNDS_LARGE_CAP);
+    bbncg_par::set_max_threads(base_threads);
+    let rounds_speedup_256 = rspec_256_t8 / rseq_256;
+    let rounds_speedup_1024 = rspec_1024_t8 / rseq_1024;
+    let _ = writeln!(
+        json,
+        "  \"rounds_workload\": \"unit-budget exact dynamics, n={ROUNDS_SMALL_N} ({ROUNDS_SMALL_RUNS} seeds, {ROUNDS_SMALL_CAP} rounds) and n={ROUNDS_LARGE_N} ({ROUNDS_LARGE_RUNS} seed, {ROUNDS_LARGE_CAP} rounds)\","
+    );
+    let _ = writeln!(json, "  \"rounds_host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"rounds_seq_steps_per_sec_n256\": {rseq_256:.1},");
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n256_t1\": {rspec_256_t1:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n256_t2\": {rspec_256_t2:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n256_t8\": {rspec_256_t8:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_speedup_n256_t8\": {rounds_speedup_256:.2},"
+    );
+    let _ = writeln!(json, "  \"rounds_total_steps_n256\": {rsteps_256},");
+    let _ = writeln!(
+        json,
+        "  \"rounds_seq_steps_per_sec_n1024\": {rseq_1024:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n1024_t1\": {rspec_1024_t1:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n1024_t2\": {rspec_1024_t2:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_steps_per_sec_n1024_t8\": {rspec_1024_t8:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds_spec_speedup_n1024_t8\": {rounds_speedup_1024:.2},"
+    );
+    let _ = writeln!(json, "  \"rounds_total_steps_n1024\": {rsteps_1024},");
+
     let (scenario_sps, scenario_steps) = measure_scenario();
     let _ = writeln!(
         json,
@@ -205,4 +344,24 @@ fn main() {
         "acceptance: bitset kernel must be >= 2x the queue kernel at n={KERNEL_N} \
          (got {speedup256:.2}x)"
     );
+    // Speculative rounds buy wall-clock through real hardware
+    // parallelism (the trajectory is identical by construction, so
+    // there is nothing algorithmic to win at one core). The ≥2×
+    // acceptance bar is therefore only meaningful — and only enforced
+    // — when the host actually has multiple CPUs; single-core hosts
+    // record the honest (≈1×, fork/join-taxed) numbers instead of
+    // fabricating a ratio the silicon cannot produce.
+    if host_cpus >= 2 {
+        assert!(
+            rounds_speedup_1024 >= 2.0,
+            "acceptance: speculative rounds must be >= 2x sequential at n={ROUNDS_LARGE_N} \
+             with 8 threads on a multi-core host (got {rounds_speedup_1024:.2}x on {host_cpus} CPUs)"
+        );
+    } else {
+        eprintln!(
+            "note: single-CPU host — speculative-round speedup recorded \
+             ({rounds_speedup_1024:.2}x at n={ROUNDS_LARGE_N}/t8) but the >=2x bar is not \
+             enforceable without hardware parallelism"
+        );
+    }
 }

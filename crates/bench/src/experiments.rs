@@ -685,10 +685,9 @@ fn convergence_table(
                     (ResponseRule::BestSwap, "swap"),
                 ] {
                     let cfg = DynamicsConfig {
-                        model,
                         order,
                         rule,
-                        max_rounds: 400,
+                        ..DynamicsConfig::exact(model, 400)
                     };
                     let s = stats(budgets, cfg, 31, 8);
                     t.push(vec![

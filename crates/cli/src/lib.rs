@@ -25,7 +25,7 @@ use bbncg_core::dynamics::{run_dynamics_with_kernel, DynamicsConfig, PlayerOrder
 use bbncg_core::{
     best_swap_response, exact_best_response, exact_game_stats, greedy_best_response,
     is_nash_equilibrium_with_kernel, is_swap_equilibrium_with_kernel, parse_realization,
-    write_realization, BudgetVector, CostKernel, CostModel, Realization,
+    write_realization, BudgetVector, CostKernel, CostModel, Realization, RoundExecutor,
 };
 use bbncg_graph::{dot, generators, GraphMetrics, NodeId};
 use rand::rngs::StdRng;
@@ -81,6 +81,17 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value given for `--key`, in order. Lets one flag carry
+    /// two orthogonal meanings (`dynamics --rounds 500 --rounds
+    /// speculative` sets both the round cap and the executor).
+    pub fn get_all<'a>(&'a self, key: &str) -> impl Iterator<Item = &'a str> + 'a {
+        let key = key.to_string();
+        self.flags
+            .iter()
+            .filter(move |(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Is the switch present?
     pub fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
@@ -123,6 +134,19 @@ fn parse_kernel(args: &Args) -> Result<CostKernel, String> {
     match args.get("kernel") {
         None => Ok(CostKernel::Auto),
         Some(s) => CostKernel::parse(s).map_err(|e| format!("--kernel: {e}")),
+    }
+}
+
+/// `--rounds sequential|speculative|auto` (default auto) — the round
+/// executor. Executors are step-identical, so this never changes a
+/// report, record stream or checkpoint — only wall-clock. On
+/// `dynamics`, numeric `--rounds N` values keep their historical
+/// round-cap meaning (see [`cmd_dynamics`]); everywhere else the flag
+/// takes a mode name only.
+fn parse_executor(args: &Args) -> Result<RoundExecutor, String> {
+    match args.get("rounds") {
+        None => Ok(RoundExecutor::Auto),
+        Some(s) => RoundExecutor::parse(s).map_err(|e| format!("--rounds: {e}")),
     }
 }
 
@@ -170,6 +194,11 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
     let r = load_realization(path)?;
     let model = parse_model(args)?;
     let kernel = parse_kernel(args)?;
+    // Parsed up front so a bad --rounds value is rejected on every
+    // verify path; only the --audit sweep actually dispatches on it
+    // (the default and --swap checks have their own fixed parallel
+    // early-exit shape), and the verdict is executor-independent.
+    let executor = parse_executor(args)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -189,7 +218,9 @@ pub fn cmd_verify(args: &Args) -> Result<String, String> {
         // Full batched engine pass: verdict, exact best-response gap
         // and every violator from one audit_equilibrium sweep (no
         // early exit — each player's whole candidate space is priced).
-        let audit = bbncg_core::audit_equilibrium_with_kernel(&r, model, kernel);
+        // `--rounds` picks the execution discipline (parallel batched
+        // vs one engine on this thread); the verdict is identical.
+        let audit = bbncg_core::audit_equilibrium_with_opts(&r, model, kernel, executor);
         let ok = audit.is_nash();
         let _ = writeln!(out, "Nash equilibrium ({}) = {}", model.label(), ok);
         let _ = writeln!(out, "best-response gap = {}", audit.gap());
@@ -274,11 +305,22 @@ pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
         .unwrap_or("0")
         .parse()
         .map_err(|e| format!("--seed: {e}"))?;
-    let rounds: usize = args
-        .get("rounds")
-        .unwrap_or("300")
-        .parse()
-        .map_err(|e| format!("--rounds: {e}"))?;
+    // `--rounds` is polymorphic on this command: a number is the
+    // historical round cap, a mode name picks the round executor, and
+    // the flag may be given twice to set both. Executors are
+    // step-identical, so the mode never changes the report.
+    let mut rounds: usize = 300;
+    let mut executor = RoundExecutor::Auto;
+    for v in args.get_all("rounds") {
+        match v.parse::<usize>() {
+            Ok(n) => rounds = n,
+            Err(_) => {
+                executor = RoundExecutor::parse(v).map_err(|e| {
+                    format!("--rounds: expected a round cap (number) or executor mode: {e}")
+                })?
+            }
+        }
+    }
     let rule = match args.get("rule").unwrap_or("exact") {
         "exact" => ResponseRule::ExactBest,
         "better" => ResponseRule::FirstImproving,
@@ -307,6 +349,7 @@ pub fn cmd_dynamics(args: &Args) -> Result<String, String> {
         order,
         rule,
         max_rounds: rounds,
+        executor,
     };
     let report = run_dynamics_with_kernel(initial, cfg, &mut rng, kernel);
     let mut out = String::new();
@@ -383,6 +426,12 @@ pub fn cmd_scenario(args: &Args) -> Result<String, String> {
         // resumes too: kernels are move-for-move equivalent, so the
         // continued trajectory is unchanged.
         spec.kernel = parse_kernel(args)?;
+    }
+    if args.get("rounds").is_some() {
+        // Overrides the spec's [dynamics] rounds (executor) field.
+        // Executors are step-identical, so — like --kernel — this is
+        // safe on resumes and never changes the record stream.
+        spec.defaults.executor = parse_executor(args)?;
     }
     let stop_after: Option<usize> = args
         .get("stop-after")
@@ -604,6 +653,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         workers: 0, // bbncg_par::max_threads(), i.e. --threads / BBNCG_THREADS
         queue_capacity,
         checkpoint_dir,
+        // `--rounds` pins the server's default round executor; jobs
+        // may still override per-submission with `?rounds=`.
+        default_executor: parse_executor(args)?,
         ..bbncg_serve::ServerConfig::default()
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
@@ -676,7 +728,7 @@ pub fn cmd_submit(args: &Args) -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
     };
     let mut query = Vec::new();
-    for key in ["type", "model", "kernel", "seed"] {
+    for key in ["type", "model", "kernel", "seed", "rounds"] {
         if let Some(v) = args.get(key) {
             query.push(format!("{key}={v}"));
         }
@@ -736,19 +788,22 @@ USAGE: bbncg <COMMAND> [ARGS]
 COMMANDS:
   construct       --budgets 1,1,2,0 | --spider K | --btree H | --shift K
   verify          FILE [--model sum|max] [--swap|--audit] [--kernel queue|bitset|auto]
+                  [--rounds sequential|speculative|auto]
   best-response   FILE --player I [--model sum|max] [--rule exact|greedy|swap]
   dynamics        [FILE] --budgets LIST [--model sum|max] [--seed S]
                   [--rule exact|better|greedy|swap] [--order rr|random]
-                  [--rounds N] [--emit profile] [--kernel queue|bitset|auto]
+                  [--rounds N] [--rounds sequential|speculative|auto]
+                  [--emit profile] [--kernel queue|bitset|auto]
   analyze         FILE
   exact-poa       --budgets LIST [--model sum|max] [--limit N]
   scenario        run SPEC [--seed S] [--out FILE] [--checkpoint FILE] [--stop-after K]
                   | resume SPEC --checkpoint FILE [--out FILE]
                   | validate SPEC...
-                  (all: [--kernel queue|bitset|auto], overriding the spec)
-  serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR]
+                  (all: [--kernel queue|bitset|auto] [--rounds MODE], overriding the spec)
+  serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR] [--rounds MODE]
   submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
-                  [--kernel K] [--seed S] [--no-stream] [--wait-server SECS]
+                  [--kernel K] [--rounds MODE] [--seed S] [--no-stream]
+                  [--wait-server SECS]
                   | --status --addr ... | --shutdown [--abort] --addr ...
   dot             FILE
 
@@ -758,6 +813,13 @@ specs) produce identical reports, metric records and final profiles.
 --kernel picks the BFS machinery pricing candidate deviations (word-
 parallel bitset vs queue; auto picks by instance size). Kernels are
 move-for-move equivalent: they never change a result, only throughput.
+--rounds (mode form) picks the round executor: speculative rounds
+evaluate players' best responses in parallel inside each round and
+revalidate proposals at commit time; they are step-identical to
+sequential rounds at any thread count (auto goes speculative for
+n >= 64 with > 1 worker thread, and never nests inside seed-sweep or
+serve-job workers). On `dynamics`, a numeric --rounds keeps its
+historical round-cap meaning; give the flag twice for both.
 --threads N (any command) pins the worker-thread bound, overriding
 BBNCG_THREADS: dynamics/verify/scenario parallelism and the serve
 worker pool all respect it.
@@ -887,6 +949,85 @@ mod tests {
         assert_eq!(q, b);
         assert!(q.contains("Nash equilibrium (SUM) = true"), "{q}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rounds_flag_is_report_invariant_and_polymorphic() {
+        // The same dynamics command under each executor: identical
+        // reports and identical emitted profiles (executors are
+        // step-identical). The numeric form still caps rounds, both
+        // forms combine, and bad values fail with the mode list.
+        let base = ["dynamics", "--budgets", "1,1,1,1,1,1", "--seed", "11"];
+        let mut outs = Vec::new();
+        for mode in ["sequential", "speculative", "auto"] {
+            let mut line: Vec<&str> = base.to_vec();
+            line.extend(["--rounds", mode, "--emit", "profile"]);
+            outs.push(run(&line).unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "sequential vs speculative");
+        assert_eq!(outs[0], outs[2], "sequential vs auto");
+        // Numeric --rounds still caps; combined with a mode it caps
+        // under that executor — and a cap of 0 rounds runs nothing.
+        let capped = run(&[
+            "dynamics",
+            "--budgets",
+            "1,1,1",
+            "--rounds",
+            "0",
+            "--rounds",
+            "speculative",
+        ])
+        .unwrap();
+        assert!(capped.contains("rounds = 0"), "{capped}");
+        assert!(run(&["dynamics", "--budgets", "1,1", "--rounds", "warp"])
+            .unwrap_err()
+            .contains("sequential|speculative|auto"));
+
+        // verify --audit accepts the mode and the verdict is
+        // executor-independent.
+        let profile = run(&["construct", "--budgets", "1,1,2,0"]).unwrap();
+        let path = std::env::temp_dir().join("bbncg_cli_test_rounds.bbncg");
+        std::fs::write(&path, &profile).unwrap();
+        let seq = run(&[
+            "verify",
+            path.to_str().unwrap(),
+            "--audit",
+            "--rounds",
+            "sequential",
+        ])
+        .unwrap();
+        let spec = run(&[
+            "verify",
+            path.to_str().unwrap(),
+            "--audit",
+            "--rounds",
+            "speculative",
+        ])
+        .unwrap();
+        assert_eq!(seq, spec);
+        assert!(seq.contains("Nash equilibrium (SUM) = true"), "{seq}");
+        // A bad mode is rejected on every verify path, --audit or not.
+        assert!(run(&["verify", path.to_str().unwrap(), "--rounds", "warp"])
+            .unwrap_err()
+            .contains("sequential|speculative|auto"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scenario_rounds_override_is_record_invariant() {
+        // `scenario run --rounds MODE` overrides the spec's executor;
+        // the record stream (and trailer hashes) must not move.
+        let dir = std::env::temp_dir();
+        let spec = dir.join("bbncg_cli_scenario_rounds.toml");
+        std::fs::write(&spec, TINY_SCENARIO).unwrap();
+        let spec_s = spec.to_str().unwrap();
+        let seq = run(&["scenario", "run", spec_s, "--rounds", "sequential"]).unwrap();
+        let speculative = run(&["scenario", "run", spec_s, "--rounds", "speculative"]).unwrap();
+        assert_eq!(seq, speculative);
+        assert!(run(&["scenario", "run", spec_s, "--rounds", "warp"])
+            .unwrap_err()
+            .contains("sequential|speculative|auto"));
+        std::fs::remove_file(&spec).ok();
     }
 
     #[test]

@@ -14,14 +14,11 @@
 //! which is exactly the Nash condition for the `Best`/`FirstImproving`
 //! rules and the swap-equilibrium condition for `BestSwap`.
 
-use crate::best_response::{
-    best_swap_response_with, exact_best_response_with, first_improving_response_with,
-    greedy_best_response_with,
-};
 use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::deviation::DeviationScratch;
 use crate::realization::Realization;
+use crate::round::{respond, run_round_speculative, RoundExecutor};
 use bbncg_graph::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -64,6 +61,10 @@ pub struct DynamicsConfig {
     pub rule: ResponseRule,
     /// Stop after this many rounds even without convergence.
     pub max_rounds: usize,
+    /// How activations inside a round are executed
+    /// ([`RoundExecutor`]). Executors are step-identical — this knob
+    /// moves wall-clock, never trajectories, reports or checkpoints.
+    pub executor: RoundExecutor,
 }
 
 impl DynamicsConfig {
@@ -74,6 +75,7 @@ impl DynamicsConfig {
             order: PlayerOrder::RoundRobin,
             rule: ResponseRule::ExactBest,
             max_rounds,
+            executor: RoundExecutor::Auto,
         }
     }
 
@@ -84,7 +86,14 @@ impl DynamicsConfig {
             order: PlayerOrder::RoundRobin,
             rule: ResponseRule::BestSwap,
             max_rounds,
+            executor: RoundExecutor::Auto,
         }
+    }
+
+    /// This config with a different [`RoundExecutor`].
+    pub fn with_executor(mut self, executor: RoundExecutor) -> Self {
+        self.executor = executor;
+        self
     }
 }
 
@@ -250,9 +259,21 @@ fn run_dynamics_impl(
         t.push(snapshot(&state, cfg, 0, 0));
     }
     let mut order: Vec<usize> = (0..n).collect();
+    // The executor is resolved once per run; Auto consults the thread
+    // budget here, at run start. Either verdict traces the identical
+    // trajectory (round executors are step-identical by construction —
+    // see `crate::round`), so resolution timing is a perf detail.
+    let executor = cfg.executor.resolve(n);
+    // Speculative window width, adapted across rounds, plus the warm
+    // worker-engine pool shared by every window (see
+    // `run_round_speculative`); both unused by the sequential executor.
+    let mut window_hint = bbncg_par::max_threads().saturating_mul(4).max(1);
+    let engine_pool = std::sync::Mutex::new(Vec::new());
     // One deviation engine for the whole run: each activation syncs it
     // to `state` by diffing (one move at a time ⇒ O(1) edge patches),
-    // so no candidate pricing ever rebuilds the undirected view.
+    // so no candidate pricing ever rebuilds the undirected view. The
+    // speculative executor instead builds one engine per worker per
+    // window and re-syncs this one lazily at the next sequential use.
     while rounds < cfg.max_rounds {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return (
@@ -271,34 +292,26 @@ fn run_dynamics_impl(
             order.shuffle(rng);
         }
         let mut round_improvements = 0usize;
-        for &i in &order {
-            let u = NodeId::new(i);
-            if state.graph().out_degree(u) == 0 {
-                continue;
+        match executor {
+            RoundExecutor::Speculative => {
+                round_improvements = run_round_speculative(
+                    &mut state,
+                    &cfg,
+                    &order,
+                    scratch.kernel(),
+                    &mut window_hint,
+                    &engine_pool,
+                );
+                steps += round_improvements;
             }
-            let candidate = match cfg.rule {
-                ResponseRule::ExactBest => {
-                    Some(exact_best_response_with(scratch, &state, u, cfg.model))
-                }
-                ResponseRule::FirstImproving => {
-                    first_improving_response_with(scratch, &state, u, cfg.model)
-                }
-                ResponseRule::Greedy => {
-                    Some(greedy_best_response_with(scratch, &state, u, cfg.model))
-                }
-                ResponseRule::BestSwap => best_swap_response_with(scratch, &state, u, cfg.model),
-            };
-            if let Some(best) = candidate {
-                // FirstImproving only returns strictly improving
-                // strategies; the other rules may hand back the current
-                // cost, so price the incumbent through the still-open
-                // engine session (no fresh BFS scratch) to compare.
-                let improved = cfg.rule == ResponseRule::FirstImproving
-                    || best.cost < scratch.cost_of(state.strategy(u));
-                if improved {
-                    state.set_strategy(u, best.targets);
-                    steps += 1;
-                    round_improvements += 1;
+            _ => {
+                for &i in &order {
+                    let u = NodeId::new(i);
+                    if let Some(targets) = respond(scratch, &state, u, &cfg) {
+                        state.set_strategy(u, targets);
+                        steps += 1;
+                        round_improvements += 1;
+                    }
                 }
             }
         }
@@ -410,6 +423,7 @@ mod tests {
             order: PlayerOrder::RandomPermutation,
             rule: ResponseRule::ExactBest,
             max_rounds: 100,
+            executor: RoundExecutor::Auto,
         };
         let report = run_dynamics(initial, cfg, &mut rng);
         assert!(report.converged);
@@ -426,6 +440,7 @@ mod tests {
             order: PlayerOrder::RoundRobin,
             rule: ResponseRule::FirstImproving,
             max_rounds: 300,
+            executor: RoundExecutor::Auto,
         };
         let report = run_dynamics(initial, cfg, &mut rng);
         assert!(report.converged);

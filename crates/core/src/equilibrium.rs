@@ -239,22 +239,46 @@ pub fn audit_equilibrium_with_kernel(
     model: CostModel,
     kernel: CostKernel,
 ) -> NashAudit {
+    // The audit has no intra-batch commits to speculate over, so the
+    // parallel path is always sound; keep the historical always-
+    // parallel behaviour for the kernel-only entry point.
+    audit_equilibrium_with_opts(r, model, kernel, crate::round::RoundExecutor::Speculative)
+}
+
+/// [`audit_equilibrium`] with both the [`CostKernel`] and the
+/// [`RoundExecutor`](crate::round::RoundExecutor) chosen. The audit is
+/// a read-only sweep, so "speculative" simply means *batched parallel
+/// over players* (the same worker-local-engine discipline dynamics
+/// rounds use) and "sequential" prices everyone through one engine on
+/// the calling thread; `Auto` resolves by instance size and thread
+/// budget exactly like dynamics rounds. The verdict, gap and violation
+/// list are executor-independent — this knob exists so services can
+/// pin one execution discipline end-to-end and report it.
+pub fn audit_equilibrium_with_opts(
+    r: &Realization,
+    model: CostModel,
+    kernel: CostKernel,
+    executor: crate::round::RoundExecutor,
+) -> NashAudit {
     let n = r.n();
-    let per_player = bbncg_par::par_map_init(
-        n,
-        || DeviationScratch::with_kernel(r, kernel),
-        |scratch, i| {
-            let u = NodeId::new(i);
-            scratch.begin(r, u, model);
-            let current = scratch.cost_of(r.strategy(u));
-            if r.graph().out_degree(u) == 0 {
-                // The empty strategy is the only strategy: best = current.
-                return (current, current);
-            }
-            let best = exact_best_response_cost_with(scratch, r, u, model, None);
-            (current, best)
-        },
-    );
+    let price = |scratch: &mut DeviationScratch, i: usize| {
+        let u = NodeId::new(i);
+        scratch.begin(r, u, model);
+        let current = scratch.cost_of(r.strategy(u));
+        if r.graph().out_degree(u) == 0 {
+            // The empty strategy is the only strategy: best = current.
+            return (current, current);
+        }
+        let best = exact_best_response_cost_with(scratch, r, u, model, None);
+        (current, best)
+    };
+    let per_player = match executor.resolve(n) {
+        crate::round::RoundExecutor::Sequential => {
+            let mut scratch = DeviationScratch::with_kernel(r, kernel);
+            (0..n).map(|i| price(&mut scratch, i)).collect::<Vec<_>>()
+        }
+        _ => bbncg_par::par_map_init(n, || DeviationScratch::with_kernel(r, kernel), price),
+    };
     let (current, best) = per_player.into_iter().unzip();
     NashAudit {
         model,

@@ -25,6 +25,8 @@
 //!   Lemma 2.2 certificate;
 //! * [`dynamics`] — best-response dynamics with cycle detection (the §8
 //!   convergence question);
+//! * [`round`] — round executors: sequential vs speculative-parallel
+//!   intra-round execution, step-identical by construction;
 //! * [`poa`] — social cost and price-of-anarchy bookkeeping.
 
 #![warn(missing_docs)]
@@ -47,6 +49,7 @@ pub mod naive;
 pub mod oracle;
 pub mod poa;
 pub mod realization;
+pub mod round;
 pub mod weighted;
 
 pub use best_response::{
@@ -68,10 +71,11 @@ pub use enumerate::{
     decode_profile, exact_game_stats, profile_count, ExactGameStats, MAX_PROFILES,
 };
 pub use equilibrium::{
-    audit_equilibrium, audit_equilibrium_with_kernel, best_response_gap, find_violation,
-    find_violation_with_kernel, is_best_response, is_best_response_with, is_nash_equilibrium,
-    is_nash_equilibrium_with_kernel, is_swap_equilibrium, is_swap_equilibrium_with_kernel,
-    lemma22_certifies, lemma22_certifies_all, NashAudit, Violation,
+    audit_equilibrium, audit_equilibrium_with_kernel, audit_equilibrium_with_opts,
+    best_response_gap, find_violation, find_violation_with_kernel, is_best_response,
+    is_best_response_with, is_nash_equilibrium, is_nash_equilibrium_with_kernel,
+    is_swap_equilibrium, is_swap_equilibrium_with_kernel, lemma22_certifies, lemma22_certifies_all,
+    NashAudit, Violation,
 };
 pub use io::{
     parse_realization, parse_snapshot, write_realization, write_snapshot, ParseError, Snapshot,
@@ -80,4 +84,5 @@ pub use kernel::CostKernel;
 pub use oracle::{enumeration_count, CombinationOdometer, DeviationOracle};
 pub use poa::{opt_diameter_lower_bound, social_cost, PoAEstimate};
 pub use realization::Realization;
+pub use round::RoundExecutor;
 pub use weighted::WeightedGraph;

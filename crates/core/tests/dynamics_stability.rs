@@ -2,9 +2,7 @@
 //! stability notion it targets, and dynamics outcomes agree with
 //! exhaustive enumeration.
 
-use bbncg_core::dynamics::{
-    run_dynamics, run_dynamics_traced, DynamicsConfig, PlayerOrder, ResponseRule,
-};
+use bbncg_core::dynamics::{run_dynamics, run_dynamics_traced, DynamicsConfig, ResponseRule};
 use bbncg_core::{
     exact_game_stats, is_nash_equilibrium, is_swap_equilibrium, BudgetVector, CostModel,
     Realization,
@@ -31,10 +29,8 @@ fn every_rule_reaches_its_stability_notion() {
             for seed in 0..3u64 {
                 let mut rng = StdRng::seed_from_u64(100 + seed);
                 let cfg = DynamicsConfig {
-                    model,
-                    order: PlayerOrder::RoundRobin,
                     rule,
-                    max_rounds: 500,
+                    ..DynamicsConfig::exact(model, 500)
                 };
                 let rep = run_dynamics(random_start(&budgets, seed), cfg, &mut rng);
                 assert!(rep.converged, "{model:?} {rule:?} seed {seed}");

@@ -1,0 +1,225 @@
+//! Round-executor parity enforcement.
+//!
+//! The tentpole invariant of the speculative-rounds refactor, enforced
+//! the way PR 3 enforced kernel parity: the speculative executor is
+//! **step-identical** to the sequential executor for every
+//! rule/order/kernel/model combination — same moves, same step and
+//! round counts, same convergence/cycle verdicts, same final profile,
+//! same per-round traces — and both match the rebuild-per-candidate
+//! reference (`bbncg_core::naive`). Window scheduling and thread count
+//! may only move wall-clock, never an answer.
+
+use bbncg_core::dynamics::{
+    run_dynamics_traced, run_dynamics_with_kernel, DynamicsConfig, PlayerOrder, ResponseRule,
+};
+use bbncg_core::naive::run_dynamics_rebuild;
+use bbncg_core::{audit_equilibrium_with_opts, CostKernel, CostModel, Realization, RoundExecutor};
+use bbncg_graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random realization whose budget vector includes zeros and twos, so
+/// draws mix budget sizes, braces, and (often) disconnection.
+fn random_instance(n: usize, seed: u64) -> Realization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budgets: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 3).collect();
+    Realization::new(generators::random_realization(&budgets, &mut rng))
+}
+
+const RULES: [ResponseRule; 4] = [
+    ResponseRule::ExactBest,
+    ResponseRule::FirstImproving,
+    ResponseRule::Greedy,
+    ResponseRule::BestSwap,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Speculative ≡ sequential for all four rules × both kernels ×
+    /// both models × both activation orders, on random (often
+    /// disconnected, brace-rich) instances. Random permutations use
+    /// the same seeded RNG on both sides, so the executors see the
+    /// identical order stream.
+    #[test]
+    fn speculative_rounds_are_step_identical(n in 3usize..12, seed in 0u64..200) {
+        let initial = random_instance(n, seed);
+        for model in CostModel::ALL {
+            for rule in RULES {
+                for order in [PlayerOrder::RoundRobin, PlayerOrder::RandomPermutation] {
+                    for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+                        let cfg = DynamicsConfig {
+                            rule,
+                            order,
+                            ..DynamicsConfig::exact(model, 80)
+                        };
+                        let seq = run_dynamics_with_kernel(
+                            initial.clone(),
+                            cfg.with_executor(RoundExecutor::Sequential),
+                            &mut StdRng::seed_from_u64(7),
+                            kernel,
+                        );
+                        let spec = run_dynamics_with_kernel(
+                            initial.clone(),
+                            cfg.with_executor(RoundExecutor::Speculative),
+                            &mut StdRng::seed_from_u64(7),
+                            kernel,
+                        );
+                        prop_assert_eq!(&seq.state, &spec.state);
+                        prop_assert_eq!(seq.steps, spec.steps);
+                        prop_assert_eq!(seq.rounds, spec.rounds);
+                        prop_assert_eq!(seq.converged, spec.converged);
+                        prop_assert_eq!(seq.cycled, spec.cycled);
+                        prop_assert_eq!(seq.cancelled, spec.cancelled);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parallel batched audit and the serial single-engine audit
+    /// return identical per-player numbers (hence identical verdicts,
+    /// gaps and violation lists) under both kernels.
+    #[test]
+    fn audit_is_executor_independent(n in 3usize..10, seed in 0u64..200) {
+        let r = random_instance(n, seed);
+        for model in CostModel::ALL {
+            for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+                let serial =
+                    audit_equilibrium_with_opts(&r, model, kernel, RoundExecutor::Sequential);
+                let batched =
+                    audit_equilibrium_with_opts(&r, model, kernel, RoundExecutor::Speculative);
+                prop_assert_eq!(&serial.current, &batched.current);
+                prop_assert_eq!(&serial.best, &batched.best);
+                prop_assert_eq!(serial.is_nash(), batched.is_nash());
+                prop_assert_eq!(serial.gap(), batched.gap());
+            }
+        }
+    }
+}
+
+/// Speculative exact-best dynamics matches the rebuild-per-candidate
+/// reference move for move — the same anchor the engine and the
+/// kernels are pinned to, extended to the new executor.
+#[test]
+fn speculative_dynamics_match_naive_reference() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets = vec![1usize; 8];
+        let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+        for model in CostModel::ALL {
+            let cfg = DynamicsConfig::exact(model, 100).with_executor(RoundExecutor::Speculative);
+            let spec = run_dynamics_with_kernel(
+                initial.clone(),
+                cfg,
+                &mut StdRng::seed_from_u64(0),
+                CostKernel::Auto,
+            );
+            let (naive_state, naive_steps, naive_converged) =
+                run_dynamics_rebuild(initial.clone(), model, 100);
+            assert_eq!(spec.state, naive_state, "seed {seed} {model:?}");
+            assert_eq!(spec.steps, naive_steps);
+            assert_eq!(spec.converged, naive_converged);
+        }
+    }
+}
+
+/// Per-round traces are executor-independent too: every round commits
+/// the same number of moves and lands on the same social cost, so the
+/// executors agree round by round, not only at the end.
+#[test]
+fn traces_agree_round_by_round() {
+    for seed in [2u64, 9, 23] {
+        let initial = random_instance(10, seed);
+        for model in CostModel::ALL {
+            let cfg = DynamicsConfig::exact(model, 60);
+            let (seq_rep, seq_trace) = run_dynamics_traced(
+                initial.clone(),
+                cfg.with_executor(RoundExecutor::Sequential),
+                &mut StdRng::seed_from_u64(1),
+            );
+            let (spec_rep, spec_trace) = run_dynamics_traced(
+                initial.clone(),
+                cfg.with_executor(RoundExecutor::Speculative),
+                &mut StdRng::seed_from_u64(1),
+            );
+            assert_eq!(seq_rep.state, spec_rep.state, "seed {seed} {model:?}");
+            assert_eq!(seq_trace, spec_trace, "seed {seed} {model:?}");
+        }
+    }
+}
+
+/// A medium instance above the Auto size floor, swap rule (the
+/// scalable large-n configuration): step-identity holds where the
+/// speculative executor is actually meant to run, and `Auto` — however
+/// it resolves on this host — lands on one of the two identical
+/// trajectories.
+#[test]
+fn medium_swap_instance_is_step_identical() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let budgets = vec![1usize; 72];
+    let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+    let cfg = DynamicsConfig::swap(CostModel::Sum, 40);
+    let seq = run_dynamics_with_kernel(
+        initial.clone(),
+        cfg.with_executor(RoundExecutor::Sequential),
+        &mut StdRng::seed_from_u64(0),
+        CostKernel::Auto,
+    );
+    let spec = run_dynamics_with_kernel(
+        initial.clone(),
+        cfg.with_executor(RoundExecutor::Speculative),
+        &mut StdRng::seed_from_u64(0),
+        CostKernel::Auto,
+    );
+    let auto = run_dynamics_with_kernel(
+        initial,
+        cfg.with_executor(RoundExecutor::Auto),
+        &mut StdRng::seed_from_u64(0),
+        CostKernel::Auto,
+    );
+    assert_eq!(seq.state, spec.state);
+    assert_eq!(seq.steps, spec.steps);
+    assert_eq!(seq.rounds, spec.rounds);
+    assert_eq!(seq.converged, spec.converged);
+    assert_eq!(seq.state, auto.state);
+    assert_eq!(seq.steps, auto.steps);
+}
+
+/// Brace-dense instances stress the presence-preservation fast path:
+/// commits that only shuffle brace multiplicities must not invalidate
+/// later proposals, and the trajectory must still be identical.
+#[test]
+fn brace_rich_instances_stay_identical() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        // Budget-2 everywhere: plenty of braces, plenty of
+        // multiplicity-only rewires under the swap rule.
+        let budgets = vec![2usize; 9];
+        let initial = Realization::new(generators::random_realization(&budgets, &mut rng));
+        for model in CostModel::ALL {
+            for rule in [ResponseRule::BestSwap, ResponseRule::Greedy] {
+                let cfg = DynamicsConfig {
+                    rule,
+                    ..DynamicsConfig::exact(model, 60)
+                };
+                let seq = run_dynamics_with_kernel(
+                    initial.clone(),
+                    cfg.with_executor(RoundExecutor::Sequential),
+                    &mut StdRng::seed_from_u64(3),
+                    CostKernel::Queue,
+                );
+                let spec = run_dynamics_with_kernel(
+                    initial.clone(),
+                    cfg.with_executor(RoundExecutor::Speculative),
+                    &mut StdRng::seed_from_u64(3),
+                    CostKernel::Queue,
+                );
+                assert_eq!(seq.state, spec.state, "seed {seed} {model:?} {rule:?}");
+                assert_eq!(seq.steps, spec.steps);
+                assert_eq!(seq.rounds, spec.rounds);
+            }
+        }
+    }
+}

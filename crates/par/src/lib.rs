@@ -21,6 +21,19 @@
 //! writes each slot exactly once at its input index, and `par_reduce`
 //! folds per-chunk partials in chunk order.
 //!
+//! # Thread-cap precedence
+//!
+//! The worker bound every primitive obeys is resolved as
+//! [`set_max_threads`] (the CLI's `--threads`, highest precedence) →
+//! `BBNCG_THREADS` → [`std::thread::available_parallelism`]. The
+//! resolution is cached on first use; `set_max_threads` replaces the
+//! cache at any time, but each parallel call samples the bound **once,
+//! at its own start** and spawns its whole worker set from that
+//! sample — a mid-run override never grows or shrinks an in-flight
+//! worker set (or its worker-local state built by [`par_map_init`]'s
+//! `init`), it only governs calls that start afterwards. Pinned by
+//! `tests/threads_override.rs`.
+//!
 //! # Example
 //!
 //! ```
@@ -38,11 +51,48 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CACHED_MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+std::thread_local! {
+    /// Is this thread a parallel worker (spawned by a primitive here,
+    /// or marked by a long-lived service worker)? Lets higher layers
+    /// avoid *nesting* fan-outs: a parallel call made from inside a
+    /// worker would multiply the thread budget instead of sharing it.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Is the current thread already a parallel worker — one spawned by a
+/// primitive in this crate, or one that called
+/// [`mark_parallel_worker`]? Heuristics that choose *whether* to fan
+/// out (e.g. `RoundExecutor::Auto` in `bbncg-core`) consult this so
+/// work that is already running under an outer fan-out (a seed-sweep
+/// worker, a serve job worker) stays serial inside instead of
+/// oversubscribing the machine quadratically. The primitives
+/// themselves are unaffected: explicit parallel calls still run.
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Permanently mark the current thread as a parallel worker (see
+/// [`in_parallel_worker`]). For long-lived service worker threads that
+/// are not spawned by this crate but play the same role — e.g. the
+/// `bbncg-serve` job workers, whose pool is already sized to
+/// [`max_threads`].
+pub fn mark_parallel_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
+/// RAII for the scoped workers spawned below: marks on entry; the
+/// thread dies at scope exit, so no reset is needed, but the guard
+/// keeps the marking next to the spawn sites.
+fn mark_this_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
 /// Upper bound on worker threads, overridable with the `BBNCG_THREADS`
 /// environment variable (useful for benchmarking scaling and for forcing
 /// serial execution under `BBNCG_THREADS=1`) or programmatically with
 /// [`set_max_threads`] (the CLI's `--threads` flag, which wins over the
-/// environment).
+/// environment). See the crate docs for the full precedence chain and
+/// the in-flight-call guarantee.
 pub fn max_threads() -> usize {
     let cached = CACHED_MAX_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
@@ -66,7 +116,9 @@ pub fn max_threads() -> usize {
 /// [`max_threads`] call cached). `n = 0` is treated as 1 so a bad flag
 /// can never disable execution outright. Intended for process startup
 /// (the CLI's `--threads`); calling it mid-computation only affects
-/// parallel calls that start afterwards.
+/// parallel calls that start afterwards — an in-flight call keeps the
+/// worker set (and any `par_map_init` worker-local state) it spawned
+/// at its own start, never resizing mid-run.
 pub fn set_max_threads(n: usize) {
     CACHED_MAX_THREADS.store(n.max(1), Ordering::Relaxed);
 }
@@ -138,16 +190,20 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync)
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + grain).min(len);
-                for i in start..end {
-                    // SAFETY: the atomic fetch_add hands each index block
-                    // to exactly one worker, so slot `i` is written once.
-                    unsafe { buf.write(i, f(i, &items[i])) };
+            s.spawn(|| {
+                mark_this_worker();
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    for i in start..end {
+                        // SAFETY: the atomic fetch_add hands each index
+                        // block to exactly one worker, so slot `i` is
+                        // written once.
+                        unsafe { buf.write(i, f(i, &items[i])) };
+                    }
                 }
             });
         }
@@ -172,14 +228,17 @@ pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + grain).min(len);
-                for i in start..end {
-                    f(i, &items[i]);
+            s.spawn(|| {
+                mark_this_worker();
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    for i in start..end {
+                        f(i, &items[i]);
+                    }
                 }
             });
         }
@@ -201,14 +260,17 @@ pub fn par_for_each_index(len: usize, f: impl Fn(usize) + Sync) {
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + grain).min(len);
-                for i in start..end {
-                    f(i);
+            s.spawn(|| {
+                mark_this_worker();
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    for i in start..end {
+                        f(i);
+                    }
                 }
             });
         }
@@ -244,6 +306,7 @@ pub fn par_map_init<S, R: Send>(
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
+                mark_this_worker();
                 let mut state = init();
                 loop {
                     let start = cursor.fetch_add(grain, Ordering::Relaxed);
@@ -277,7 +340,10 @@ pub fn par_chunks_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut [T]) + Sy
     std::thread::scope(|s| {
         for (k, piece) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move || f(k * chunk, piece));
+            s.spawn(move || {
+                mark_this_worker();
+                f(k * chunk, piece)
+            });
         }
     });
 }

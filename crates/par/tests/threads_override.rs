@@ -64,4 +64,75 @@ fn set_max_threads_bounds_worker_count() {
     // 0 can never wedge the process: it clamps to 1.
     set_max_threads(0);
     assert_eq!(max_threads(), 1);
+
+    // A mid-run override must NOT resize an in-flight worker set: the
+    // bound is sampled once at call start, workers (and their
+    // worker-local init() state) are spawned from that sample, and a
+    // raise issued *from inside the call* only affects later calls.
+    // This is what lets a serve job or a speculative dynamics round
+    // trust its per-worker engine count for the whole call.
+    set_max_threads(2);
+    let inits = AtomicUsize::new(0);
+    let threads = Mutex::new(HashSet::new());
+    par_map_init(
+        20_000,
+        || {
+            inits.fetch_add(1, Ordering::Relaxed);
+        },
+        |(), i| {
+            if i == 0 {
+                // Fired while the call is in flight.
+                set_max_threads(16);
+            }
+            threads.lock().unwrap().insert(std::thread::current().id());
+            i
+        },
+    );
+    assert!(
+        inits.load(Ordering::Relaxed) <= 2,
+        "mid-run override grew the in-flight worker set (init() ran {} times)",
+        inits.load(Ordering::Relaxed)
+    );
+    assert!(
+        threads.lock().unwrap().len() <= 2,
+        "mid-run override grew the in-flight worker set"
+    );
+    // The override does govern the *next* call.
+    assert_eq!(max_threads(), 16);
+
+    // Worker marking: threads spawned by the primitives report
+    // in_parallel_worker() = true (what keeps RoundExecutor::Auto from
+    // nesting fan-outs inside sweep/serve workers); the calling thread
+    // does not inherit the mark, and the serial fast path under a
+    // 1-thread cap runs on the caller, so it stays unmarked too.
+    set_max_threads(2);
+    assert!(!bbncg_par::in_parallel_worker());
+    let all_marked = Mutex::new(true);
+    par_map_init(
+        4096,
+        || (),
+        |(), i| {
+            if !bbncg_par::in_parallel_worker() {
+                *all_marked.lock().unwrap() = false;
+            }
+            i
+        },
+    );
+    assert!(
+        *all_marked.lock().unwrap(),
+        "spawned workers must self-identify as parallel workers"
+    );
+    assert!(!bbncg_par::in_parallel_worker(), "caller stays unmarked");
+    set_max_threads(1);
+    par_map_init(
+        64,
+        || (),
+        |(), i| {
+            assert!(
+                !bbncg_par::in_parallel_worker(),
+                "serial fallback runs on the (unmarked) caller"
+            );
+            i
+        },
+    );
 }

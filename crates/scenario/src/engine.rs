@@ -17,7 +17,7 @@ use crate::spec::{fnv1a, InitSpec, PhaseSpec, ScenarioSpec, Variant};
 use bbncg_core::dynamics::{run_dynamics_with_scratch_cancellable, DynamicsConfig};
 use bbncg_core::{
     parse_snapshot, write_snapshot, CancelToken, CostKernel, DeviationScratch, Realization,
-    Snapshot,
+    RoundExecutor, Snapshot,
 };
 use bbncg_directed::{run_directed_dynamics, DirectedRealization};
 use bbncg_graph::{generators, OwnedDigraph};
@@ -63,6 +63,10 @@ pub struct Checkpoint {
     /// observability; kernels are move-for-move equivalent, so resuming
     /// under a different kernel continues the identical trajectory.
     pub kernel: CostKernel,
+    /// Round executor the run's dynamics phases used. Recorded for
+    /// observability; executors are step-identical, so resuming under
+    /// a different one continues the identical trajectory.
+    pub executor: RoundExecutor,
     /// Exact RNG stream position.
     pub rng_state: [u64; 4],
     /// The frozen profile.
@@ -85,6 +89,7 @@ impl Checkpoint {
                 ("converged".into(), tristate_str(self.converged).into()),
                 ("cycled".into(), tristate_str(self.cycled).into()),
                 ("kernel".into(), self.kernel.label().into()),
+                ("executor".into(), self.executor.label().into()),
             ],
         })
     }
@@ -119,6 +124,12 @@ impl Checkpoint {
             kernel: match snap.meta.iter().find(|(k, _)| k == "kernel") {
                 None => CostKernel::Auto,
                 Some((_, v)) => CostKernel::parse(v)?,
+            },
+            // Absent in pre-executor checkpoints; Auto is the
+            // behaviour they were written under.
+            executor: match snap.meta.iter().find(|(k, _)| k == "executor") {
+                None => RoundExecutor::Auto,
+                Some((_, v)) => RoundExecutor::parse(v)?,
             },
             rng_state: snap.rng_state,
             state: snap.realization,
@@ -201,6 +212,7 @@ fn dynamics_config(spec: &ScenarioSpec, phase: &PhaseSpec) -> DynamicsConfig {
             rule: rule.unwrap_or(d.rule),
             order: order.unwrap_or(d.order),
             max_rounds: rounds.unwrap_or(d.max_rounds),
+            executor: d.executor,
         },
         _ => d,
     }
@@ -440,6 +452,7 @@ pub fn run_scenario_with_engine(
             converged,
             cycled,
             kernel: spec.kernel,
+            executor: spec.defaults.executor,
             rng_state: rng.state(),
             state: state.clone(),
         };
@@ -475,6 +488,7 @@ pub fn run_scenario_with_engine(
         converged,
         cycled,
         kernel: spec.kernel,
+        executor: spec.defaults.executor,
         rng_state: rng.state(),
         state: state.clone(),
     };

@@ -6,7 +6,7 @@
 //! for the grammar and `examples/scenarios/` for working files.
 
 use crate::toml::{self, SpecError, TomlTable, Value};
-use bbncg_core::{CostKernel, CostModel, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg_core::{CostKernel, CostModel, DynamicsConfig, PlayerOrder, ResponseRule, RoundExecutor};
 use rand::SeedableRng as _;
 
 /// How the initial realization is produced.
@@ -506,7 +506,15 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
     let dy = doc.section("dynamics").unwrap_or(&empty);
     check_keys(
         dy,
-        &["model", "rule", "order", "max_rounds", "variant", "kernel"],
+        &[
+            "model",
+            "rule",
+            "order",
+            "max_rounds",
+            "variant",
+            "kernel",
+            "rounds",
+        ],
     )?;
     let defaults = DynamicsConfig {
         model: get_str(dy, "model")?
@@ -522,6 +530,15 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
             .transpose()?
             .unwrap_or(PlayerOrder::RoundRobin),
         max_rounds: get_usize(dy, "max_rounds")?.unwrap_or(300),
+        // `[dynamics] rounds = "sequential"|"speculative"|"auto"` picks
+        // the round executor. Executors are step-identical, so this —
+        // like `kernel` — is purely a throughput knob: records,
+        // checkpoints and resumes are executor-independent at any
+        // thread count.
+        executor: match get_str(dy, "rounds")? {
+            None => RoundExecutor::Auto,
+            Some(s) => RoundExecutor::parse(s).map_err(|e| SpecError::at(dy.line, e))?,
+        },
     };
     let kernel = match get_str(dy, "kernel")? {
         None => CostKernel::Auto,
@@ -636,6 +653,31 @@ rounds = 50
             assert_eq!(parse_spec(&text).unwrap().kernel, want, "{label}");
         }
         let bad = "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nkernel = \"warp\"\n\
+                   [[phase]]\nkind = \"dynamics\"";
+        assert!(parse_spec(bad).unwrap_err().to_string().contains("warp"));
+    }
+
+    #[test]
+    fn rounds_field_parses_and_defaults() {
+        use bbncg_core::RoundExecutor;
+        let spec = parse_spec(CHURN).unwrap();
+        assert_eq!(spec.defaults.executor, RoundExecutor::Auto);
+        for (label, want) in [
+            ("sequential", RoundExecutor::Sequential),
+            ("speculative", RoundExecutor::Speculative),
+            ("auto", RoundExecutor::Auto),
+        ] {
+            let text = format!(
+                "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nrounds = \"{label}\"\n\
+                 [[phase]]\nkind = \"dynamics\""
+            );
+            assert_eq!(
+                parse_spec(&text).unwrap().defaults.executor,
+                want,
+                "{label}"
+            );
+        }
+        let bad = "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nrounds = \"warp\"\n\
                    [[phase]]\nkind = \"dynamics\"";
         assert!(parse_spec(bad).unwrap_err().to_string().contains("warp"));
     }

@@ -214,6 +214,56 @@ fn pre_kernel_checkpoints_still_parse() {
 }
 
 #[test]
+fn executors_trace_identically_and_checkpoint_meta_roundtrips() {
+    // The same timeline under each explicit round executor: records,
+    // final states and hashes must be identical (executors are
+    // step-identical), the executor label survives the checkpoint text
+    // roundtrip, and a pre-executor checkpoint (no "executor" meta
+    // key) parses with the auto default — same policy as kernels.
+    let mut specs = Vec::new();
+    for mode in ["sequential", "speculative"] {
+        let text = FULL.replace(
+            "rule = \"exact\"",
+            &format!("rule = \"exact\"\nrounds = \"{mode}\""),
+        );
+        specs.push(parse_spec(&text).unwrap());
+    }
+    let (seq, spe) = (&specs[0], &specs[1]);
+    let mut ss = MemorySink::default();
+    let mut ps = MemorySink::default();
+    let rs = run_scenario(seq, 9, None, &mut ss, None, |_| ()).unwrap();
+    let rp = run_scenario(spe, 9, None, &mut ps, None, |_| ()).unwrap();
+    assert_eq!(rs.state, rp.state, "executors must trace identically");
+    assert_eq!(rs.state_hash, rp.state_hash);
+    assert_eq!(rs.steps, rp.steps);
+    assert_eq!(ss.records, ps.records);
+
+    // Freeze under speculative, thaw, and finish under sequential.
+    let part = run_scenario(spe, 9, None, &mut MemorySink::default(), Some(3), |_| ()).unwrap();
+    assert_eq!(part.checkpoint.executor.label(), "speculative");
+    let mut ck = Checkpoint::from_text(&part.checkpoint.to_text()).unwrap();
+    assert_eq!(ck, part.checkpoint, "executor survives the text roundtrip");
+    ck.spec_hash = seq.spec_hash;
+    let resumed = run_scenario(seq, 9, Some(ck), &mut MemorySink::default(), None, |_| ()).unwrap();
+    assert_eq!(
+        resumed.state_hash, rs.state_hash,
+        "resume under the other executor must land on the identical final hash"
+    );
+
+    // Pre-executor checkpoints parse with the auto default.
+    let stripped: String = part
+        .checkpoint
+        .to_text()
+        .lines()
+        .filter(|l| !l.contains("executor"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let thawed = Checkpoint::from_text(&stripped).unwrap();
+    assert_eq!(thawed.executor.label(), "auto");
+    assert_eq!(thawed.state, part.checkpoint.state);
+}
+
+#[test]
 fn resume_rejects_a_mismatched_spec() {
     let spec = spec();
     let part = run_scenario(&spec, 1, None, &mut MemorySink::default(), Some(2), |_| ()).unwrap();

@@ -2,7 +2,7 @@
 
 use crate::http::json_escape;
 use crate::stream::LineBuffer;
-use bbncg_core::{CancelToken, CostKernel, CostModel, Realization};
+use bbncg_core::{CancelToken, CostKernel, CostModel, Realization, RoundExecutor};
 use bbncg_scenario::ScenarioSpec;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -25,6 +25,9 @@ pub enum JobKind {
         model: CostModel,
         /// Cost kernel pricing the audit.
         kernel: CostKernel,
+        /// Execution discipline of the audit sweep (verdict-neutral;
+        /// `?rounds=` override, else the server default).
+        executor: RoundExecutor,
     },
 }
 

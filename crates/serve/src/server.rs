@@ -40,7 +40,8 @@ use crate::http::{
 use crate::job::{Job, JobKind, JobStatus};
 use crate::stream::BufferSink;
 use bbncg_core::{
-    audit_equilibrium_with_kernel, parse_realization, CostKernel, CostModel, DeviationScratch,
+    audit_equilibrium_with_opts, parse_realization, CostKernel, CostModel, DeviationScratch,
+    RoundExecutor,
 };
 use bbncg_scenario::{parse_spec, run_scenario_with_engine, run_sweep_cancellable, Checkpoint};
 use std::collections::{BTreeMap, VecDeque};
@@ -74,6 +75,13 @@ pub struct ServerConfig {
     /// server's memory over an unbounded lifetime; queued and running
     /// jobs are never evicted.
     pub history_limit: usize,
+    /// Default round executor for jobs. Precedence per job:
+    /// `?rounds=` query override, else a non-auto `[dynamics] rounds`
+    /// in the posted spec, else this. Executors are step-identical, so
+    /// the choice moves throughput only — streams never change.
+    /// Reported by `/healthz` (with the worker-thread cap) so loadgen
+    /// runs are self-describing.
+    pub default_executor: RoundExecutor,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +93,7 @@ impl Default for ServerConfig {
             max_body: DEFAULT_MAX_BODY,
             checkpoint_dir: None,
             history_limit: 256,
+            default_executor: RoundExecutor::Auto,
         }
     }
 }
@@ -245,6 +254,11 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 }
 
 fn worker_loop(shared: Arc<Shared>) {
+    // Job workers are the server's parallelism: mark the thread so
+    // `RoundExecutor::Auto` inside jobs stays sequential instead of
+    // nesting a second fan-out per worker (an explicit
+    // speculative/`?rounds=` ask still fans out).
+    bbncg_par::mark_parallel_worker();
     // The worker-local engine slot: filled by the first single-seed
     // scenario job, re-synced by diffing (or transparently rebuilt on
     // size change) by every job after it — `par_map_init`'s
@@ -329,8 +343,9 @@ fn execute_job(shared: &Shared, job: &Arc<Job>, scratch: &mut Option<DeviationSc
             realization,
             model,
             kernel,
+            executor,
         } => {
-            let audit = audit_equilibrium_with_kernel(realization, *model, *kernel);
+            let audit = audit_equilibrium_with_opts(realization, *model, *kernel, *executor);
             let violations = audit.violations();
             job.lines.push(format!(
                 "{{\"kind\":\"verify\",\"model\":\"{}\",\"n\":{},\"nash\":{},\"gap\":{},\"violators\":{},\"social_cost\":{}}}",
@@ -402,18 +417,24 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
         ("GET", ["healthz"]) => {
             let queue_depth = shared.queue.lock().expect("queue poisoned").len();
             let jobs = shared.jobs.lock().expect("jobs poisoned").len();
+            // `rounds` + `threads` make loadgen runs self-describing:
+            // the default round-executor mode jobs will run under and
+            // the worker-thread cap every parallel primitive obeys
+            // (`--threads` / BBNCG_THREADS / auto-detect).
             respond_json(
                 w,
                 200,
                 "OK",
                 format!(
-                    "{{\"status\":\"{}\",\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"running\":{},\"jobs\":{}}}",
+                    "{{\"status\":\"{}\",\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"running\":{},\"jobs\":{},\"rounds\":\"{}\",\"threads\":{}}}",
                     if shared.draining.load(Ordering::SeqCst) { "draining" } else { "ok" },
                     shared.workers,
                     queue_depth,
                     shared.cfg.queue_capacity,
                     shared.running.load(Ordering::SeqCst),
                     jobs,
+                    shared.cfg.default_executor.label(),
+                    bbncg_par::max_threads(),
                 ),
             );
         }
@@ -479,7 +500,7 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
     if shared.draining.load(Ordering::SeqCst) {
         return error_json(w, 503, "Service Unavailable", "server is draining");
     }
-    let kind = match build_job_kind(req) {
+    let kind = match build_job_kind(req, shared.cfg.default_executor) {
         Ok(k) => k,
         Err(e) => return error_json(w, 400, "Bad Request", &e),
     };
@@ -554,6 +575,26 @@ fn parse_kernel_param(req: &Request) -> Result<CostKernel, String> {
     }
 }
 
+/// Effective round executor for a job: `?rounds=` wins, else a
+/// non-auto executor the spec asked for, else the server default.
+/// Every choice streams byte-identical records (executors are
+/// step-identical), so this precedence is purely about throughput and
+/// self-description.
+fn effective_executor(
+    req: &Request,
+    spec_executor: RoundExecutor,
+    default: RoundExecutor,
+) -> Result<RoundExecutor, String> {
+    if let Some(s) = req.query_get("rounds") {
+        return RoundExecutor::parse(s);
+    }
+    Ok(if spec_executor != RoundExecutor::Auto {
+        spec_executor
+    } else {
+        default
+    })
+}
+
 fn parse_model_param(req: &Request, default: CostModel) -> Result<CostModel, String> {
     match req.query_get("model") {
         None => Ok(default),
@@ -563,7 +604,7 @@ fn parse_model_param(req: &Request, default: CostModel) -> Result<CostModel, Str
     }
 }
 
-fn build_job_kind(req: &Request) -> Result<JobKind, String> {
+fn build_job_kind(req: &Request, default_executor: RoundExecutor) -> Result<JobKind, String> {
     let body = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
     match req.query_get("type").unwrap_or("scenario") {
         "scenario" => {
@@ -578,6 +619,8 @@ fn build_job_kind(req: &Request) -> Result<JobKind, String> {
             // per-phase model overrides in [[phase]] still win, same
             // as offline).
             spec.defaults.model = parse_model_param(req, spec.defaults.model)?;
+            spec.defaults.executor =
+                effective_executor(req, spec.defaults.executor, default_executor)?;
             Ok(JobKind::Scenario {
                 spec: Box::new(spec),
             })
@@ -588,6 +631,7 @@ fn build_job_kind(req: &Request) -> Result<JobKind, String> {
                 realization: Box::new(realization),
                 model: parse_model_param(req, CostModel::Sum)?,
                 kernel: parse_kernel_param(req)?,
+                executor: effective_executor(req, RoundExecutor::Auto, default_executor)?,
             })
         }
         other => Err(format!("unknown job type {other:?} (scenario|verify)")),

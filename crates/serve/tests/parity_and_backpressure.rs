@@ -129,6 +129,47 @@ fn submit_time_seed_and_kernel_overrides_apply() {
 }
 
 #[test]
+fn healthz_reports_round_executor_mode_and_thread_cap() {
+    // Loadgen runs are self-describing: /healthz names the round
+    // executor jobs default to and the worker-thread cap every
+    // parallel primitive obeys.
+    let server = spawn(ServerConfig {
+        default_executor: bbncg_core::RoundExecutor::Speculative,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+    let h = client::request(&addr, "GET", "/healthz", b"")
+        .unwrap()
+        .text();
+    assert!(h.contains("\"rounds\":\"speculative\""), "{h}");
+    assert!(
+        h.contains(&format!("\"threads\":{}", bbncg_par::max_threads())),
+        "{h}"
+    );
+
+    // ?rounds= overrides per job — and executors are step-identical,
+    // so the served stream is byte-identical to the offline run of the
+    // unmodified spec whatever the mode. A bad mode is a 400 at the
+    // door.
+    let offline = offline_lines(CHURN_SPEC);
+    assert_eq!(
+        served_lines(&addr, CHURN_SPEC, "?rounds=sequential"),
+        offline
+    );
+    assert_eq!(
+        served_lines(&addr, CHURN_SPEC, "?rounds=speculative"),
+        offline
+    );
+    let bad = client::request(&addr, "POST", "/jobs?rounds=warp", CHURN_SPEC.as_bytes()).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("round executor"), "{}", bad.text());
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
 fn verify_jobs_answer_with_a_verdict_line() {
     let server = spawn(ServerConfig::default()).unwrap();
     let addr = server.addr().to_string();

@@ -38,10 +38,9 @@ fn main() {
                     (ResponseRule::BestSwap, "swap"),
                 ] {
                     let cfg = DynamicsConfig {
-                        model,
                         order,
                         rule,
-                        max_rounds: 500,
+                        ..DynamicsConfig::exact(model, 500)
                     };
                     let stats = summarize(&sample_equilibria(budgets, cfg, 77, 10));
                     println!(

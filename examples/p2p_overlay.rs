@@ -13,7 +13,7 @@
 //! ```
 
 use bbncg::analysis::connectivity_dichotomy;
-use bbncg::game::dynamics::{run_dynamics, DynamicsConfig, PlayerOrder, ResponseRule};
+use bbncg::game::dynamics::{run_dynamics, DynamicsConfig, PlayerOrder};
 use bbncg::game::{BudgetVector, CostModel, Realization};
 use bbncg::graph::generators;
 use rand::rngs::StdRng;
@@ -42,10 +42,8 @@ fn main() {
     // Peers rewire greedily (single-link swaps — cheap, local), a
     // realistic overlay maintenance protocol.
     let cfg = DynamicsConfig {
-        model: CostModel::Sum,
         order: PlayerOrder::RandomPermutation,
-        rule: ResponseRule::BestSwap,
-        max_rounds: 200,
+        ..DynamicsConfig::swap(CostModel::Sum, 200)
     };
     let report = run_dynamics(start, cfg, &mut rng);
     let eq = &report.state;

@@ -22,6 +22,31 @@
 #                                      across kernels by construction;
 #                                      asserted)
 #
+# Round-executor fields (see `bbncg_core::round` — sequential vs
+# speculative-parallel rounds; executors are step-identical, so the
+# seq/spec step counts are asserted equal and every ratio is
+# workload-fair):
+#   rounds_workload                  — the two workload shapes (n=256
+#                                      and n=1024, unit budgets, exact
+#                                      best response, capped rounds)
+#   rounds_host_cpus                 — std::thread::available_parallelism
+#                                      at snapshot time; speculative
+#                                      speedups are only meaningful
+#                                      (and the >=2x n=1024/t8 bar only
+#                                      enforced) when this is >= 2 —
+#                                      single-core hosts record the
+#                                      honest ~1x numbers instead
+#   rounds_seq_steps_per_sec_n{256,1024}
+#                                    — sequential executor, 1 thread
+#   rounds_spec_steps_per_sec_n{256,1024}_t{1,2,8}
+#                                    — speculative executor at a pinned
+#                                      worker-thread cap (the scaling
+#                                      curve tracked per-PR)
+#   rounds_spec_speedup_n{256,1024}_t8
+#                                    — speculative t8 / sequential t1
+#   rounds_total_steps_n{256,1024}   — applied deviations (identical
+#                                      across executors; asserted)
+#
 # Also emits BENCH_serve.json via the `loadgen` bin: an in-process
 # bbncg-serve instance (4 workers, bounded queue) hammered by 64
 # concurrent TCP clients, each stream verified byte-for-byte against
