@@ -10,9 +10,10 @@
 use bbncg_core::dynamics::{run_dynamics, run_dynamics_with_kernel, DynamicsConfig};
 use bbncg_core::naive::run_dynamics_rebuild;
 use bbncg_core::{
-    audit_equilibrium, BudgetVector, CostKernel, CostModel, Realization, RoundExecutor,
+    audit_equilibrium, best_swap_response_with, BudgetVector, CostKernel, CostModel,
+    DeviationScratch, Realization, RoundExecutor,
 };
-use bbncg_graph::generators;
+use bbncg_graph::{generators, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -31,6 +32,22 @@ const MAX_ROUNDS: usize = 400;
 /// counts cancel out of the ratio.
 const KERNEL_N: usize = 256;
 const KERNEL_RUNS: u64 = 2;
+
+/// The kernel scale series: unit-budget best-swap **partial
+/// activations** at the sizes the sparse kernel targets. Full
+/// trajectories are unaffordable for the queue baseline past n≈10³,
+/// so each kernel prices the same fixed round-robin activation budget
+/// from the same start and the committed move sequences are asserted
+/// identical — the per-activation work is then semantically the same
+/// and the steps/sec ratio is workload-fair. n=1024 overlaps the
+/// bitset band (three-way parity), n=16384 is the sparse kernel's
+/// acceptance size (≥5× the queue), n=100000 is the large-n soak
+/// regime (sparse only; a single queue activation is already seconds
+/// there).
+const SCALE_ACTIVATIONS: usize = 8;
+const SCALE_SMALL_N: usize = 1024;
+const SCALE_MID_N: usize = 16384;
+const SCALE_LARGE_N: usize = 100_000;
 
 /// The round-executor workloads: unit budgets under exact best
 /// response, capped rounds (the affordability trick the kernel
@@ -127,6 +144,55 @@ fn measure_kernels(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, usize) 
         "kernels must trace identical trajectories"
     );
     (queue_sps, bitset_sps, queue_steps)
+}
+
+/// One kernel's leg of the scale series: `k` round-robin best-swap
+/// activations from a fresh `n`-vertex unit-budget start, committing
+/// each strictly improving move (the same decision body as a dynamics
+/// round). Returns `(activations_per_sec, committed move sequence)`;
+/// callers assert the sequences agree across kernels before reporting
+/// any ratio.
+fn measure_kernel_scale(
+    n: usize,
+    k: usize,
+    kernel: CostKernel,
+) -> (f64, Vec<(usize, Option<Vec<NodeId>>)>) {
+    let model = CostModel::Sum;
+    let mut state = initial_n(n, 0);
+    let mut scratch = DeviationScratch::with_kernel(&state, kernel);
+    let mut moves = Vec::with_capacity(k);
+    let t = Instant::now();
+    for i in 0..k {
+        let u = NodeId::new(i % n);
+        if state.graph().out_degree(u) == 0 {
+            moves.push((i % n, None));
+            continue;
+        }
+        let applied = best_swap_response_with(&mut scratch, &state, u, model)
+            .and_then(|c| (c.cost < scratch.cost_of(state.strategy(u))).then_some(c.targets));
+        moves.push((i % n, applied.clone()));
+        if let Some(targets) = applied {
+            state.set_strategy(u, targets);
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (k as f64 / secs, moves)
+}
+
+/// Peak resident set size (`VmHWM`) in MiB from `/proc/self/status` —
+/// dependency-free, covering the whole snapshot process including the
+/// n=100000 sparse leg (its dominant allocation). `0.0` where the
+/// proc file is unavailable (non-Linux hosts).
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<f64>().ok())
+        })
+        .map(|kib| kib / 1024.0)
+        .unwrap_or(0.0)
 }
 
 /// `(steps_per_sec, total_steps)` for the round-executor workload
@@ -260,6 +326,68 @@ fn main() {
     let _ = writeln!(json, "  \"kernel_bitset_speedup_n256\": {speedup256:.2},");
     let _ = writeln!(json, "  \"kernel_total_steps_n256\": {steps256},");
 
+    // Kernel scale series: best-swap partial activations at the sizes
+    // the sparse kernel targets, move-sequence-asserted across kernels
+    // (see the SCALE_* docs).
+    let (scale_q1024, mv_q1024) =
+        measure_kernel_scale(SCALE_SMALL_N, SCALE_ACTIVATIONS, CostKernel::Queue);
+    let (scale_b1024, mv_b1024) =
+        measure_kernel_scale(SCALE_SMALL_N, SCALE_ACTIVATIONS, CostKernel::Bitset);
+    let (scale_s1024, mv_s1024) =
+        measure_kernel_scale(SCALE_SMALL_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
+    assert_eq!(
+        mv_q1024, mv_b1024,
+        "kernels must commit identical moves (n={SCALE_SMALL_N}, bitset)"
+    );
+    assert_eq!(
+        mv_q1024, mv_s1024,
+        "kernels must commit identical moves (n={SCALE_SMALL_N}, sparse)"
+    );
+    let (scale_q16384, mv_q16384) =
+        measure_kernel_scale(SCALE_MID_N, SCALE_ACTIVATIONS, CostKernel::Queue);
+    let (scale_s16384, mv_s16384) =
+        measure_kernel_scale(SCALE_MID_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
+    assert_eq!(
+        mv_q16384, mv_s16384,
+        "kernels must commit identical moves (n={SCALE_MID_N})"
+    );
+    let sparse_speedup_16384 = scale_s16384 / scale_q16384;
+    let (scale_s100k, _) =
+        measure_kernel_scale(SCALE_LARGE_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
+    let _ = writeln!(
+        json,
+        "  \"kernel_scale_workload\": \"unit-budget best-swap partial activations, {SCALE_ACTIVATIONS} activations per kernel, move-sequence-asserted\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_queue_n1024\": {scale_q1024:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_bitset_n1024\": {scale_b1024:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_sparse_n1024\": {scale_s1024:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_queue_n16384\": {scale_q16384:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_sparse_n16384\": {scale_s16384:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_sparse_speedup_n16384\": {sparse_speedup_16384:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_steps_per_sec_sparse_n100000\": {scale_s100k:.1},"
+    );
+    let _ = writeln!(json, "  \"peak_rss_mib\": {:.1},", peak_rss_mib());
+
     // Round-executor comparison: sequential vs speculative rounds on
     // the same exact-dynamics workload, speculative at 1/2/8 worker
     // threads. The thread cap is pinned per measurement and restored
@@ -343,6 +471,11 @@ fn main() {
         speedup256 >= 2.0,
         "acceptance: bitset kernel must be >= 2x the queue kernel at n={KERNEL_N} \
          (got {speedup256:.2}x)"
+    );
+    assert!(
+        sparse_speedup_16384 >= 5.0,
+        "acceptance: sparse kernel must be >= 5x the queue kernel at n={SCALE_MID_N} \
+         (got {sparse_speedup_16384:.2}x)"
     );
     // Speculative rounds buy wall-clock through real hardware
     // parallelism (the trajectory is identical by construction, so

@@ -127,7 +127,7 @@ fn parse_model(args: &Args) -> Result<CostModel, String> {
     }
 }
 
-/// `--kernel queue|bitset|auto` (default auto). Kernels are
+/// `--kernel queue|bitset|sparse|auto` (default auto). Kernels are
 /// move-for-move equivalent, so this never changes a report — only how
 /// fast it is produced.
 fn parse_kernel(args: &Args) -> Result<CostKernel, String> {
@@ -787,19 +787,19 @@ USAGE: bbncg <COMMAND> [ARGS]
 
 COMMANDS:
   construct       --budgets 1,1,2,0 | --spider K | --btree H | --shift K
-  verify          FILE [--model sum|max] [--swap|--audit] [--kernel queue|bitset|auto]
+  verify          FILE [--model sum|max] [--swap|--audit] [--kernel queue|bitset|sparse|auto]
                   [--rounds sequential|speculative|auto]
   best-response   FILE --player I [--model sum|max] [--rule exact|greedy|swap]
   dynamics        [FILE] --budgets LIST [--model sum|max] [--seed S]
                   [--rule exact|better|greedy|swap] [--order rr|random]
                   [--rounds N] [--rounds sequential|speculative|auto]
-                  [--emit profile] [--kernel queue|bitset|auto]
+                  [--emit profile] [--kernel queue|bitset|sparse|auto]
   analyze         FILE
   exact-poa       --budgets LIST [--model sum|max] [--limit N]
   scenario        run SPEC [--seed S] [--out FILE] [--checkpoint FILE] [--stop-after K]
                   | resume SPEC --checkpoint FILE [--out FILE]
                   | validate SPEC...
-                  (all: [--kernel queue|bitset|auto] [--rounds MODE], overriding the spec)
+                  (all: [--kernel queue|bitset|sparse|auto] [--rounds MODE], overriding the spec)
   serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR] [--rounds MODE]
   submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
                   [--kernel K] [--rounds MODE] [--seed S] [--no-stream]

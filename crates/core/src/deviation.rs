@@ -40,7 +40,74 @@
 use crate::cost::{c_inf, cost_from_bfs, CostModel};
 use crate::kernel::CostKernel;
 use crate::realization::Realization;
-use bbncg_graph::{BfsScratch, BitAdjacency, BitBfsScratch, NodeId, OwnedDigraph, PatchableCsr};
+use bbncg_graph::{
+    Adjacency, BfsScratch, BitAdjacency, BitBfsScratch, CompactCsr, NodeId, OwnedDigraph,
+    PatchableCsr, SparseSssp, UNREACHED,
+};
+
+/// The editable undirected mirror backing a deviation engine: the
+/// queue/bitset tiers keep the slack-padded [`PatchableCsr`] (O(1)
+/// in-block edits, bitset mirror alongside), the sparse tier the
+/// zero-padding [`CompactCsr`] (O(n + m) memory at any scale). Both
+/// expose the same strategy-diff edit surface, so every session
+/// operation is written once against this enum.
+#[derive(Debug)]
+enum Backing {
+    /// Slack-padded arena (queue and bitset kernels).
+    Padded(PatchableCsr),
+    /// Slack-free compact arena (sparse kernel).
+    Compact(CompactCsr),
+}
+
+impl Backing {
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        match self {
+            Backing::Padded(p) => p.neighbors(u),
+            Backing::Compact(c) => c.neighbors(u),
+        }
+    }
+
+    fn replace_strategy(&mut self, owner: NodeId, old: &[NodeId], new: &[NodeId]) {
+        match self {
+            Backing::Padded(p) => p.replace_strategy(owner, old, new),
+            Backing::Compact(c) => c.replace_strategy(owner, old, new),
+        }
+    }
+
+    /// Arena re-layouts: full-arena rebuilds for the padded tier,
+    /// compactions for the compact tier (its single-row relocations are
+    /// O(deg) and not re-layouts).
+    fn relayouts(&self) -> u64 {
+        match self {
+            Backing::Padded(p) => p.rebuilds(),
+            Backing::Compact(c) => c.compactions(),
+        }
+    }
+
+    /// Debug-assertion helper: does the backing match a ground-truth CSR?
+    fn same_graph_as(&self, csr: &bbncg_graph::Csr) -> bool {
+        match self {
+            Backing::Padded(p) => p.same_graph_as(csr),
+            Backing::Compact(c) => c.same_graph_as(csr),
+        }
+    }
+}
+
+impl Adjacency for Backing {
+    #[inline]
+    fn n(&self) -> usize {
+        match self {
+            Backing::Padded(p) => PatchableCsr::n(p),
+            Backing::Compact(c) => CompactCsr::n(c),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        Backing::neighbors(self, u)
+    }
+}
 
 /// Reusable engine state for pricing candidate deviations.
 #[derive(Debug)]
@@ -48,8 +115,9 @@ pub struct DeviationScratch {
     /// The profile the patch currently reflects (minus the detached
     /// player's arcs).
     mirror: OwnedDigraph,
-    /// In-place-editable undirected view of `mirror`.
-    patch: PatchableCsr,
+    /// In-place-editable undirected view of `mirror` (padded or
+    /// compact, by resolved kernel).
+    patch: Backing,
     bfs: BfsScratch,
     /// The kernel the caller asked for (`Auto` re-resolves when the
     /// engine is rebuilt for a different instance size).
@@ -58,6 +126,17 @@ pub struct DeviationScratch {
     /// same strategy diffs; `Some` iff the resolved kernel is `Bitset`.
     bits: Option<BitAdjacency>,
     bitbfs: BitBfsScratch,
+    /// Sparse-kernel session state: base distance profile of the active
+    /// player over the detached graph plus per-candidate repair scratch.
+    /// Kept zero-sized unless the resolved kernel is `Sparse`.
+    sssp: SparseSssp,
+    /// Landmark gain tables over the base-distance histogram (sparse
+    /// sessions only): suffix counts, prefix counts and distance-
+    /// weighted prefix sums, giving an O(1) upper bound on how much
+    /// total distance a target at base distance `d` can save.
+    lmk_cnt_ge: Vec<u64>,
+    lmk_p1: Vec<u64>,
+    lmk_p2: Vec<u64>,
     /// Component labels of the graph with the active player's arcs
     /// removed (valid while a session is active).
     comp_label: Vec<u32>,
@@ -86,7 +165,7 @@ pub struct DeviationScratch {
 /// lost the last occurrence of the edge — a brace owned from the other
 /// side keeps the bit alive.
 fn apply_strategy_patch(
-    patch: &mut PatchableCsr,
+    patch: &mut Backing,
     bits: Option<&mut BitAdjacency>,
     owner: NodeId,
     old: &[NodeId],
@@ -117,9 +196,13 @@ impl DeviationScratch {
     /// move-for-move equivalent; the choice only affects throughput.
     pub fn with_kernel(r: &Realization, kernel: CostKernel) -> Self {
         let mirror = r.graph().clone();
-        let patch = PatchableCsr::from_digraph(&mirror);
         let n = mirror.n();
-        let bits = match kernel.resolve(n) {
+        let resolved = kernel.resolve(n);
+        let patch = match resolved {
+            CostKernel::Sparse => Backing::Compact(CompactCsr::from_digraph(&mirror)),
+            _ => Backing::Padded(PatchableCsr::from_digraph(&mirror)),
+        };
+        let bits = match resolved {
             CostKernel::Bitset => Some(BitAdjacency::from_adjacency(&patch)),
             _ => None,
         };
@@ -130,6 +213,11 @@ impl DeviationScratch {
             kernel,
             bits,
             bitbfs: BitBfsScratch::new(n),
+            // Zero-sized unless sparse; `rebase` sizes it on first use.
+            sssp: SparseSssp::new(0),
+            lmk_cnt_ge: Vec::new(),
+            lmk_p1: Vec::new(),
+            lmk_p2: Vec::new(),
             comp_label: vec![u32::MAX; n],
             comp_count: 0,
             comp_sizes: Vec::new(),
@@ -151,10 +239,10 @@ impl DeviationScratch {
     /// The concrete kernel pricing candidates right now.
     #[inline]
     pub fn resolved_kernel(&self) -> CostKernel {
-        if self.bits.is_some() {
-            CostKernel::Bitset
-        } else {
-            CostKernel::Queue
+        match &self.patch {
+            Backing::Compact(_) => CostKernel::Sparse,
+            Backing::Padded(_) if self.bits.is_some() => CostKernel::Bitset,
+            Backing::Padded(_) => CostKernel::Queue,
         }
     }
 
@@ -170,11 +258,12 @@ impl DeviationScratch {
         self.active.map(|(u, _)| u)
     }
 
-    /// Arena re-layouts the underlying patchable CSR has performed
-    /// (0 for ordinary dynamics runs; see [`PatchableCsr::rebuilds`]).
+    /// Arena re-layouts the underlying editable CSR has performed
+    /// (0 for ordinary dynamics runs; [`PatchableCsr::rebuilds`] for
+    /// the padded tiers, [`CompactCsr::compactions`] for sparse).
     #[inline]
     pub fn rebuilds(&self) -> u64 {
-        self.patch.rebuilds()
+        self.patch.relayouts()
     }
 
     /// Re-attach the detached player's arcs, making `patch` mirror
@@ -240,6 +329,64 @@ impl DeviationScratch {
         self.active = Some((u, model));
         self.recompute_components();
         self.recompute_distinct_in(u);
+        if matches!(self.patch, Backing::Compact(_)) {
+            self.rebase_sparse_session(u);
+        }
+    }
+
+    /// Sparse-kernel session prep: one full BFS from `u` over the
+    /// detached graph fixes the base distance profile every candidate
+    /// repair starts from, and its histogram is folded into the
+    /// landmark gain tables that widen the per-candidate lower bound.
+    fn rebase_sparse_session(&mut self, u: NodeId) {
+        let Backing::Compact(c) = &self.patch else {
+            unreachable!("sparse session over padded backing");
+        };
+        self.sssp.rebase(c, u);
+        // gain_ub(bt) = Σ_v max(0, improvement cap of a target at base
+        // distance bt on a vertex at base distance d), split by branch:
+        //   d ≥ bt  → bt − 1          (suffix count × (bt−1))
+        //   d < bt  → 2d − bt − 1     (weighted prefix sums)
+        // Prefix/suffix arrays over the histogram make each lookup O(1).
+        let hist = self.sssp.hist();
+        let dmax = hist.len(); // base_max + 1 entries
+        self.lmk_p1.clear();
+        self.lmk_p2.clear();
+        self.lmk_cnt_ge.clear();
+        self.lmk_cnt_ge.resize(dmax + 1, 0);
+        let (mut c1, mut c2) = (0u64, 0u64);
+        for (d, &h) in hist.iter().enumerate() {
+            c1 += h as u64;
+            c2 += h as u64 * 2 * d as u64;
+            self.lmk_p1.push(c1);
+            self.lmk_p2.push(c2);
+        }
+        for d in (0..dmax).rev() {
+            self.lmk_cnt_ge[d] = self.lmk_cnt_ge[d + 1] + hist[d] as u64;
+        }
+    }
+
+    /// Upper bound on the total base-distance decrease a single target
+    /// at finite base distance `bt` can cause over the source's base
+    /// component (triangle inequality against the source-as-landmark:
+    /// `d₀(t, v) ≥ |base(v) − base(t)|`). O(1) per call.
+    fn landmark_gain_ub(&self, bt: usize) -> u64 {
+        if bt <= 1 {
+            return 0; // distance-1 targets cannot improve anything
+        }
+        let dmax = self.lmk_p1.len(); // base_max + 1
+        let t1 = (bt as u64 - 1) * self.lmk_cnt_ge[bt.min(dmax)];
+        // d < bt branch: positive only for d > (bt+1)/2; terms at the
+        // low edge are zero, so the simpler floor is safe.
+        let lo = bt / 2 + 1;
+        let hi = (bt - 1).min(dmax - 1);
+        let mut t2 = 0;
+        if lo <= hi {
+            let cnt = self.lmk_p1[hi] - self.lmk_p1[lo - 1];
+            let w = self.lmk_p2[hi] - self.lmk_p2[lo - 1];
+            t2 = w - (bt as u64 + 1) * cnt;
+        }
+        t1 + t2
     }
 
     /// Does any player's strategy in `r` differ from the mirror?
@@ -308,9 +455,12 @@ impl DeviationScratch {
     /// hand (so the pruned path computes merge stats exactly once).
     fn cost_with_kappa(&mut self, targets: &[NodeId], kappa: usize) -> u64 {
         let (u, model) = self.active.expect("no deviation session open");
-        let stats = match &self.bits {
-            Some(bits) => self.bitbfs.run_patched(bits, u, u, targets),
-            None => self.bfs.run_patched(&self.patch, u, u, targets),
+        let stats = match (&self.patch, &self.bits) {
+            // Sparse: decrease-only repair of the session's base
+            // profile — cost ∝ improved region, not n.
+            (Backing::Compact(c), _) => self.sssp.price(c, u, targets),
+            (Backing::Padded(_), Some(bits)) => self.bitbfs.run_patched(bits, u, u, targets),
+            (Backing::Padded(p), None) => self.bfs.run_patched(p, u, u, targets),
         };
         cost_from_bfs(
             model,
@@ -372,10 +522,15 @@ impl DeviationScratch {
             return (0, false, kappa);
         }
         let cinf = c_inf(n);
+        let sparse = matches!(self.patch, Backing::Compact(_));
         // |targets ∪ in-neighbours(u)|: targets are tiny, so dedup by
         // scan; in-neighbour membership via binary search in the sorted
-        // distinct-in list `dedup_buf` built at session open.
+        // distinct-in list `dedup_buf` built at session open. Sparse
+        // sessions fold the landmark accumulators into the same pass.
         let mut extra = 0usize;
+        let mut gain: u64 = 0; // Σ landmark gain caps, in-component targets
+        let mut out_targets = 0usize; // distinct targets outside the base component
+        let mut max_bt: u32 = 0; // deepest finite base distance among targets
         for (i, &t) in targets.iter().enumerate() {
             if t == u || targets[..i].contains(&t) {
                 continue;
@@ -383,20 +538,65 @@ impl DeviationScratch {
             if self.dedup_buf.binary_search(&t).is_err() {
                 extra += 1;
             }
+            if sparse {
+                let bd = self.sssp.base_dist(t);
+                if bd == UNREACHED {
+                    out_targets += 1;
+                } else {
+                    gain += self.landmark_gain_ub(bd as usize);
+                    if bd > max_bt {
+                        max_bt = bd;
+                    }
+                }
+            }
         }
         let d1 = (self.distinct_in + extra).min(reachable - 1);
         // d1 is the exact distance-1 count, so when it covers every
-        // reached vertex the bound *is* the cost in both models.
+        // reached vertex the bound *is* the cost in both models (the
+        // landmark widening is skipped there: it can never exceed an
+        // exact bound, only lose the exactness certificate).
         let all_at_one = d1 == reachable - 1;
         match model {
-            CostModel::Sum => (
-                d1 as u64 + 2 * (reachable - 1 - d1) as u64 + (n - reachable) as u64 * cinf,
-                all_at_one,
-                kappa,
-            ),
+            CostModel::Sum => {
+                let mut bound =
+                    d1 as u64 + 2 * (reachable - 1 - d1) as u64 + (n - reachable) as u64 * cinf;
+                if sparse && !all_at_one {
+                    // Landmark widening: distances inside the base
+                    // component shrink by at most the targets' summed
+                    // gain caps (triangle inequality against u), newly
+                    // merged vertices sit at ≥ 2 except the targets
+                    // themselves, unreached components price at C_inf.
+                    let base = self.sssp.base_stats();
+                    let in_r0 = base
+                        .sum_dist
+                        .saturating_sub(gain)
+                        .max(base.visited as u64 - 1);
+                    let m_new = reachable - base.visited;
+                    let new_part = (2 * m_new - out_targets.min(m_new)) as u64;
+                    let widened = in_r0 + new_part + (n - reachable) as u64 * cinf;
+                    bound = bound.max(widened);
+                }
+                (bound, all_at_one, kappa)
+            }
             CostModel::Max => {
                 if reachable == n {
-                    (if d1 == n - 1 { 1 } else { 2 }, all_at_one, kappa)
+                    let mut bound = if d1 == n - 1 { 1 } else { 2 };
+                    if sparse && !all_at_one {
+                        // The base component's deepest vertex stays at
+                        // least one hop beyond the deepest target
+                        // (`ecc ≥ base_max + 1 − max_t base(t)`, by the
+                        // triangle inequality through u); with no
+                        // in-component target the base depths are not
+                        // touched at all.
+                        let base_max = self.sssp.base_max() as u64;
+                        let widened = if max_bt > 0 {
+                            base_max + 1 - max_bt as u64
+                        } else {
+                            base_max
+                        };
+                        bound = bound.max(widened);
+                    }
+                    (bound, all_at_one, kappa)
                 } else {
                     // Disconnected MAX cost is κ'·n² regardless of the
                     // BFS: the local-diameter term saturates at n².
@@ -606,7 +806,7 @@ mod tests {
         // below every candidate's true cost.
         let g = OwnedDigraph::from_arcs(6, &[(0, 1), (1, 2), (3, 4)]);
         let r = Realization::new(g);
-        for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+        for kernel in [CostKernel::Queue, CostKernel::Bitset, CostKernel::Sparse] {
             let mut scratch = DeviationScratch::with_kernel(&r, kernel);
             for model in CostModel::ALL {
                 for u in 0..6 {
@@ -633,10 +833,70 @@ mod tests {
     fn kernel_survives_instance_resize() {
         let r5 = Realization::new(OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2)]));
         let r3 = Realization::new(OwnedDigraph::from_arcs(3, &[(0, 1)]));
-        let mut scratch = DeviationScratch::with_kernel(&r5, CostKernel::Bitset);
-        scratch.begin(&r3, v(0), CostModel::Sum); // size change → rebuild
-        assert_eq!(scratch.kernel(), CostKernel::Bitset);
-        assert_eq!(scratch.resolved_kernel(), CostKernel::Bitset);
-        assert_eq!(scratch.cost_of(&[v(1)]), r3.cost(v(0), CostModel::Sum));
+        for kernel in [CostKernel::Bitset, CostKernel::Sparse] {
+            let mut scratch = DeviationScratch::with_kernel(&r5, kernel);
+            scratch.begin(&r3, v(0), CostModel::Sum); // size change → rebuild
+            assert_eq!(scratch.kernel(), kernel);
+            assert_eq!(scratch.resolved_kernel(), kernel);
+            assert_eq!(scratch.cost_of(&[v(1)]), r3.cost(v(0), CostModel::Sum));
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_prices_identically() {
+        // Forced sparse kernel on a small instance (Auto would pick
+        // queue here): every candidate's cost matches the full
+        // recompute across components, moves and both models, with the
+        // incremental base surviving diff-synced moves.
+        let g = OwnedDigraph::from_arcs(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let mut r = Realization::new(g);
+        let mut scratch = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
+        assert_eq!(scratch.resolved_kernel(), CostKernel::Sparse);
+        for model in CostModel::ALL {
+            for u in 0..6 {
+                let u = v(u);
+                if r.graph().out_degree(u) != 1 {
+                    continue;
+                }
+                scratch.begin(&r, u, model);
+                for t in (0..6).filter(|&t| t != u.index()) {
+                    let want = r.with_strategy(u, vec![v(t)]).cost(u, model);
+                    assert_eq!(scratch.cost_of(&[v(t)]), want, "sparse {u}->{t} {model:?}");
+                    assert_eq!(scratch.cost_of_pruned(&[v(t)], u64::MAX), Some(want));
+                }
+            }
+        }
+        // Apply a move; pricing must keep matching through diff-sync.
+        r.set_strategy(v(0), vec![v(3)]);
+        scratch.begin(&r, v(4), CostModel::Sum);
+        for t in 0..4 {
+            let want = r.with_strategy(v(4), vec![v(t)]).cost(v(4), CostModel::Sum);
+            assert_eq!(scratch.cost_of(&[v(t)]), want);
+        }
+        assert_eq!(scratch.rebuilds(), 0);
+    }
+
+    #[test]
+    fn sparse_degenerate_sessions() {
+        // Single vertex: the lone empty strategy prices to zero.
+        let one = Realization::new(OwnedDigraph::empty(1));
+        let mut scratch = DeviationScratch::with_kernel(&one, CostKernel::Sparse);
+        for model in CostModel::ALL {
+            scratch.begin(&one, v(0), model);
+            assert_eq!(scratch.cost_of(&[]), 0, "{model:?}");
+            assert_eq!(scratch.cost_of_pruned(&[], u64::MAX), Some(0));
+        }
+        // Duplicate and self targets agree with the deduplicated cost.
+        let g = OwnedDigraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = Realization::new(g);
+        let mut queue = DeviationScratch::with_kernel(&r, CostKernel::Queue);
+        let mut sparse = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
+        for model in CostModel::ALL {
+            queue.begin(&r, v(0), model);
+            sparse.begin(&r, v(0), model);
+            let want = queue.cost_of(&[v(3)]);
+            assert_eq!(sparse.cost_of(&[v(3)]), want, "{model:?}");
+            assert_eq!(sparse.cost_of(&[v(3), v(3), v(0)]), want, "messy {model:?}");
+        }
     }
 }

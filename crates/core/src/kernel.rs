@@ -14,10 +14,20 @@
 //!   incrementally through patch sessions: `O(n²/64)` word ops per
 //!   query, branch-light and cache-linear. A large constant-factor win
 //!   for the dense, repeated queries of larger instances.
+//! * [`CostKernel::Sparse`] — incremental repair over a slack-free
+//!   [`CompactCsr`](bbncg_graph::CompactCsr): the session's base BFS is
+//!   computed once per activation and every candidate is priced by a
+//!   decrease-only dynamic-SSSP repair
+//!   ([`SparseSssp`](bbncg_graph::SparseSssp)), touching only the
+//!   vertices the candidate actually improves, with landmark lower
+//!   bounds (the base profile doubles as a free landmark) rejecting
+//!   most candidates without touching the graph at all. No bitset
+//!   mirror, no per-row padding: `O(n + m)` memory, per-candidate time
+//!   ∝ improved region. The tier that takes dynamics to n ≈ 10⁵–10⁶.
 //! * [`CostKernel::Auto`] — pick by instance size
-//!   ([`CostKernel::AUTO_BITSET_MIN_N`]).
+//!   ([`CostKernel::AUTO_BITSET_MIN_N`] / [`CostKernel::AUTO_BITSET_MAX_N`]).
 //!
-//! The kernels are **move-for-move equivalent**: both produce identical
+//! The kernels are **move-for-move equivalent**: all produce identical
 //! [`BfsStats`](bbncg_graph::BfsStats) for every candidate, hence
 //! identical costs, identical tie-breaking, and bit-identical dynamics
 //! trajectories, checkpoints and resumes (enforced by the parity
@@ -33,8 +43,12 @@ pub enum CostKernel {
     /// Word-parallel frontier-bitset BFS over a bit-matrix mirror
     /// (`O(n²/64)` word ops per query).
     Bitset,
-    /// Resolve to [`CostKernel::Bitset`] when
-    /// `n ≥ AUTO_BITSET_MIN_N`, else [`CostKernel::Queue`].
+    /// Decrease-only dynamic-SSSP repair over a slack-free compact CSR
+    /// (per-candidate time ∝ improved region, `O(n + m)` memory).
+    Sparse,
+    /// Resolve by instance size: queue below
+    /// [`CostKernel::AUTO_BITSET_MIN_N`], bitset up to
+    /// [`CostKernel::AUTO_BITSET_MAX_N`], sparse above.
     #[default]
     Auto,
 }
@@ -48,11 +62,11 @@ impl CostKernel {
     /// footprint entirely.
     pub const AUTO_BITSET_MIN_N: usize = 16;
 
-    /// Instance size at which [`CostKernel::Auto`] falls back to the
-    /// queue kernel: the bit mirror costs Θ(n²/8) bytes *per engine*
-    /// (one per parallel worker) and a bitset level scan is Θ(n²/64)
-    /// words, so for huge sparse instances the `O(n + m)` queue wins
-    /// on both memory and time.
+    /// Instance size past which [`CostKernel::Auto`] leaves the bitset
+    /// tier: the bit mirror costs Θ(n²/8) bytes *per engine* (one per
+    /// parallel worker) and a bitset level scan is Θ(n²/64) words, so
+    /// for huge sparse instances the incremental-repair kernel wins on
+    /// both memory and time.
     pub const AUTO_BITSET_MAX_N: usize = 8192;
 
     /// The concrete kernel used for an `n`-vertex instance
@@ -60,21 +74,24 @@ impl CostKernel {
     pub fn resolve(self, n: usize) -> CostKernel {
         match self {
             CostKernel::Auto => {
-                if (Self::AUTO_BITSET_MIN_N..=Self::AUTO_BITSET_MAX_N).contains(&n) {
+                if n < Self::AUTO_BITSET_MIN_N {
+                    CostKernel::Queue
+                } else if n <= Self::AUTO_BITSET_MAX_N {
                     CostKernel::Bitset
                 } else {
-                    CostKernel::Queue
+                    CostKernel::Sparse
                 }
             }
             k => k,
         }
     }
 
-    /// Spec/CLI label (`"queue"`, `"bitset"`, `"auto"`).
+    /// Spec/CLI label (`"queue"`, `"bitset"`, `"sparse"`, `"auto"`).
     pub fn label(self) -> &'static str {
         match self {
             CostKernel::Queue => "queue",
             CostKernel::Bitset => "bitset",
+            CostKernel::Sparse => "sparse",
             CostKernel::Auto => "auto",
         }
     }
@@ -84,8 +101,11 @@ impl CostKernel {
         match s {
             "queue" => Ok(CostKernel::Queue),
             "bitset" => Ok(CostKernel::Bitset),
+            "sparse" => Ok(CostKernel::Sparse),
             "auto" => Ok(CostKernel::Auto),
-            other => Err(format!("unknown kernel {other:?} (queue|bitset|auto)")),
+            other => Err(format!(
+                "unknown kernel {other:?} (queue|bitset|sparse|auto)"
+            )),
         }
     }
 }
@@ -102,7 +122,12 @@ mod tests {
 
     #[test]
     fn labels_roundtrip() {
-        for k in [CostKernel::Queue, CostKernel::Bitset, CostKernel::Auto] {
+        for k in [
+            CostKernel::Queue,
+            CostKernel::Bitset,
+            CostKernel::Sparse,
+            CostKernel::Auto,
+        ] {
             assert_eq!(CostKernel::parse(k.label()), Ok(k));
             assert_eq!(format!("{k}"), k.label());
         }
@@ -117,11 +142,17 @@ mod tests {
             CostKernel::Bitset
         );
         assert_eq!(
-            CostKernel::Auto.resolve(CostKernel::AUTO_BITSET_MAX_N + 1),
-            CostKernel::Queue
+            CostKernel::Auto.resolve(CostKernel::AUTO_BITSET_MAX_N),
+            CostKernel::Bitset
         );
+        assert_eq!(
+            CostKernel::Auto.resolve(CostKernel::AUTO_BITSET_MAX_N + 1),
+            CostKernel::Sparse
+        );
+        assert_eq!(CostKernel::Auto.resolve(1_000_000), CostKernel::Sparse);
         // Explicit choices are size-independent.
         assert_eq!(CostKernel::Queue.resolve(10_000), CostKernel::Queue);
         assert_eq!(CostKernel::Bitset.resolve(2), CostKernel::Bitset);
+        assert_eq!(CostKernel::Sparse.resolve(4), CostKernel::Sparse);
     }
 }

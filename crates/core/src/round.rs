@@ -86,20 +86,47 @@ impl RoundExecutor {
 
     /// The concrete executor used for an `n`-player instance (never
     /// returns [`RoundExecutor::Auto`]). Auto consults
-    /// [`bbncg_par::max_threads`] at call time, so it is resolved once
-    /// per dynamics run, at run start.
+    /// [`bbncg_par::max_threads`], the host's
+    /// [`std::thread::available_parallelism`] and the nesting flag at
+    /// call time, so it is resolved once per dynamics run, at run
+    /// start.
     pub fn resolve(self, n: usize) -> RoundExecutor {
+        let host_cpus = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.resolve_with(
+            n,
+            bbncg_par::max_threads(),
+            host_cpus,
+            bbncg_par::in_parallel_worker(),
+        )
+    }
+
+    /// Pure core of [`RoundExecutor::resolve`]: the verdict as a
+    /// function of instance size, configured thread budget, host CPU
+    /// count and nesting — no ambient state, so every branch is
+    /// testable on any machine.
+    pub fn resolve_with(
+        self,
+        n: usize,
+        threads: usize,
+        host_cpus: usize,
+        nested: bool,
+    ) -> RoundExecutor {
         match self {
             RoundExecutor::Auto => {
                 // Never nest by default: inside an outer fan-out (a
                 // sweep's seed worker, a serve job worker) the thread
                 // budget is already spent across runs, so an intra-
                 // round fan-out would multiply threads, not speed.
-                // An *explicit* `Speculative` still honours the ask.
-                if n >= Self::AUTO_SPECULATIVE_MIN_N
-                    && bbncg_par::max_threads() > 1
-                    && !bbncg_par::in_parallel_worker()
-                {
+                // And a thread *budget* above 1 (`--threads 8`,
+                // `BBNCG_THREADS`) on a single-CPU host buys no
+                // intra-round parallelism either — the workers would
+                // time-slice one core and pay the fork/join and window
+                // bookkeeping for nothing, so Auto also requires real
+                // host parallelism. An *explicit* `Speculative` still
+                // honours the ask in both cases.
+                if n >= Self::AUTO_SPECULATIVE_MIN_N && threads > 1 && host_cpus > 1 && !nested {
                     RoundExecutor::Speculative
                 } else {
                     RoundExecutor::Sequential
@@ -326,10 +353,45 @@ mod tests {
         // budget; both outcomes are legal, but it must never be Auto.
         let resolved = RoundExecutor::Auto.resolve(RoundExecutor::AUTO_SPECULATIVE_MIN_N);
         assert_ne!(resolved, RoundExecutor::Auto);
-        if bbncg_par::max_threads() > 1 {
+        let host_cpus = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if bbncg_par::max_threads() > 1 && host_cpus > 1 {
             assert_eq!(resolved, RoundExecutor::Speculative);
         } else {
             assert_eq!(resolved, RoundExecutor::Sequential);
         }
+    }
+
+    #[test]
+    fn auto_requires_real_host_parallelism() {
+        let n = RoundExecutor::AUTO_SPECULATIVE_MIN_N;
+        let auto = RoundExecutor::Auto;
+        // The happy path: big instance, budget, CPUs, not nested.
+        assert_eq!(
+            auto.resolve_with(n, 8, 8, false),
+            RoundExecutor::Speculative
+        );
+        // A `--threads 8` budget on a single-CPU host must NOT go
+        // speculative: the workers would time-slice one core and the
+        // fan-out is pure overhead.
+        assert_eq!(auto.resolve_with(n, 8, 1, false), RoundExecutor::Sequential);
+        // Nor with a single-thread budget on a many-CPU host, nor
+        // inside an outer parallel worker, nor below the size floor.
+        assert_eq!(auto.resolve_with(n, 1, 8, false), RoundExecutor::Sequential);
+        assert_eq!(auto.resolve_with(n, 8, 8, true), RoundExecutor::Sequential);
+        assert_eq!(
+            auto.resolve_with(n - 1, 8, 8, false),
+            RoundExecutor::Sequential
+        );
+        // Explicit choices ignore the environment entirely.
+        assert_eq!(
+            RoundExecutor::Speculative.resolve_with(2, 1, 1, true),
+            RoundExecutor::Speculative
+        );
+        assert_eq!(
+            RoundExecutor::Sequential.resolve_with(n, 8, 8, false),
+            RoundExecutor::Sequential
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! The tentpole invariant of the pluggable-kernel refactor, enforced
 //! the same way PR 1 enforced patch ≡ rebuild:
 //!
-//! * **Cost parity** — queue and bitset kernels return identical costs
-//!   for every candidate on random realizations, connected and
-//!   disconnected alike.
+//! * **Cost parity** — queue, bitset and sparse kernels return
+//!   identical costs for every candidate on random realizations,
+//!   connected and disconnected alike.
 //! * **Trajectory parity** — whole dynamics runs are *step-identical*
 //!   across kernels (same final profile, steps, rounds, verdicts) and
 //!   against the rebuild-per-candidate reference
@@ -71,14 +71,15 @@ fn brute_force_best(r: &Realization, u: NodeId, model: CostModel) -> (Vec<NodeId
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Queue and bitset kernels price every candidate identically on
-    /// random (often disconnected) realizations, through all four
-    /// engine-backed rules.
+    /// Queue, bitset and sparse kernels price every candidate
+    /// identically on random (often disconnected) realizations,
+    /// through all four engine-backed rules.
     #[test]
     fn kernels_agree_on_all_candidates(n in 3usize..12, seed in 0u64..400) {
         let r = random_instance(n, seed);
         let mut queue = DeviationScratch::with_kernel(&r, CostKernel::Queue);
         let mut bitset = DeviationScratch::with_kernel(&r, CostKernel::Bitset);
+        let mut sparse = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
         for model in CostModel::ALL {
             for u in (0..n).map(NodeId::new) {
                 if r.graph().out_degree(u) == 0 {
@@ -86,16 +87,24 @@ proptest! {
                 }
                 let q = exact_best_response_with(&mut queue, &r, u, model);
                 let b = exact_best_response_with(&mut bitset, &r, u, model);
+                let s = exact_best_response_with(&mut sparse, &r, u, model);
                 prop_assert_eq!(&q, &b);
+                prop_assert_eq!(&q, &s);
                 let q = greedy_best_response_with(&mut queue, &r, u, model);
                 let b = greedy_best_response_with(&mut bitset, &r, u, model);
+                let s = greedy_best_response_with(&mut sparse, &r, u, model);
                 prop_assert_eq!(&q, &b);
+                prop_assert_eq!(&q, &s);
                 let q = first_improving_response_with(&mut queue, &r, u, model);
                 let b = first_improving_response_with(&mut bitset, &r, u, model);
+                let s = first_improving_response_with(&mut sparse, &r, u, model);
                 prop_assert_eq!(&q, &b);
+                prop_assert_eq!(&q, &s);
                 let q = bbncg_core::best_swap_response_with(&mut queue, &r, u, model);
                 let b = bbncg_core::best_swap_response_with(&mut bitset, &r, u, model);
+                let s = bbncg_core::best_swap_response_with(&mut sparse, &r, u, model);
                 prop_assert_eq!(&q, &b);
+                prop_assert_eq!(&q, &s);
             }
         }
     }
@@ -107,7 +116,7 @@ proptest! {
     #[test]
     fn pruning_never_skips_the_optimum(n in 3usize..8, seed in 0u64..600) {
         let r = random_instance(n, seed);
-        for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+        for kernel in [CostKernel::Queue, CostKernel::Bitset, CostKernel::Sparse] {
             let mut scratch = DeviationScratch::with_kernel(&r, kernel);
             for model in CostModel::ALL {
                 for u in (0..n).map(NodeId::new) {
@@ -125,27 +134,32 @@ proptest! {
 
     /// The candidate lower bound itself is sound: never above the true
     /// cost of the candidate it bounds.
+    /// Soundness must hold for every kernel: the sparse kernel widens
+    /// the bound with landmark terms from its base distance profile, so
+    /// it is checked against the same exhaustive candidate sweep.
     #[test]
     fn candidate_bound_is_sound(n in 3usize..9, seed in 0u64..400) {
         let r = random_instance(n, seed);
-        let mut scratch = DeviationScratch::with_kernel(&r, CostKernel::Queue);
-        for model in CostModel::ALL {
-            for u in (0..n).map(NodeId::new) {
-                let b = r.graph().out_degree(u).clamp(1, 2);
-                scratch.begin(&r, u, model);
-                let pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
-                let mut od = CombinationOdometer::new(pool.len(), b);
-                loop {
-                    let targets: Vec<NodeId> =
-                        od.indices().iter().map(|&i| pool[i]).collect();
-                    let lb = scratch.candidate_lower_bound(&targets);
-                    let cost = scratch.cost_of(&targets);
-                    prop_assert!(
-                        lb <= cost,
-                        "bound {} > cost {} for {:?} ({} {:?})", lb, cost, targets, u, model
-                    );
-                    if !od.advance() {
-                        break;
+        for kernel in [CostKernel::Queue, CostKernel::Sparse] {
+            let mut scratch = DeviationScratch::with_kernel(&r, kernel);
+            for model in CostModel::ALL {
+                for u in (0..n).map(NodeId::new) {
+                    let b = r.graph().out_degree(u).clamp(1, 2);
+                    scratch.begin(&r, u, model);
+                    let pool: Vec<NodeId> = (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+                    let mut od = CombinationOdometer::new(pool.len(), b);
+                    loop {
+                        let targets: Vec<NodeId> =
+                            od.indices().iter().map(|&i| pool[i]).collect();
+                        let lb = scratch.candidate_lower_bound(&targets);
+                        let cost = scratch.cost_of(&targets);
+                        prop_assert!(
+                            lb <= cost,
+                            "bound {} > cost {} for {:?} ({} {:?})", lb, cost, targets, u, model
+                        );
+                        if !od.advance() {
+                            break;
+                        }
                     }
                 }
             }
@@ -176,6 +190,12 @@ fn dynamics_traces_are_step_identical_across_kernels() {
                 &mut StdRng::seed_from_u64(0),
                 CostKernel::Bitset,
             );
+            let sparse = run_dynamics_with_kernel(
+                initial.clone(),
+                cfg,
+                &mut StdRng::seed_from_u64(0),
+                CostKernel::Sparse,
+            );
             assert_eq!(
                 queue.state, bitset.state,
                 "final profiles diverge (seed {seed}, {model:?})"
@@ -183,11 +203,21 @@ fn dynamics_traces_are_step_identical_across_kernels() {
             assert_eq!(queue.steps, bitset.steps);
             assert_eq!(queue.rounds, bitset.rounds);
             assert_eq!(queue.converged, bitset.converged);
+            assert_eq!(
+                queue.state, sparse.state,
+                "sparse diverges (seed {seed}, {model:?})"
+            );
+            assert_eq!(queue.steps, sparse.steps);
+            assert_eq!(queue.rounds, sparse.rounds);
+            assert_eq!(queue.converged, sparse.converged);
             let (naive_state, naive_steps, naive_converged) =
                 run_dynamics_rebuild(initial.clone(), model, 100);
             assert_eq!(bitset.state, naive_state, "bitset diverges from naive");
             assert_eq!(bitset.steps, naive_steps);
             assert_eq!(bitset.converged, naive_converged);
+            assert_eq!(sparse.state, naive_state, "sparse diverges from naive");
+            assert_eq!(sparse.steps, naive_steps);
+            assert_eq!(sparse.converged, naive_converged);
         }
     }
 }
@@ -199,11 +229,13 @@ fn audits_agree_across_kernels() {
         let r = random_instance(9, seed);
         for model in CostModel::ALL {
             let q = audit_equilibrium_with_kernel(&r, model, CostKernel::Queue);
-            let b = audit_equilibrium_with_kernel(&r, model, CostKernel::Bitset);
-            assert_eq!(q.current, b.current);
-            assert_eq!(q.best, b.best);
-            assert_eq!(q.is_nash(), b.is_nash());
-            assert_eq!(q.gap(), b.gap());
+            for kernel in [CostKernel::Bitset, CostKernel::Sparse] {
+                let b = audit_equilibrium_with_kernel(&r, model, kernel);
+                assert_eq!(q.current, b.current, "{kernel:?}");
+                assert_eq!(q.best, b.best, "{kernel:?}");
+                assert_eq!(q.is_nash(), b.is_nash());
+                assert_eq!(q.gap(), b.gap());
+            }
         }
     }
 }
@@ -226,7 +258,7 @@ fn degenerate_inputs_match_across_kernels() {
     // Single-vertex graph: the lone strategy is empty; both kernels
     // price it as cost 0 in both models.
     let one = Realization::new(OwnedDigraph::empty(1));
-    for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+    for kernel in [CostKernel::Queue, CostKernel::Bitset, CostKernel::Sparse] {
         let mut scratch = DeviationScratch::with_kernel(&one, kernel);
         for model in CostModel::ALL {
             scratch.begin(&one, v(0), model);
@@ -242,14 +274,18 @@ fn degenerate_inputs_match_across_kernels() {
     for model in CostModel::ALL {
         let mut queue = DeviationScratch::with_kernel(&r, CostKernel::Queue);
         let mut bitset = DeviationScratch::with_kernel(&r, CostKernel::Bitset);
+        let mut sparse = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
         queue.begin(&r, v(0), model);
         bitset.begin(&r, v(0), model);
+        sparse.begin(&r, v(0), model);
         let clean = [v(3)];
         let messy = [v(3), v(3), v(0)];
         let want = queue.cost_of(&clean);
         assert_eq!(queue.cost_of(&messy), want, "queue {model:?}");
         assert_eq!(bitset.cost_of(&clean), want, "bitset {model:?}");
         assert_eq!(bitset.cost_of(&messy), want, "bitset messy {model:?}");
+        assert_eq!(sparse.cost_of(&clean), want, "sparse {model:?}");
+        assert_eq!(sparse.cost_of(&messy), want, "sparse messy {model:?}");
     }
 
     // Patched BFS over an explicit graph: duplicate/self targets give

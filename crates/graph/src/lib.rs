@@ -14,6 +14,10 @@
 //!   same loop: n × ⌈n/64⌉ bit rows and a frontier-bitset BFS that
 //!   produces identical [`BfsStats`] in `O(n²/64)` word ops per query
 //!   (the deviation engine's `bitset` cost kernel);
+//! * [`CompactCsr`] / [`SparseSssp`] — the sparse tier: a slack-free
+//!   editable CSR plus decrease-only dynamic-SSSP repair that prices a
+//!   candidate in time proportional to its *improved region* (the
+//!   deviation engine's `sparse` cost kernel for n ≫ 10⁴);
 //! * [`distance`] — eccentricities, diameter, distance sums and the
 //!   all-pairs matrix, with parallel variants;
 //! * [`mod@components`], [`cycles`], [`connectivity`] — the structural
@@ -30,6 +34,7 @@ pub mod adjacency;
 pub mod bfs;
 pub mod bitadj;
 pub mod bitbfs;
+pub mod compact;
 pub mod components;
 pub mod connectivity;
 pub mod csr;
@@ -41,11 +46,13 @@ pub mod generators;
 pub mod metrics;
 pub mod node;
 pub mod patch;
+pub mod sssp;
 
 pub use adjacency::Adjacency;
 pub use bfs::{BfsScratch, BfsStats, UNREACHED};
 pub use bitadj::BitAdjacency;
 pub use bitbfs::BitBfsScratch;
+pub use compact::CompactCsr;
 pub use components::{component_count, components, components_into, is_connected, Components};
 pub use connectivity::{
     articulation_points, is_k_connected, local_vertex_connectivity, menger_paths,
@@ -61,3 +68,4 @@ pub use distance::{
 pub use metrics::GraphMetrics;
 pub use node::{node_ids, NodeId};
 pub use patch::PatchableCsr;
+pub use sssp::SparseSssp;

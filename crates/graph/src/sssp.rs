@@ -1,0 +1,373 @@
+//! Incremental single-source distance maintenance for candidate
+//! pricing.
+//!
+//! The queue and bitset kernels price every candidate strategy with a
+//! *full* patched BFS — O(n + m) or O(n²/64) per candidate even when
+//! the candidate changes almost nothing. The sparse kernel exploits the
+//! structure of a best-response session instead: the session graph `G₀`
+//! (the deviator `u` detached) is fixed, and every candidate `T` only
+//! *adds* the star `{u, t}` for `t ∈ T`. Distances from `u` can
+//! therefore only **decrease**, and by exactly the identity
+//!
+//! ```text
+//! dist_T(u, v) = min(base(v), 1 + min_{t ∈ T} d_{G₀}(t, v))
+//! ```
+//!
+//! where `base = d_{G₀ + star}(u, ·)` with the empty star — any `u→v`
+//! path either avoids the new edges (≥ `base(v)`) or starts with one
+//! hop `u→t` followed by a `G₀` path. [`SparseSssp`] stores `base` once
+//! per session ([`SparseSssp::rebase`]) and prices each candidate by a
+//! **decrease-only multi-source repair**: seed the targets at tentative
+//! distance 1, propagate improvements only (a relaxation out of a
+//! non-improved vertex can never beat `base`, because adjacent base
+//! distances differ by at most 1), and roll the touched entries back
+//! from a journal. Cost per candidate is proportional to the *improved
+//! region*, not to `n` — the asymptotic win the `sparse` kernel is
+//! built on.
+//!
+//! A distance histogram is maintained alongside so the eccentricity
+//! (`max_dist`) is exact after repair, and so the deviation engine can
+//! derive landmark-style lower bounds from the base profile without
+//! touching the graph.
+
+use crate::adjacency::Adjacency;
+use crate::bfs::{BfsStats, UNREACHED};
+use crate::node::NodeId;
+
+/// Reusable scratch for one session's base BFS plus per-candidate
+/// decrease-only repairs.
+#[derive(Clone, Debug)]
+pub struct SparseSssp {
+    /// Current distance from the session source (`UNREACHED` encoding);
+    /// equals the base profile except transiently inside
+    /// [`Self::price`].
+    dist: Vec<u32>,
+    /// `hist[d]` = number of vertices at finite distance `d`.
+    hist: Vec<u32>,
+    /// Base BFS order — exactly the vertices with finite `dist`, kept
+    /// so the next [`Self::rebase`] can clear in O(reached).
+    reached: Vec<NodeId>,
+    /// FIFO repair queue (reused per [`Self::price`]).
+    frontier: Vec<NodeId>,
+    /// `(vertex, pre-repair distance)` undo log for one repair.
+    journal: Vec<(NodeId, u32)>,
+    /// Base aggregates from the last [`Self::rebase`].
+    base_visited: usize,
+    base_sum: u64,
+    base_max: u32,
+    /// Session source, used to guard accidental cross-source pricing.
+    source: Option<NodeId>,
+}
+
+impl SparseSssp {
+    /// Scratch for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SparseSssp {
+            dist: vec![UNREACHED; n],
+            // Distances are < n, plus one slot so `hist[0]` exists even
+            // for n = 0 sessions that never rebase.
+            hist: vec![0; n + 1],
+            reached: Vec::new(),
+            frontier: Vec::new(),
+            journal: Vec::new(),
+            base_visited: 0,
+            base_sum: 0,
+            base_max: 0,
+            source: None,
+        }
+    }
+
+    /// Resize for a graph with `n` vertices, invalidating any base.
+    pub fn resize(&mut self, n: usize) {
+        if self.dist.len() != n {
+            *self = SparseSssp::new(n);
+        }
+    }
+
+    /// Full BFS from `src` over `adj`, recording the base distance
+    /// profile, its histogram and its aggregates. Returns the base
+    /// stats (identical to [`crate::BfsScratch::run`] on `adj`).
+    pub fn rebase<A: Adjacency + ?Sized>(&mut self, adj: &A, src: NodeId) -> BfsStats {
+        self.resize(adj.n());
+        // Clear only what the previous base touched: reached vertices
+        // and histogram buckets 0..=max (repairs always roll back, so
+        // nothing outside the base profile is ever dirty here).
+        for &w in &self.reached {
+            self.dist[w.index()] = UNREACHED;
+        }
+        for b in &mut self.hist[..=self.base_max as usize] {
+            *b = 0;
+        }
+        self.reached.clear();
+        self.journal.clear();
+
+        self.dist[src.index()] = 0;
+        self.reached.push(src);
+        let mut head = 0;
+        let mut max_dist = 0;
+        let mut sum_dist: u64 = 0;
+        while head < self.reached.len() {
+            let u = self.reached[head];
+            head += 1;
+            let du = self.dist[u.index()];
+            max_dist = du;
+            sum_dist += du as u64;
+            self.hist[du as usize] += 1;
+            for &w in adj.neighbors(u) {
+                if self.dist[w.index()] == UNREACHED {
+                    self.dist[w.index()] = du + 1;
+                    self.reached.push(w);
+                }
+            }
+        }
+        self.base_visited = self.reached.len();
+        self.base_sum = sum_dist;
+        self.base_max = max_dist;
+        self.source = Some(src);
+        self.base_stats()
+    }
+
+    /// Stats of the base profile (the empty candidate).
+    #[inline]
+    pub fn base_stats(&self) -> BfsStats {
+        BfsStats {
+            visited: self.base_visited,
+            max_dist: self.base_max,
+            sum_dist: self.base_sum,
+        }
+    }
+
+    /// Base distance of `v`, with unreached encoded as
+    /// [`UNREACHED`]. Only meaningful after a [`Self::rebase`].
+    #[inline]
+    pub fn base_dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+
+    /// Largest finite base distance (the source's eccentricity within
+    /// its component).
+    #[inline]
+    pub fn base_max(&self) -> u32 {
+        self.base_max
+    }
+
+    /// Histogram of the base profile: `hist()[d]` vertices sit at
+    /// finite distance `d`, for `d ∈ 0..=base_max()`.
+    #[inline]
+    pub fn hist(&self) -> &[u32] {
+        &self.hist[..=self.base_max as usize]
+    }
+
+    /// Price the candidate star `{src, t} for t ∈ targets` on top of
+    /// the base: decrease-only repair, stats out, state rolled back.
+    /// Duplicate targets and `src` itself are ignored, exactly like
+    /// [`crate::BfsScratch::run_patched`] with `patch_owner = src`.
+    ///
+    /// Returns stats identical to a full patched BFS, in time
+    /// proportional to the improved region.
+    ///
+    /// # Panics
+    /// Debug-panics if no base for `src` is current.
+    pub fn price<A: Adjacency + ?Sized>(
+        &mut self,
+        adj: &A,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> BfsStats {
+        debug_assert_eq!(self.source, Some(src), "price() without matching rebase()");
+        debug_assert_eq!(self.dist.len(), adj.n());
+        self.frontier.clear();
+        self.journal.clear();
+        let mut visited = self.base_visited;
+        let mut sum = self.base_sum;
+        let mut max_assigned = self.base_max;
+
+        // Seed: every target drops to distance 1 unless already there
+        // (or it is the source, which stays at 0).
+        for &t in targets {
+            let d = self.dist[t.index()];
+            if t == src || d <= 1 {
+                continue;
+            }
+            self.journal.push((t, d));
+            if d == UNREACHED {
+                visited += 1;
+                sum += 1;
+            } else {
+                self.hist[d as usize] -= 1;
+                sum -= (d - 1) as u64;
+            }
+            self.hist[1] += 1;
+            if max_assigned < 1 {
+                max_assigned = 1;
+            }
+            self.dist[t.index()] = 1;
+            self.frontier.push(t);
+        }
+
+        // Decrease-only propagation. Seeds share level 1, so pops are
+        // monotone and each vertex is improved (and journaled) at most
+        // once. Improvements through a *non*-improved vertex are
+        // impossible: `base` is a BFS profile, so adjacent base
+        // distances differ by ≤ 1.
+        let mut head = 0;
+        while head < self.frontier.len() {
+            let u = self.frontier[head];
+            head += 1;
+            let nd = self.dist[u.index()] + 1;
+            for &w in adj.neighbors(u) {
+                let old = self.dist[w.index()];
+                if nd < old {
+                    self.journal.push((w, old));
+                    if old == UNREACHED {
+                        visited += 1;
+                        sum += nd as u64;
+                    } else {
+                        self.hist[old as usize] -= 1;
+                        sum -= (old - nd) as u64;
+                    }
+                    self.hist[nd as usize] += 1;
+                    if nd > max_assigned {
+                        max_assigned = nd;
+                    }
+                    self.dist[w.index()] = nd;
+                    self.frontier.push(w);
+                }
+            }
+        }
+
+        // Exact eccentricity: scan down from the largest bucket that
+        // can be occupied. Terminates at 0 (the source's bucket).
+        let mut max_dist = max_assigned;
+        while max_dist > 0 && self.hist[max_dist as usize] == 0 {
+            max_dist -= 1;
+        }
+        let stats = BfsStats {
+            visited,
+            max_dist,
+            sum_dist: sum,
+        };
+
+        // Roll back to the base profile (journal entries are unique
+        // per vertex, order irrelevant).
+        for &(w, old) in self.journal.iter().rev() {
+            let cur = self.dist[w.index()];
+            self.hist[cur as usize] -= 1;
+            if old != UNREACHED {
+                self.hist[old as usize] += 1;
+            }
+            self.dist[w.index()] = old;
+        }
+        self.journal.clear();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsScratch;
+    use crate::csr::Csr;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_csr(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn rebase_matches_plain_bfs() {
+        let csr = path_csr(6);
+        let mut sssp = SparseSssp::new(6);
+        let mut bfs = BfsScratch::new(6);
+        for s in 0..6 {
+            assert_eq!(sssp.rebase(&csr, v(s)), bfs.run(&csr, v(s)));
+            assert_eq!(sssp.hist().iter().sum::<u32>() as usize, 6);
+        }
+    }
+
+    #[test]
+    fn price_matches_patched_bfs_on_paths() {
+        let csr = path_csr(8);
+        let mut sssp = SparseSssp::new(8);
+        let mut bfs = BfsScratch::new(8);
+        sssp.rebase(&csr, v(0));
+        for targets in [
+            &[v(7)][..],
+            &[v(4), v(7)][..],
+            &[v(1)][..],
+            &[v(0)][..],
+            &[v(7), v(7), v(0)][..],
+            &[][..],
+        ] {
+            assert_eq!(
+                sssp.price(&csr, v(0), targets),
+                bfs.run_patched(&csr, v(0), v(0), targets),
+                "targets {targets:?}"
+            );
+        }
+        // Base must survive every rollback.
+        assert_eq!(sssp.base_stats(), bfs.run(&csr, v(0)));
+        assert_eq!(sssp.base_dist(v(7)), 7);
+    }
+
+    #[test]
+    fn price_reaches_new_components() {
+        let csr = Csr::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 5)]);
+        let mut sssp = SparseSssp::new(6);
+        let mut bfs = BfsScratch::new(6);
+        sssp.rebase(&csr, v(0));
+        assert_eq!(sssp.base_dist(v(2)), UNREACHED);
+        let got = sssp.price(&csr, v(0), &[v(2)]);
+        let want = bfs.run_patched(&csr, v(0), v(0), &[v(2)]);
+        assert_eq!(got, want);
+        assert_eq!(got.visited, 6);
+        assert_eq!(got.max_dist, 4); // 0→2 patch, then 2-3-4-5
+                                     // Rollback left the unreached component unreached.
+        assert_eq!(sssp.base_dist(v(5)), UNREACHED);
+        assert_eq!(sssp.base_stats().visited, 2);
+    }
+
+    #[test]
+    fn repeated_pricing_is_stateless() {
+        let csr = path_csr(10);
+        let mut sssp = SparseSssp::new(10);
+        sssp.rebase(&csr, v(0));
+        let first = sssp.price(&csr, v(0), &[v(9)]);
+        for _ in 0..5 {
+            assert_eq!(sssp.price(&csr, v(0), &[v(9)]), first);
+        }
+    }
+
+    #[test]
+    fn rebase_clears_previous_session() {
+        let a = path_csr(5);
+        let b = Csr::from_edges(5, &[(0, 1), (1, 2)]);
+        let mut sssp = SparseSssp::new(5);
+        let mut bfs = BfsScratch::new(5);
+        sssp.rebase(&a, v(0));
+        sssp.price(&a, v(0), &[v(4)]);
+        // Switch graphs and sources: no state may leak.
+        assert_eq!(sssp.rebase(&b, v(2)), bfs.run(&b, v(2)));
+        assert_eq!(
+            sssp.price(&b, v(2), &[v(4)]),
+            bfs.run_patched(&b, v(2), v(2), &[v(4)])
+        );
+    }
+
+    #[test]
+    fn zero_and_single_vertex_scratches() {
+        let _ = SparseSssp::new(0);
+        let mut sssp = SparseSssp::new(0);
+        sssp.resize(1);
+        let csr = Csr::from_edges(1, &[]);
+        let stats = sssp.rebase(&csr, v(0));
+        assert_eq!(stats.visited, 1);
+        assert_eq!(stats.max_dist, 0);
+        assert_eq!(sssp.price(&csr, v(0), &[]), stats);
+        assert_eq!(sssp.price(&csr, v(0), &[v(0)]), stats);
+    }
+}

@@ -3,8 +3,8 @@
 use bbncg_graph::{
     components, diameter, distance_to_set, eccentricities, generators, is_connected,
     local_vertex_connectivity, menger_paths, two_core_mask, unique_cycle, vertex_connectivity,
-    BfsScratch, BitAdjacency, BitBfsScratch, Csr, Diameter, DistanceMatrix, GraphMetrics, NodeId,
-    PatchableCsr,
+    BfsScratch, BitAdjacency, BitBfsScratch, CompactCsr, Csr, Diameter, DistanceMatrix,
+    GraphMetrics, NodeId, PatchableCsr, SparseSssp,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -268,6 +268,77 @@ proptest! {
             }
             g.set_out(u, new);
             prop_assert!(bits.mirrors(&patch));
+        }
+    }
+
+    /// The slack-free compact CSR is exact across random strategy
+    /// deviations: same multigraph as a full rebuild, same BFS view,
+    /// same components — the `PatchableCsr` equivalence suite replayed
+    /// against the sparse tier's storage.
+    #[test]
+    fn compact_csr_tracks_rebuilds_across_deviations(n in 4usize..24, moves in 1usize..30, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 3).collect();
+        let mut g = generators::random_realization(&budgets, &mut rng);
+        let mut compact = CompactCsr::from_digraph(&g);
+        let mut bfs_compact = BfsScratch::new(n);
+        let mut bfs_csr = BfsScratch::new(n);
+        for mv in 0..moves {
+            let u = NodeId::new(rng.gen_range(0..n));
+            let b = g.out_degree(u);
+            if b == 0 {
+                continue;
+            }
+            let mut pool: Vec<NodeId> =
+                (0..n).map(NodeId::new).filter(|&t| t != u).collect();
+            for i in 0..b {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let mut targets = pool[..b].to_vec();
+            targets.sort_unstable();
+            let old = g.out(u).to_vec();
+            compact.replace_strategy(u, &old, &targets);
+            g.set_out(u, targets);
+            let rebuilt = Csr::from_digraph(&g);
+            prop_assert!(compact.same_graph_as(&rebuilt));
+            let src = NodeId::new(mv % n);
+            let sp = bfs_compact.run(&compact, src);
+            let sc = bfs_csr.run(&rebuilt, src);
+            prop_assert_eq!(sp, sc);
+            let cp = components(&compact);
+            let cc = components(&rebuilt);
+            prop_assert_eq!(cp.count, cc.count);
+        }
+    }
+
+    /// Incremental repair parity: on random (often disconnected)
+    /// session graphs, `SparseSssp::price` returns exactly the stats of
+    /// a full patched BFS for every candidate shape the engine can
+    /// produce — including duplicate/self targets and cross-component
+    /// links — and the base profile survives every rollback.
+    #[test]
+    fn sssp_repair_matches_patched_bfs(n in 3usize..60, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 3).collect();
+        let g = generators::random_realization(&budgets, &mut rng);
+        let patch = PatchableCsr::from_digraph(&g);
+        let mut bfs = BfsScratch::new(n);
+        let mut sssp = SparseSssp::new(n);
+        for src in (0..n).map(NodeId::new) {
+            prop_assert_eq!(sssp.rebase(&patch, src), bfs.run(&patch, src));
+            for _ in 0..4 {
+                let b = 1 + rng.gen_range(0..3.min(n));
+                // Unfiltered draws: duplicates and src itself allowed.
+                let targets: Vec<NodeId> =
+                    (0..b).map(|_| NodeId::new(rng.gen_range(0..n))).collect();
+                prop_assert_eq!(
+                    sssp.price(&patch, src, &targets),
+                    bfs.run_patched(&patch, src, src, &targets)
+                );
+            }
+            // Base unchanged after repeated price/rollback cycles.
+            prop_assert_eq!(sssp.base_stats(), bfs.run(&patch, src));
         }
     }
 

@@ -126,7 +126,8 @@ pub struct ScenarioSpec {
     /// Default dynamics parameters for `kind = "dynamics"` phases.
     pub defaults: DynamicsConfig,
     /// Cost kernel pricing every candidate deviation
-    /// (`[dynamics] kernel = "queue"|"bitset"|"auto"`, default auto).
+    /// (`[dynamics] kernel = "queue"|"bitset"|"sparse"|"auto"`,
+    /// default auto).
     /// Kernels are move-for-move equivalent, so this is purely a
     /// throughput knob: trajectories, records, checkpoints and resumes
     /// are kernel-independent.
@@ -644,6 +645,7 @@ rounds = 50
         for (label, want) in [
             ("queue", CostKernel::Queue),
             ("bitset", CostKernel::Bitset),
+            ("sparse", CostKernel::Sparse),
             ("auto", CostKernel::Auto),
         ] {
             let text = format!(

@@ -22,6 +22,28 @@
 #                                      across kernels by construction;
 #                                      asserted)
 #
+# Kernel scale fields (the sparse-kernel series — unit-budget
+# best-swap *partial activations*: each kernel prices the same fixed
+# round-robin activation budget from the same start, and the committed
+# move sequences are asserted identical, so the ratios are
+# workload-fair even where full trajectories are unaffordable):
+#   kernel_scale_workload            — the workload description
+#   kernel_steps_per_sec_{queue,bitset,sparse}_n1024
+#                                    — three-way comparison inside the
+#                                      bitset Auto band
+#   kernel_steps_per_sec_{queue,sparse}_n16384
+#                                    — the sparse acceptance size; the
+#                                      binary asserts sparse >= 5x queue
+#   kernel_sparse_speedup_n16384     — sparse/queue ratio at n=16384
+#   kernel_steps_per_sec_sparse_n100000
+#                                    — the large-n soak regime (sparse
+#                                      only; one queue activation is
+#                                      already seconds there)
+#   peak_rss_mib                     — VmHWM of the snapshot process
+#                                      (dominated by the n=100000
+#                                      sparse leg; the soak must fit in
+#                                      O(n + m) memory, no bit mirror)
+#
 # Round-executor fields (see `bbncg_core::round` — sequential vs
 # speculative-parallel rounds; executors are step-identical, so the
 # seq/spec step counts are asserted equal and every ratio is
