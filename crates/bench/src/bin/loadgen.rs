@@ -141,7 +141,8 @@ fn main() {
     assert_eq!(corrupted, 0, "corrupted streams detected");
 
     let json = format!(
-        "{{\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+        "{{\n  \"schema_version\": 2,\n  \
+         \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
          \"server_workers\": {SERVER_WORKERS},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
          \"requests_total\": {total},\n  \"requests_per_sec\": {:.1},\n  \
          \"latency_p50_ms\": {:.2},\n  \"latency_p99_ms\": {:.2},\n  \
@@ -151,7 +152,11 @@ fn main() {
         percentile(&all, 0.99),
         retries_429.load(Ordering::Relaxed),
     );
-    std::fs::write(&out_path, &json).expect("write snapshot");
+    // Atomic publish (temp + rename): a concurrent reader never sees
+    // a torn snapshot.
+    let tmp_path = format!("{out_path}.tmp");
+    std::fs::write(&tmp_path, &json).expect("write snapshot temp file");
+    std::fs::rename(&tmp_path, &out_path).expect("publish snapshot");
     print!("{json}");
     eprintln!("wrote {out_path}");
 }

@@ -634,6 +634,7 @@ fn scenario_convergence_stats(
             rule: None,
             order: None,
         }],
+        obs: false,
         spec_hash: 0,
     };
     let samples: Vec<Sample> = run_sweep(&spec, &mut NullSink)

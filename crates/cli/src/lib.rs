@@ -40,16 +40,18 @@ pub struct Args {
     switches: Vec<String>,
 }
 
-/// Switch-style flags (no value).
+/// Switch-style flags (no value). `--trace` is *not* here: it takes a
+/// file path (`--trace FILE` streams span records there as JSONL).
 const SWITCHES: &[&str] = &[
     "--swap",
     "--audit",
-    "--trace",
     "--help",
     "--no-stream",
     "--status",
     "--shutdown",
     "--abort",
+    "--obs",
+    "--stats",
 ];
 
 impl Args {
@@ -656,6 +658,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         // `--rounds` pins the server's default round executor; jobs
         // may still override per-submission with `?rounds=`.
         default_executor: parse_executor(args)?,
+        // `--obs` already enabled the registry globally in dispatch;
+        // carrying it in the config keeps the server self-describing
+        // (and lets library users opt in without the CLI).
+        obs: args.has("--obs"),
         ..bbncg_serve::ServerConfig::default()
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
@@ -768,6 +774,12 @@ pub fn cmd_submit(args: &Args) -> Result<String, String> {
     if !status.contains("\"state\":\"completed\"") {
         return Err(format!("job {id} did not complete: {status}"));
     }
+    if args.has("--stats") {
+        // The status document carries the lifecycle timings (queue
+        // wait, run duration, per-phase durations); print it as a
+        // comment trailer so the JSONL stream above stays unpolluted.
+        let _ = writeln!(out, "# stats: {status}");
+    }
     Ok(out)
 }
 
@@ -801,8 +813,9 @@ COMMANDS:
                   | validate SPEC...
                   (all: [--kernel queue|bitset|sparse|auto] [--rounds MODE], overriding the spec)
   serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR] [--rounds MODE]
+                  [--obs]  (GET /metrics serves Prometheus text either way)
   submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
-                  [--kernel K] [--rounds MODE] [--seed S] [--no-stream]
+                  [--kernel K] [--rounds MODE] [--seed S] [--no-stream] [--stats]
                   [--wait-server SECS]
                   | --status --addr ... | --shutdown [--abort] --addr ...
   dot             FILE
@@ -823,6 +836,12 @@ historical round-cap meaning; give the flag twice for both.
 --threads N (any command) pins the worker-thread bound, overriding
 BBNCG_THREADS: dynamics/verify/scenario parallelism and the serve
 worker pool all respect it.
+--obs (any command) switches the in-process metrics registry on
+(kernel pruning rates, window commit/discard counts, phase timings;
+scraped via serve's GET /metrics). --trace FILE (any command) streams
+span records — one JSON object per phase/seed with start_us/dur_us —
+to FILE as JSONL. Both are off by default and cost nothing when off;
+the metric-record JSONL streams are byte-identical either way.
 Scenario specs are TOML-subset files (see README \"Scenario specs\");
 metric records are JSONL, one line per phase.
 `serve` turns the workspace into a long-running service: POST a spec
@@ -849,7 +868,18 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         }
         bbncg_par::set_max_threads(n);
     }
-    match cmd.as_str() {
+    // Global observability: `--obs` switches the metrics registry on
+    // for the process (one-way; zero cost when absent), `--trace FILE`
+    // installs a JSONL span sink. Both compose with every subcommand.
+    if args.has("--obs") {
+        bbncg_obs::enable();
+    }
+    if let Some(path) = args.get("trace") {
+        let sink =
+            bbncg_obs::JsonlTraceSink::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        bbncg_obs::install_tracer(Box::new(sink));
+    }
+    let result = match cmd.as_str() {
         "construct" => cmd_construct(&args),
         "verify" => cmd_verify(&args),
         "best-response" => cmd_best_response(&args),
@@ -862,7 +892,11 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
-    }
+    };
+    // The trace sink is a process-global that never drops; flush it so
+    // `--trace FILE` is complete the moment the command returns.
+    bbncg_obs::flush_tracer();
+    result
 }
 
 #[cfg(test)]
@@ -1133,6 +1167,46 @@ kind = "dynamics"
         std::fs::remove_file(&spec).ok();
         std::fs::remove_file(&ck).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn trace_flag_emits_one_span_per_phase() {
+        // A scenario with a unique name, so the span count below is
+        // immune to other tests in this process tracing concurrently
+        // (the trace sink is process-global).
+        let dir = std::env::temp_dir();
+        let spec = dir.join("bbncg_cli_trace.toml");
+        let trace = dir.join("bbncg_cli_trace.jsonl");
+        std::fs::write(
+            &spec,
+            TINY_SCENARIO.replace("name = \"tiny\"", "name = \"trace-test\""),
+        )
+        .unwrap();
+        run(&[
+            "scenario",
+            "run",
+            spec.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--obs",
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        let phase_spans: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"span\":\"phase\"") && l.contains("\"trace-test\""))
+            .collect();
+        assert_eq!(phase_spans.len(), 3, "{jsonl}");
+        for (i, line) in phase_spans.iter().enumerate() {
+            assert!(
+                line.starts_with("{\"span\":\"phase\",\"start_us\":"),
+                "{line}"
+            );
+            assert!(line.contains("\"dur_us\":"), "{line}");
+            assert!(line.contains(&format!("\"phase\":\"{i}\"")), "{line}");
+        }
+        std::fs::remove_file(&spec).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

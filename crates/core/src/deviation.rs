@@ -44,6 +44,27 @@ use bbncg_graph::{
     Adjacency, BfsScratch, BitAdjacency, BitBfsScratch, CompactCsr, NodeId, OwnedDigraph,
     PatchableCsr, SparseSssp, UNREACHED,
 };
+use bbncg_obs::Counter;
+
+/// Plain per-engine tallies of hot-path events, flushed to the global
+/// `bbncg-obs` registry at session boundaries (and on drop). The
+/// per-candidate path pays one `u64` add — no atomic, no branch on
+/// the observability switch — so pricing throughput is identical
+/// whether observability is on or off; only the flush consults
+/// [`bbncg_obs::enabled`].
+#[derive(Debug, Default)]
+struct ObsTally {
+    /// Candidates priced through the kernel (one BFS/repair each).
+    priced: u64,
+    /// Candidates skipped by the Lemma 2.2 lower bound (no BFS).
+    prune_skips: u64,
+    /// Candidates priced exactly from the bound (no BFS).
+    prune_exact: u64,
+    /// Base BFS/SSSP computations (sparse session rebases).
+    base_bfs: u64,
+    /// Pricing sessions opened.
+    sessions: u64,
+}
 
 /// The editable undirected mirror backing a deviation engine: the
 /// queue/bitset tiers keep the slack-padded [`PatchableCsr`] (O(1)
@@ -157,6 +178,8 @@ pub struct DeviationScratch {
     pub(crate) pool_buf: Vec<NodeId>,
     /// Candidate strategy buffer, lent to best-response search loops.
     pub(crate) cand_buf: Vec<NodeId>,
+    /// Hot-path observability tallies (see [`ObsTally`]).
+    tally: ObsTally,
 }
 
 /// Apply one player's strategy change to the patchable CSR **and** its
@@ -227,6 +250,33 @@ impl DeviationScratch {
             dedup_buf: Vec::with_capacity(8),
             pool_buf: Vec::with_capacity(n),
             cand_buf: Vec::with_capacity(8),
+            tally: ObsTally::default(),
+        }
+    }
+
+    /// Flush the local tallies into the global registry (attributed
+    /// to the currently resolved kernel) and zero them. Called at
+    /// session boundaries and on drop; tallies accumulated while
+    /// observability is off are simply discarded, so counts always
+    /// mean "since enable".
+    fn flush_obs(&mut self) {
+        let t = std::mem::take(&mut self.tally);
+        if !bbncg_obs::enabled() {
+            return;
+        }
+        let (priced, skips) = match self.resolved_kernel() {
+            CostKernel::Bitset => (Counter::KernelPricedBitset, Counter::KernelPruneSkipBitset),
+            CostKernel::Sparse => (Counter::KernelPricedSparse, Counter::KernelPruneSkipSparse),
+            _ => (Counter::KernelPricedQueue, Counter::KernelPruneSkipQueue),
+        };
+        bbncg_obs::counter_add(priced, t.priced);
+        bbncg_obs::counter_add(skips, t.prune_skips);
+        bbncg_obs::counter_add(Counter::KernelPruneExact, t.prune_exact);
+        bbncg_obs::counter_add(Counter::KernelBaseBfs, t.base_bfs);
+        bbncg_obs::counter_add(Counter::KernelSessions, t.sessions);
+        if matches!(self.patch, Backing::Compact(_)) {
+            // Sparse pricing is one decrease-only repair per candidate.
+            bbncg_obs::counter_add(Counter::KernelSsspRepairs, t.priced);
         }
     }
 
@@ -318,6 +368,8 @@ impl DeviationScratch {
         if self.active == Some((u, model)) && !self.mirror_differs(r) {
             return; // session already open for exactly this state
         }
+        self.flush_obs();
+        self.tally.sessions += 1;
         self.sync(r);
         apply_strategy_patch(
             &mut self.patch,
@@ -342,6 +394,7 @@ impl DeviationScratch {
         let Backing::Compact(c) = &self.patch else {
             unreachable!("sparse session over padded backing");
         };
+        self.tally.base_bfs += 1;
         self.sssp.rebase(c, u);
         // gain_ub(bt) = Σ_v max(0, improvement cap of a target at base
         // distance bt on a vertex at base distance d), split by branch:
@@ -455,6 +508,7 @@ impl DeviationScratch {
     /// hand (so the pruned path computes merge stats exactly once).
     fn cost_with_kappa(&mut self, targets: &[NodeId], kappa: usize) -> u64 {
         let (u, model) = self.active.expect("no deviation session open");
+        self.tally.priced += 1;
         let stats = match (&self.patch, &self.bits) {
             // Sparse: decrease-only repair of the session's base
             // profile — cost ∝ improved region, not n.
@@ -486,10 +540,12 @@ impl DeviationScratch {
     pub fn cost_of_pruned(&mut self, targets: &[NodeId], incumbent: u64) -> Option<u64> {
         let (bound, exact, kappa) = self.candidate_bound(targets);
         if bound >= incumbent {
+            self.tally.prune_skips += 1;
             return None;
         }
         if exact {
             debug_assert_eq!(bound, self.cost_of(targets));
+            self.tally.prune_exact += 1;
             return Some(bound);
         }
         Some(self.cost_with_kappa(targets, kappa))
@@ -631,6 +687,14 @@ impl DeviationScratch {
                 }
             }
         }
+    }
+}
+
+impl Drop for DeviationScratch {
+    fn drop(&mut self) {
+        // The final session's tallies would otherwise never reach the
+        // registry (begin() flushes the *previous* session).
+        self.flush_obs();
     }
 }
 

@@ -316,6 +316,8 @@ fn run_dynamics_impl(
             }
         }
         rounds += 1;
+        bbncg_obs::counter_inc(bbncg_obs::Counter::DynamicsRounds);
+        bbncg_obs::counter_add(bbncg_obs::Counter::DynamicsSteps, round_improvements as u64);
         if let Some(t) = trace.as_deref_mut() {
             t.push(snapshot(&state, cfg, rounds, round_improvements));
         }

@@ -56,6 +56,7 @@ use crate::dynamics::{DynamicsConfig, ResponseRule};
 use crate::kernel::CostKernel;
 use crate::realization::Realization;
 use bbncg_graph::NodeId;
+use bbncg_obs::{Counter, Histogram};
 use std::sync::Mutex;
 
 /// How activations inside one dynamics round are executed. Executors
@@ -266,6 +267,11 @@ pub(crate) fn run_round_speculative(
     while pos < len {
         let w = window.min(len - pos);
         let batch = &order[pos..pos + w];
+        // Window-granularity observability (a handful of relaxed
+        // loads per window — noise next to the w parallel BFS below).
+        bbncg_obs::counter_inc(Counter::RoundsWindows);
+        bbncg_obs::counter_add(Counter::RoundsEvals, w as u64);
+        bbncg_obs::observe(Histogram::WindowWidth, w as u64);
         // Parallel proposal evaluation against the window-start state;
         // one pooled engine per worker, re-synced to the basis by
         // diffing on first use.
@@ -290,10 +296,17 @@ pub(crate) fn run_round_speculative(
             let presence_changed = state.graph().move_changes_presence(u, &targets);
             state.set_strategy(u, targets);
             improvements += 1;
+            bbncg_obs::counter_inc(Counter::RoundsCommits);
             if presence_changed {
                 presence_commit = true;
                 break;
             }
+        }
+        if presence_commit {
+            // Everything evaluated past the presence-changing commit
+            // is thrown away and re-evaluated in the next window.
+            bbncg_obs::counter_inc(Counter::RoundsInvalidations);
+            bbncg_obs::counter_add(Counter::RoundsDiscards, (w - consumed) as u64);
         }
         pos += consumed;
         // Width adaptation: grow only on evidence of quietness (a

@@ -1,0 +1,663 @@
+//! The sharded metrics registry: a fixed catalogue of counters,
+//! gauges, and histograms backed by static atomics.
+//!
+//! Design constraints (in priority order):
+//!
+//! 1. **Zero cost when off.** Every write goes through a single
+//!    relaxed [`enabled`] load and returns immediately when
+//!    observability has not been switched on. Nothing allocates,
+//!    nothing locks, ever.
+//! 2. **No hot-path contention when on.** Counter and histogram
+//!    writes land in one of [`SHARDS`] cache-line-aligned shards
+//!    chosen per thread (round-robin at first touch), so concurrent
+//!    workers — `par_map_init` sweep workers, serve connection
+//!    threads — never bounce the same cache line. Reads aggregate
+//!    across shards with saturating arithmetic.
+//! 3. **Fixed catalogue.** Metrics are `enum` variants, not string
+//!    keys: registration is free, lookup is an array index, and the
+//!    exported name set is stable by construction (the schema the
+//!    byte-diff CI and the README catalogue rely on).
+//!
+//! Counters are **monotonic and saturating**: they never wrap, even
+//! at `u64::MAX` (pinned by `tests/concurrency.rs`).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of independent shards counter/histogram writes spread over.
+/// Sixteen covers every worker-pool size this workspace spawns
+/// (threads beyond sixteen share shards round-robin, still correct).
+pub const SHARDS: usize = 16;
+
+/// Number of power-of-two histogram buckets. Bucket `i` counts
+/// observations whose bit length is `i` (i.e. values `< 2^i` and
+/// `>= 2^(i-1)`; bucket 0 is exactly zero), with everything at or
+/// above `2^38` (~3.2 days in microseconds) collapsed into the last
+/// bucket, exported as `+Inf`.
+pub const NBUCKETS: usize = 40;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Switch the metrics registry on for the rest of the process.
+///
+/// Enabling is **one-way**: there is deliberately no `disable()`, so
+/// the hot path can use a single relaxed load with no torn-state
+/// races (a thread that observes "on" slightly late merely drops a
+/// few early increments).
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Is the metrics registry on? A relaxed atomic load — cheap enough
+/// for per-candidate hot paths, though the kernels batch even this
+/// out by keeping plain local tallies and flushing per session.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Every monotonic counter in the catalogue.
+///
+/// Variants are grouped by layer: cost kernels (`Kernel*`), the
+/// speculative round executor (`Rounds*`), dynamics totals
+/// (`Dynamics*`), the scenario engine (`Scenario*`), and the job
+/// server (`Http*` / `Jobs*`). The `usize` discriminant is the
+/// registry array index; [`Counter::ALL`] iterates in export order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Deviation-scratch pricing sessions begun (`begin()` calls).
+    KernelSessions,
+    /// Base BFS/SSSP computations establishing a session's distances.
+    KernelBaseBfs,
+    /// Candidates priced by the queue BFS kernel.
+    KernelPricedQueue,
+    /// Candidates priced by the word-parallel bitset BFS kernel.
+    KernelPricedBitset,
+    /// Candidates priced by the sparse dynamic-SSSP kernel.
+    KernelPricedSparse,
+    /// Candidates skipped by the Lemma 2.2 lower bound (queue kernel).
+    KernelPruneSkipQueue,
+    /// Candidates skipped by the Lemma 2.2 lower bound (bitset kernel).
+    KernelPruneSkipBitset,
+    /// Candidates skipped by the Lemma 2.2 lower bound (sparse kernel).
+    KernelPruneSkipSparse,
+    /// Candidates priced exactly from the bound, without a BFS.
+    KernelPruneExact,
+    /// Decrease-only dynamic-SSSP repairs run by the sparse kernel.
+    KernelSsspRepairs,
+    /// Speculative windows opened by the parallel round executor.
+    RoundsWindows,
+    /// Speculative proposal evaluations (parallel best-response calls).
+    RoundsEvals,
+    /// Speculative proposals committed (window position consumed).
+    RoundsCommits,
+    /// Speculative evaluations discarded after an earlier commit.
+    RoundsDiscards,
+    /// Windows cut short by a presence-set-changing commit.
+    RoundsInvalidations,
+    /// Dynamics rounds executed (all executors).
+    DynamicsRounds,
+    /// Improving moves committed by dynamics (all executors).
+    DynamicsSteps,
+    /// Scenario phases entered.
+    ScenarioPhases,
+    /// Perturbation events applied by the scenario engine.
+    ScenarioEvents,
+    /// Scenario seeds completed (sweep legs).
+    ScenarioSeeds,
+    /// HTTP requests routed (all endpoints, including rejections).
+    HttpRequests,
+    /// HTTP requests rejected with `429` by queue backpressure.
+    HttpRejected429,
+    /// Jobs accepted into the serve queue.
+    JobsSubmitted,
+    /// Jobs that ran to completion.
+    JobsCompleted,
+    /// Jobs that ended in failure.
+    JobsFailed,
+    /// Jobs cancelled before or during execution.
+    JobsCancelled,
+}
+
+impl Counter {
+    /// Number of counters in the catalogue.
+    pub const COUNT: usize = 26;
+
+    /// Every counter, in export order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::KernelSessions,
+        Counter::KernelBaseBfs,
+        Counter::KernelPricedQueue,
+        Counter::KernelPricedBitset,
+        Counter::KernelPricedSparse,
+        Counter::KernelPruneSkipQueue,
+        Counter::KernelPruneSkipBitset,
+        Counter::KernelPruneSkipSparse,
+        Counter::KernelPruneExact,
+        Counter::KernelSsspRepairs,
+        Counter::RoundsWindows,
+        Counter::RoundsEvals,
+        Counter::RoundsCommits,
+        Counter::RoundsDiscards,
+        Counter::RoundsInvalidations,
+        Counter::DynamicsRounds,
+        Counter::DynamicsSteps,
+        Counter::ScenarioPhases,
+        Counter::ScenarioEvents,
+        Counter::ScenarioSeeds,
+        Counter::HttpRequests,
+        Counter::HttpRejected429,
+        Counter::JobsSubmitted,
+        Counter::JobsCompleted,
+        Counter::JobsFailed,
+        Counter::JobsCancelled,
+    ];
+
+    /// Prometheus metric family name (shared across labelled variants).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::KernelSessions => "bbncg_kernel_sessions_total",
+            Counter::KernelBaseBfs => "bbncg_kernel_base_bfs_total",
+            Counter::KernelPricedQueue
+            | Counter::KernelPricedBitset
+            | Counter::KernelPricedSparse => "bbncg_kernel_candidates_priced_total",
+            Counter::KernelPruneSkipQueue
+            | Counter::KernelPruneSkipBitset
+            | Counter::KernelPruneSkipSparse => "bbncg_kernel_prune_skips_total",
+            Counter::KernelPruneExact => "bbncg_kernel_prune_exact_total",
+            Counter::KernelSsspRepairs => "bbncg_kernel_sssp_repairs_total",
+            Counter::RoundsWindows => "bbncg_rounds_windows_total",
+            Counter::RoundsEvals => "bbncg_rounds_evals_total",
+            Counter::RoundsCommits => "bbncg_rounds_commits_total",
+            Counter::RoundsDiscards => "bbncg_rounds_discards_total",
+            Counter::RoundsInvalidations => "bbncg_rounds_presence_invalidations_total",
+            Counter::DynamicsRounds => "bbncg_dynamics_rounds_total",
+            Counter::DynamicsSteps => "bbncg_dynamics_steps_total",
+            Counter::ScenarioPhases => "bbncg_scenario_phases_total",
+            Counter::ScenarioEvents => "bbncg_scenario_events_total",
+            Counter::ScenarioSeeds => "bbncg_scenario_seeds_total",
+            Counter::HttpRequests => "bbncg_http_requests_total",
+            Counter::HttpRejected429 => "bbncg_http_rejected_total",
+            Counter::JobsSubmitted
+            | Counter::JobsCompleted
+            | Counter::JobsFailed
+            | Counter::JobsCancelled => "bbncg_jobs_total",
+        }
+    }
+
+    /// Prometheus label set (without braces), empty when unlabelled.
+    pub fn labels(self) -> &'static str {
+        match self {
+            Counter::KernelPricedQueue | Counter::KernelPruneSkipQueue => "kernel=\"queue\"",
+            Counter::KernelPricedBitset | Counter::KernelPruneSkipBitset => "kernel=\"bitset\"",
+            Counter::KernelPricedSparse | Counter::KernelPruneSkipSparse => "kernel=\"sparse\"",
+            Counter::JobsSubmitted => "state=\"submitted\"",
+            Counter::JobsCompleted => "state=\"completed\"",
+            Counter::JobsFailed => "state=\"failed\"",
+            Counter::JobsCancelled => "state=\"cancelled\"",
+            _ => "",
+        }
+    }
+
+    /// One-line `# HELP` text for the metric family.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::KernelSessions => "Deviation pricing sessions begun",
+            Counter::KernelBaseBfs => "Base BFS/SSSP computations per pricing session",
+            Counter::KernelPricedQueue
+            | Counter::KernelPricedBitset
+            | Counter::KernelPricedSparse => "Candidate deviations priced, by cost kernel",
+            Counter::KernelPruneSkipQueue
+            | Counter::KernelPruneSkipBitset
+            | Counter::KernelPruneSkipSparse => {
+                "Candidates skipped by the Lemma 2.2 lower bound, by cost kernel"
+            }
+            Counter::KernelPruneExact => "Candidates priced exactly from the bound without a BFS",
+            Counter::KernelSsspRepairs => "Decrease-only dynamic-SSSP repairs (sparse kernel)",
+            Counter::RoundsWindows => "Speculative activation windows opened",
+            Counter::RoundsEvals => "Speculative proposal evaluations",
+            Counter::RoundsCommits => "Speculative proposals committed",
+            Counter::RoundsDiscards => "Speculative evaluations discarded",
+            Counter::RoundsInvalidations => "Windows cut short by presence-set commits",
+            Counter::DynamicsRounds => "Dynamics rounds executed",
+            Counter::DynamicsSteps => "Improving moves committed by dynamics",
+            Counter::ScenarioPhases => "Scenario phases entered",
+            Counter::ScenarioEvents => "Perturbation events applied",
+            Counter::ScenarioSeeds => "Scenario seeds completed",
+            Counter::HttpRequests => "HTTP requests routed",
+            Counter::HttpRejected429 => "HTTP requests rejected with 429 (queue backpressure)",
+            Counter::JobsSubmitted
+            | Counter::JobsCompleted
+            | Counter::JobsFailed
+            | Counter::JobsCancelled => "Serve jobs by terminal state",
+        }
+    }
+}
+
+/// Every gauge in the catalogue (instantaneous values, set not added).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Jobs waiting in the serve queue right now.
+    QueueDepth,
+    /// Jobs currently executing on serve workers.
+    InFlightJobs,
+}
+
+impl Gauge {
+    /// Number of gauges in the catalogue.
+    pub const COUNT: usize = 2;
+
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::QueueDepth, Gauge::InFlightJobs];
+
+    /// Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "bbncg_serve_queue_depth",
+            Gauge::InFlightJobs => "bbncg_serve_inflight_jobs",
+        }
+    }
+
+    /// One-line `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "Jobs waiting in the serve queue",
+            Gauge::InFlightJobs => "Jobs currently executing on serve workers",
+        }
+    }
+}
+
+/// Every histogram in the catalogue (power-of-two buckets, see
+/// [`NBUCKETS`]). Durations are recorded in **microseconds**.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Histogram {
+    /// Speculative window widths chosen by the round executor.
+    WindowWidth,
+    /// Scenario phase wall time (µs).
+    PhaseMicros,
+    /// Perturbation event application time (µs).
+    EventMicros,
+    /// Per-seed scenario run time within a sweep (µs) — the sweep
+    /// worker-utilization signal.
+    SeedMicros,
+    /// `GET /healthz` request latency (µs).
+    HttpHealthzMicros,
+    /// `GET /metrics` request latency (µs).
+    HttpMetricsMicros,
+    /// `POST /jobs` request latency (µs).
+    HttpSubmitMicros,
+    /// `GET /jobs` request latency (µs).
+    HttpJobsMicros,
+    /// `GET /jobs/{id}` request latency (µs).
+    HttpJobStatusMicros,
+    /// `POST /jobs/{id}/cancel` request latency (µs).
+    HttpCancelMicros,
+    /// `GET /jobs/{id}/stream` request latency (µs; includes the full
+    /// stream, so long-poll follows dominate the top buckets).
+    HttpStreamMicros,
+    /// `POST /shutdown` request latency (µs).
+    HttpShutdownMicros,
+    /// Latency of requests matching no route (µs).
+    HttpOtherMicros,
+}
+
+impl Histogram {
+    /// Number of histograms in the catalogue.
+    pub const COUNT: usize = 13;
+
+    /// Every histogram, in export order.
+    pub const ALL: [Histogram; Histogram::COUNT] = [
+        Histogram::WindowWidth,
+        Histogram::PhaseMicros,
+        Histogram::EventMicros,
+        Histogram::SeedMicros,
+        Histogram::HttpHealthzMicros,
+        Histogram::HttpMetricsMicros,
+        Histogram::HttpSubmitMicros,
+        Histogram::HttpJobsMicros,
+        Histogram::HttpJobStatusMicros,
+        Histogram::HttpCancelMicros,
+        Histogram::HttpStreamMicros,
+        Histogram::HttpShutdownMicros,
+        Histogram::HttpOtherMicros,
+    ];
+
+    /// Prometheus metric family name (shared across labelled variants).
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::WindowWidth => "bbncg_rounds_window_width",
+            Histogram::PhaseMicros => "bbncg_scenario_phase_duration_us",
+            Histogram::EventMicros => "bbncg_scenario_event_duration_us",
+            Histogram::SeedMicros => "bbncg_scenario_seed_duration_us",
+            _ => "bbncg_http_request_duration_us",
+        }
+    }
+
+    /// Prometheus label set (without braces), empty when unlabelled.
+    pub fn labels(self) -> &'static str {
+        match self {
+            Histogram::HttpHealthzMicros => "endpoint=\"healthz\"",
+            Histogram::HttpMetricsMicros => "endpoint=\"metrics\"",
+            Histogram::HttpSubmitMicros => "endpoint=\"submit\"",
+            Histogram::HttpJobsMicros => "endpoint=\"jobs\"",
+            Histogram::HttpJobStatusMicros => "endpoint=\"job_status\"",
+            Histogram::HttpCancelMicros => "endpoint=\"cancel\"",
+            Histogram::HttpStreamMicros => "endpoint=\"stream\"",
+            Histogram::HttpShutdownMicros => "endpoint=\"shutdown\"",
+            Histogram::HttpOtherMicros => "endpoint=\"other\"",
+            _ => "",
+        }
+    }
+
+    /// One-line `# HELP` text for the metric family.
+    pub fn help(self) -> &'static str {
+        match self {
+            Histogram::WindowWidth => "Speculative window widths chosen per window",
+            Histogram::PhaseMicros => "Scenario phase wall time in microseconds",
+            Histogram::EventMicros => "Perturbation event application time in microseconds",
+            Histogram::SeedMicros => "Per-seed scenario run time in microseconds",
+            _ => "HTTP request latency in microseconds, by endpoint",
+        }
+    }
+}
+
+/// One shard of the registry. `align(128)` keeps neighbouring shards
+/// off each other's cache lines (two lines on common prefetchers).
+#[repr(align(128))]
+struct Shard {
+    counters: [AtomicU64; Counter::COUNT],
+    hist_buckets: [[AtomicU64; NBUCKETS]; Histogram::COUNT],
+    hist_sum: [AtomicU64; Histogram::COUNT],
+    hist_count: [AtomicU64; Histogram::COUNT],
+}
+
+impl Shard {
+    const fn new() -> Self {
+        Shard {
+            counters: [const { AtomicU64::new(0) }; Counter::COUNT],
+            hist_buckets: [const { [const { AtomicU64::new(0) }; NBUCKETS] }; Histogram::COUNT],
+            hist_sum: [const { AtomicU64::new(0) }; Histogram::COUNT],
+            hist_count: [const { AtomicU64::new(0) }; Histogram::COUNT],
+        }
+    }
+}
+
+static REGISTRY: [Shard; SHARDS] = [const { Shard::new() }; SHARDS];
+static GAUGES: [AtomicU64; Gauge::COUNT] = [const { AtomicU64::new(0) }; Gauge::COUNT];
+
+/// Round-robin shard assignment: each thread picks a shard on first
+/// write and keeps it for life. Threads beyond [`SHARDS`] share.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard() -> &'static Shard {
+    let idx = MY_SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(idx);
+        }
+        idx
+    });
+    &REGISTRY[idx]
+}
+
+/// Saturating add into one atomic cell: the CAS loop retries on
+/// contention and pins at `u64::MAX` instead of wrapping.
+#[inline]
+fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    // fetch_add is the fast path; fall into the CAS loop only when the
+    // current value is close enough to the ceiling to wrap.
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Add `delta` to a counter (no-op while the registry is disabled).
+#[inline]
+pub fn counter_add(c: Counter, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    saturating_fetch_add(&shard().counters[c as usize], delta);
+}
+
+/// Increment a counter by one (no-op while the registry is disabled).
+#[inline]
+pub fn counter_inc(c: Counter) {
+    counter_add(c, 1);
+}
+
+/// Current value of a counter, aggregated across shards (saturating).
+pub fn counter_value(c: Counter) -> u64 {
+    REGISTRY.iter().fold(0u64, |acc, s| {
+        acc.saturating_add(s.counters[c as usize].load(Ordering::Relaxed))
+    })
+}
+
+/// Set a gauge to an instantaneous value (no-op while disabled).
+#[inline]
+pub fn gauge_set(g: Gauge, value: u64) {
+    if !enabled() {
+        return;
+    }
+    GAUGES[g as usize].store(value, Ordering::Relaxed);
+}
+
+/// Current value of a gauge.
+pub fn gauge_value(g: Gauge) -> u64 {
+    GAUGES[g as usize].load(Ordering::Relaxed)
+}
+
+/// Bucket index for an observation: its bit length, capped at the
+/// overflow bucket. Zero lands in bucket 0; `[2^(i-1), 2^i)` lands in
+/// bucket `i`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(NBUCKETS - 1)
+}
+
+/// Record one observation into a histogram (no-op while disabled).
+#[inline]
+pub fn observe(h: Histogram, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let s = shard();
+    let i = h as usize;
+    s.hist_buckets[i][bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    saturating_fetch_add(&s.hist_sum[i], value);
+    s.hist_count[i].fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time aggregate of one histogram across all shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NBUCKETS],
+    sum: u64,
+    count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Per-bucket observation counts (non-cumulative), in
+    /// [`bucket_index`] order.
+    pub fn buckets(&self) -> &[u64; NBUCKETS] {
+        &self.buckets
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the
+    /// overflow bucket): the value every observation in the bucket is
+    /// `<=`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= NBUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive bound of the bucket containing the rank-`⌈q·count⌉`
+    /// observation. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(NBUCKETS - 1)
+    }
+
+    /// Median upper bound — `quantile(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound — `quantile(0.90)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound — `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Aggregate one histogram across all shards.
+pub fn histogram_snapshot(h: Histogram) -> HistogramSnapshot {
+    let i = h as usize;
+    let mut snap = HistogramSnapshot {
+        buckets: [0; NBUCKETS],
+        sum: 0,
+        count: 0,
+    };
+    for s in &REGISTRY {
+        for (b, slot) in snap.buckets.iter_mut().enumerate() {
+            *slot = slot.saturating_add(s.hist_buckets[i][b].load(Ordering::Relaxed));
+        }
+        snap.sum = snap
+            .sum
+            .saturating_add(s.hist_sum[i].load(Ordering::Relaxed));
+        snap.count = snap
+            .count
+            .saturating_add(s.hist_count[i].load(Ordering::Relaxed));
+    }
+    snap
+}
+
+/// Zero every counter, gauge, and histogram cell.
+///
+/// A test/bench aid, not a linearizable operation: increments racing
+/// with the reset may land on either side of it. Callers own the
+/// quiescence (single-threaded bench sections, serialized tests).
+pub fn reset() {
+    for s in &REGISTRY {
+        for c in &s.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &s.hist_buckets {
+            for b in h {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        for v in &s.hist_sum {
+            v.store(0, Ordering::Relaxed);
+        }
+        for v in &s.hist_count {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+    for g in &GAUGES {
+        g.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry state is process-global; unit tests here only assert
+    // catalogue invariants that need no writes.
+
+    #[test]
+    fn catalogue_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "Counter::ALL out of order at {i}");
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i, "Gauge::ALL out of order at {i}");
+        }
+        for (i, h) in Histogram::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i, "Histogram::ALL out of order at {i}");
+        }
+    }
+
+    #[test]
+    fn labelled_families_share_names_and_help() {
+        // Same family name ⇒ same help text (Prometheus allows one
+        // HELP per family).
+        for a in Counter::ALL {
+            for b in Counter::ALL {
+                if a.name() == b.name() {
+                    assert_eq!(a.help(), b.help(), "{:?} vs {:?}", a, b);
+                }
+            }
+        }
+        for a in Histogram::ALL {
+            for b in Histogram::ALL {
+                if a.name() == b.name() {
+                    assert_eq!(a.help(), b.help(), "{:?} vs {:?}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), NBUCKETS - 1);
+        for i in 1..NBUCKETS - 1 {
+            let bound = HistogramSnapshot::bucket_bound(i);
+            assert_eq!(bucket_index(bound), i);
+            assert_eq!(bucket_index(bound + 1), i + 1);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Lightweight span tracing: enter/exit timestamps on a monotonic
+//! clock, emitted as JSONL [`TraceRecord`]s through an installable
+//! [`TraceSink`] — the same sink idiom as the scenario engine's
+//! metric sinks, but a **separate stream**: trace records are never
+//! interleaved with metric JSONL, so the byte-diff CI on metric
+//! record streams is untouched by tracing.
+//!
+//! Like the metrics registry, tracing is off by default and enabling
+//! it is one-way for the process. A disabled [`span`] costs one
+//! relaxed load and constructs nothing.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACER: Mutex<Option<Box<dyn TraceSink>>> = Mutex::new(None);
+
+/// Monotonic anchor all span timestamps are measured from (first use
+/// of the tracing layer). Relative microseconds keep records compact
+/// and host-clock-independent.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Is span tracing on? A relaxed load, cheap enough to gate every
+/// span site.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `sink` as the process-wide trace destination and switch
+/// tracing on (one-way, like [`crate::enable`]). Replaces any
+/// previously installed sink after flushing it.
+pub fn install_tracer(sink: Box<dyn TraceSink>) {
+    anchor(); // pin t=0 no later than installation
+    let mut slot = TRACER.lock().unwrap();
+    if let Some(mut old) = slot.replace(sink) {
+        old.flush();
+    }
+    drop(slot);
+    TRACE_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Flush the installed trace sink, if any (e.g. before process exit).
+pub fn flush_tracer() {
+    if let Some(sink) = TRACER.lock().unwrap().as_mut() {
+        sink.flush();
+    }
+}
+
+/// One completed span: a named region with entry timestamp and
+/// duration (both in microseconds on the process-monotonic clock)
+/// plus ordered string fields.
+///
+/// The JSONL schema is stable: `span`, `start_us`, `dur_us`, then
+/// `fields` as an object in insertion order — e.g.
+/// `{"span":"phase","start_us":12,"dur_us":340,"fields":{"scenario":"churn","phase":"0"}}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Span name (a static site label: `"phase"`, `"seed"`, …).
+    pub span: &'static str,
+    /// Microseconds from the process trace anchor to span entry.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Ordered key/value annotations attached at the span site.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl TraceRecord {
+    /// Serialize as a single JSON object (no trailing newline),
+    /// stable key order as documented on the type.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        let _ = write!(
+            out,
+            "{{\"span\":\"{}\",\"start_us\":{},\"dur_us\":{},\"fields\":{{",
+            escape(self.span),
+            self.start_us,
+            self.dur_us
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the scenario sink's rules:
+/// quotes, backslashes, and control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Destination for completed spans. Implementations must tolerate
+/// concurrent callers only in the sense that the global tracer mutex
+/// serializes `record` calls for them.
+pub trait TraceSink: Send {
+    /// Accept one completed span.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Flush any buffering (default: no-op).
+    fn flush(&mut self) {}
+}
+
+/// [`TraceSink`] writing one JSON object per line to a buffered file.
+pub struct JsonlTraceSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlTraceSink {
+    /// Create (truncate) `path` and buffer trace records into it.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonlTraceSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for JsonlTraceSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        let _ = writeln!(self.out, "{}", rec.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlTraceSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// [`TraceSink`] collecting records in memory (tests).
+#[derive(Default)]
+pub struct MemoryTraceSink {
+    /// Records in arrival order. Wrapped so tests can share the sink
+    /// across the install boundary.
+    pub records: std::sync::Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl TraceSink for MemoryTraceSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.lock().unwrap().push(rec.clone());
+    }
+}
+
+/// An open span: created by [`span`], completed (recorded) on drop.
+///
+/// When tracing is disabled this is an empty shell — no timestamp is
+/// taken, fields are dropped, and the drop is a no-op.
+pub struct Span {
+    inner: Option<SpanData>,
+}
+
+struct SpanData {
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// Open a span named `name`. Cheap when tracing is disabled (one
+/// relaxed load, no clock read). The span records itself when
+/// dropped.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span { inner: None };
+    }
+    let start = Instant::now();
+    Span {
+        inner: Some(SpanData {
+            name,
+            start,
+            start_us: start.duration_since(anchor()).as_micros() as u64,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attach a key/value annotation (no-op when tracing is off).
+    /// Keys are static site labels; values are stringified once, at
+    /// the call site, only when tracing is on.
+    pub fn field(mut self, key: &'static str, value: impl std::fmt::Display) -> Span {
+        if let Some(data) = self.inner.as_mut() {
+            data.fields.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.inner.take() else {
+            return;
+        };
+        let rec = TraceRecord {
+            span: data.name,
+            start_us: data.start_us,
+            dur_us: data.start.elapsed().as_micros() as u64,
+            fields: data.fields,
+        };
+        if let Some(sink) = TRACER.lock().unwrap().as_mut() {
+            sink.record(&rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_json_schema_is_stable() {
+        let rec = TraceRecord {
+            span: "phase",
+            start_us: 12,
+            dur_us: 340,
+            fields: vec![("scenario", "churn".into()), ("phase", "0".into())],
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"span\":\"phase\",\"start_us\":12,\"dur_us\":340,\
+             \"fields\":{\"scenario\":\"churn\",\"phase\":\"0\"}}"
+        );
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        let rec = TraceRecord {
+            span: "x",
+            start_us: 0,
+            dur_us: 0,
+            fields: vec![("k", "a\"b\\c\nd\u{1}".into())],
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"span\":\"x\",\"start_us\":0,\"dur_us\":0,\
+             \"fields\":{\"k\":\"a\\\"b\\\\c\\nd\\u0001\"}}"
+        );
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Tracing may have been enabled by another test in this
+        // process; only assert the shell shape when it is off.
+        if !trace_enabled() {
+            let s = span("never").field("k", 1);
+            assert!(s.inner.is_none());
+        }
+    }
+}

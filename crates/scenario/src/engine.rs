@@ -21,9 +21,11 @@ use bbncg_core::{
 };
 use bbncg_directed::{run_directed_dynamics, DirectedRealization};
 use bbncg_graph::{generators, OwnedDigraph};
+use bbncg_obs::{Counter, Histogram};
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Stable hash of a profile: FNV-1a over `n` and the arc list in owner
 /// order. Platform- and version-stable, unlike `DefaultHasher`.
@@ -279,6 +281,10 @@ pub fn run_scenario_with_engine(
     scratch: &mut Option<DeviationScratch>,
     cancel: &CancelToken,
 ) -> Result<RunOutcome, String> {
+    if spec.obs {
+        bbncg_obs::enable();
+    }
+    let seed_t0 = Instant::now();
     // A reused engine slot keeps its construction-time kernel. If this
     // run asks for a different one (a later job's `?kernel=` override,
     // say), drop the slot so the first dynamics phase rebuilds under
@@ -337,6 +343,8 @@ pub fn run_scenario_with_engine(
             cancelled = true;
             break;
         }
+        let phase_t0 = Instant::now();
+        let phase_span = bbncg_obs::span("phase");
         let mut phase_steps = 0usize;
         let mut phase_rounds = 0usize;
         match phase {
@@ -361,6 +369,14 @@ pub fn run_scenario_with_engine(
                             rng = StdRng::from_state(pre_rng);
                             completed = false;
                             cancelled = true;
+                            drop(
+                                phase_span
+                                    .field("scenario", &spec.name)
+                                    .field("seed", seed)
+                                    .field("phase", i)
+                                    .field("kind", phase.kind())
+                                    .field("cancelled", true),
+                            );
                             break;
                         }
                         state = report.state;
@@ -423,6 +439,22 @@ pub fn run_scenario_with_engine(
                 state = events::reorient(&state, &mut event_rng);
             }
         }
+        let phase_us = phase_t0.elapsed().as_micros() as u64;
+        bbncg_obs::counter_inc(Counter::ScenarioPhases);
+        bbncg_obs::observe(Histogram::PhaseMicros, phase_us);
+        if !matches!(phase, PhaseSpec::Dynamics { .. }) {
+            bbncg_obs::counter_inc(Counter::ScenarioEvents);
+            bbncg_obs::observe(Histogram::EventMicros, phase_us);
+        }
+        drop(
+            phase_span
+                .field("scenario", &spec.name)
+                .field("seed", seed)
+                .field("phase", i)
+                .field("kind", phase.kind())
+                .field("steps", phase_steps)
+                .field("rounds", phase_rounds),
+        );
         steps += phase_steps;
         rounds += phase_rounds;
         phases_done = i + 1;
@@ -492,6 +524,8 @@ pub fn run_scenario_with_engine(
         rng_state: rng.state(),
         state: state.clone(),
     };
+    bbncg_obs::counter_inc(Counter::ScenarioSeeds);
+    bbncg_obs::observe(Histogram::SeedMicros, seed_t0.elapsed().as_micros() as u64);
     Ok(RunOutcome {
         seed,
         completed,
@@ -541,6 +575,12 @@ pub fn run_sweep_cancellable(
         || None::<DeviationScratch>,
         |scratch, i| {
             let seed = spec.seed + i as u64;
+            // Per-seed span from the sweep worker's point of view:
+            // wall-time per slot is what worker-utilization analysis
+            // of a sweep needs (SeedMicros gives the histogram).
+            let sweep_span = bbncg_obs::span("sweep-seed")
+                .field("scenario", &spec.name)
+                .field("seed", seed);
             let mut local = MemorySink::default();
             let outcome = run_scenario_with_engine(
                 spec,
@@ -556,6 +596,7 @@ pub fn run_sweep_cancellable(
                 .lock()
                 .expect("sweep sink poisoned")
                 .push(i, local.records);
+            drop(sweep_span);
             outcome
         },
     )

@@ -136,6 +136,10 @@ pub struct ScenarioSpec {
     pub variant: Variant,
     /// The timeline.
     pub phases: Vec<PhaseSpec>,
+    /// Switch the process-wide `bbncg_obs` metrics registry on for
+    /// this run (`[obs] metrics = true`; the section alone defaults to
+    /// on). Enabling is one-way per process; off costs nothing.
+    pub obs: bool,
     /// FNV-1a hash of the source text; checkpoints pin it so a resume
     /// against an edited spec fails loudly.
     pub spec_hash: u64,
@@ -470,7 +474,10 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
         ));
     }
     for s in &doc.sections {
-        if !matches!(s.name.as_str(), "scenario" | "init" | "dynamics" | "phase") {
+        if !matches!(
+            s.name.as_str(),
+            "scenario" | "init" | "dynamics" | "obs" | "phase"
+        ) {
             return Err(SpecError::at(
                 s.line,
                 format!("unknown section [{}]", s.name),
@@ -556,6 +563,17 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
         }
     };
 
+    // `[obs]` opts the run into the process-wide metrics registry.
+    // The bare section means on; `metrics = false` keeps a section
+    // around (say, commented-out keys) without enabling.
+    let obs = match doc.section("obs") {
+        None => false,
+        Some(ob) => {
+            check_keys(ob, &["metrics"])?;
+            get_bool(ob, "metrics")?.unwrap_or(true)
+        }
+    };
+
     let phases: Vec<PhaseSpec> = doc
         .array_sections("phase")
         .map(parse_phase)
@@ -573,6 +591,7 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, SpecError> {
         kernel,
         variant,
         phases,
+        obs,
         spec_hash: fnv1a(text.as_bytes()),
     })
 }
@@ -682,6 +701,23 @@ rounds = 50
         let bad = "[init]\nfamily = \"path\"\nparams = [4]\n[dynamics]\nrounds = \"warp\"\n\
                    [[phase]]\nkind = \"dynamics\"";
         assert!(parse_spec(bad).unwrap_err().to_string().contains("warp"));
+    }
+
+    #[test]
+    fn obs_section_parses_and_defaults() {
+        assert!(!parse_spec(CHURN).unwrap().obs);
+        let base = "[init]\nfamily = \"path\"\nparams = [4]\n";
+        let on = format!("{base}[obs]\n[[phase]]\nkind = \"dynamics\"");
+        assert!(parse_spec(&on).unwrap().obs);
+        let explicit = format!("{base}[obs]\nmetrics = true\n[[phase]]\nkind = \"dynamics\"");
+        assert!(parse_spec(&explicit).unwrap().obs);
+        let off = format!("{base}[obs]\nmetrics = false\n[[phase]]\nkind = \"dynamics\"");
+        assert!(!parse_spec(&off).unwrap().obs);
+        let bad = format!("{base}[obs]\ntracing = 1\n[[phase]]\nkind = \"dynamics\"");
+        assert!(parse_spec(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("tracing"));
     }
 
     #[test]

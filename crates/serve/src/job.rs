@@ -3,8 +3,11 @@
 use crate::http::json_escape;
 use crate::stream::LineBuffer;
 use bbncg_core::{CancelToken, CostKernel, CostModel, Realization, RoundExecutor};
+use bbncg_obs::Counter;
 use bbncg_scenario::ScenarioSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What a job computes.
 pub enum JobKind {
@@ -94,6 +97,19 @@ pub struct Job {
     pub lines: Arc<LineBuffer>,
     status: Mutex<JobStatus>,
     status_cv: Condvar,
+    /// Monotonic birth instant; the other lifecycle timestamps are
+    /// microseconds measured from here.
+    created: Instant,
+    /// Micros from `created` to the `Running` transition, plus one
+    /// (zero means "not started yet"). The `+1` sentinel keeps the
+    /// legitimate 0µs reading distinguishable from "unset".
+    started_us: AtomicU64,
+    /// Micros from `created` to the terminal transition, plus one.
+    finished_us: AtomicU64,
+    /// Cumulative micros from `created` at each completed phase
+    /// boundary (single-seed scenario jobs only; sweeps interleave
+    /// phases across seeds, so per-phase timing is not well-defined).
+    phase_us: Mutex<Vec<u64>>,
 }
 
 impl Job {
@@ -106,7 +122,20 @@ impl Job {
             lines: LineBuffer::new(),
             status: Mutex::new(JobStatus::Queued),
             status_cv: Condvar::new(),
+            created: Instant::now(),
+            started_us: AtomicU64::new(0),
+            finished_us: AtomicU64::new(0),
+            phase_us: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Record a completed phase boundary (worker hook; feeds the
+    /// `phase_us` durations in [`Job::status_json`]).
+    pub fn mark_phase(&self) {
+        self.phase_us
+            .lock()
+            .expect("phase timings poisoned")
+            .push(self.created.elapsed().as_micros() as u64);
     }
 
     /// Current status (cloned).
@@ -124,6 +153,25 @@ impl Job {
             return;
         }
         let terminal = next.is_terminal();
+        let stamp = self.created.elapsed().as_micros() as u64 + 1;
+        match &next {
+            JobStatus::Running => {
+                self.started_us.store(stamp, Ordering::Relaxed);
+            }
+            JobStatus::Completed => {
+                self.finished_us.store(stamp, Ordering::Relaxed);
+                bbncg_obs::counter_inc(Counter::JobsCompleted);
+            }
+            JobStatus::Failed(_) => {
+                self.finished_us.store(stamp, Ordering::Relaxed);
+                bbncg_obs::counter_inc(Counter::JobsFailed);
+            }
+            JobStatus::Cancelled => {
+                self.finished_us.store(stamp, Ordering::Relaxed);
+                bbncg_obs::counter_inc(Counter::JobsCancelled);
+            }
+            JobStatus::Queued => {}
+        }
         *st = next;
         drop(st);
         if terminal {
@@ -142,6 +190,13 @@ impl Job {
     }
 
     /// One-line JSON status document (the `GET /jobs/{id}` body).
+    ///
+    /// Lifecycle timings appear as they become defined:
+    /// `queue_wait_us` once the job has started (submit → worker
+    /// pickup), `run_us` once it is terminal (pickup → terminal), and
+    /// `phase_us` as per-phase durations for single-seed scenario
+    /// jobs. A job cancelled straight out of the queue reports
+    /// neither (it never ran).
     pub fn status_json(&self) -> String {
         let status = self.status();
         let mut s = format!(
@@ -151,6 +206,30 @@ impl Job {
             status.label(),
             self.lines.len()
         );
+        let started = self.started_us.load(Ordering::Relaxed);
+        if started > 0 {
+            s.push_str(&format!(",\"queue_wait_us\":{}", started - 1));
+            let finished = self.finished_us.load(Ordering::Relaxed);
+            if finished > 0 {
+                s.push_str(&format!(
+                    ",\"run_us\":{}",
+                    (finished - 1).saturating_sub(started - 1)
+                ));
+            }
+            let boundaries = self.phase_us.lock().expect("phase timings poisoned");
+            if !boundaries.is_empty() {
+                s.push_str(",\"phase_us\":[");
+                let mut prev = started - 1;
+                for (i, &b) in boundaries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&b.saturating_sub(prev).to_string());
+                    prev = b;
+                }
+                s.push(']');
+            }
+        }
         if let JobStatus::Failed(err) = &status {
             s.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
         }
@@ -187,6 +266,36 @@ mod tests {
         job.set_status(JobStatus::Cancelled);
         assert_eq!(job.status(), JobStatus::Completed);
         assert_eq!(job.wait_terminal(), JobStatus::Completed);
+    }
+
+    #[test]
+    fn lifecycle_timestamps_surface_in_status_json() {
+        let job = scenario_job(1);
+        // Queued: no timings yet.
+        assert!(!job.status_json().contains("queue_wait_us"));
+        job.set_status(JobStatus::Running);
+        let running = job.status_json();
+        assert!(running.contains("\"queue_wait_us\":"), "{running}");
+        assert!(!running.contains("run_us"), "{running}");
+        job.mark_phase();
+        job.mark_phase();
+        job.set_status(JobStatus::Completed);
+        let done = job.status_json();
+        assert!(done.contains("\"run_us\":"), "{done}");
+        assert!(done.contains("\"phase_us\":["), "{done}");
+        // Two boundaries → two durations.
+        let phases = done.split("\"phase_us\":[").nth(1).unwrap();
+        let phases = phases.split(']').next().unwrap();
+        assert_eq!(phases.split(',').count(), 2, "{done}");
+    }
+
+    #[test]
+    fn queue_cancelled_job_reports_no_run_timings() {
+        let job = scenario_job(2);
+        job.set_status(JobStatus::Cancelled);
+        let json = job.status_json();
+        assert!(!json.contains("queue_wait_us"), "{json}");
+        assert!(!json.contains("run_us"), "{json}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ use bbncg_core::{
     audit_equilibrium_with_opts, parse_realization, CostKernel, CostModel, DeviationScratch,
     RoundExecutor,
 };
+use bbncg_obs::{Counter, Gauge, Histogram};
 use bbncg_scenario::{parse_spec, run_scenario_with_engine, run_sweep_cancellable, Checkpoint};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufReader, Write};
@@ -82,6 +83,11 @@ pub struct ServerConfig {
     /// Reported by `/healthz` (with the worker-thread cap) so loadgen
     /// runs are self-describing.
     pub default_executor: RoundExecutor,
+    /// Switch the process-wide `bbncg_obs` metrics registry on at
+    /// startup (one-way for the process). `GET /metrics` serves the
+    /// Prometheus exposition either way — with observability off it
+    /// simply reads all-zero counters.
+    pub obs: bool,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             history_limit: 256,
             default_executor: RoundExecutor::Auto,
+            obs: false,
         }
     }
 }
@@ -192,6 +199,9 @@ fn begin_drain(shared: &Arc<Shared>, abort: bool) {
 
 /// Bind, spawn the worker pool and accept loop, and return the handle.
 pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    if cfg.obs {
+        bbncg_obs::enable();
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = if cfg.workers == 0 {
@@ -317,6 +327,7 @@ fn execute_job(shared: &Shared, job: &Arc<Job>, scratch: &mut Option<DeviationSc
                     .as_ref()
                     .map(|d| d.join(format!("job-{}.ck", job.id)));
                 let mut on_phase_end = |ck: &Checkpoint| {
+                    job.mark_phase();
                     if let Some(p) = &ck_path {
                         // Best-effort: a failed checkpoint write must
                         // not kill the job (same policy as the CLI).
@@ -411,8 +422,27 @@ fn error_json(w: &mut impl Write, status: u16, reason: &str, detail: &str) {
     );
 }
 
+/// Which latency histogram a request lands in. Unrouted requests go
+/// to the `other` family, so the scrape still accounts for them.
+fn endpoint_histogram(method: &str, segments: &[&str]) -> Histogram {
+    match (method, segments) {
+        ("GET", ["healthz"]) => Histogram::HttpHealthzMicros,
+        ("GET", ["metrics"]) => Histogram::HttpMetricsMicros,
+        ("POST", ["jobs"]) => Histogram::HttpSubmitMicros,
+        ("GET", ["jobs"]) => Histogram::HttpJobsMicros,
+        ("GET", ["jobs", _]) => Histogram::HttpJobStatusMicros,
+        ("POST", ["jobs", _, "cancel"]) => Histogram::HttpCancelMicros,
+        ("GET", ["jobs", _, "stream"]) => Histogram::HttpStreamMicros,
+        ("POST", ["shutdown"]) => Histogram::HttpShutdownMicros,
+        _ => Histogram::HttpOtherMicros,
+    }
+}
+
 fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let t0 = std::time::Instant::now();
+    bbncg_obs::counter_inc(Counter::HttpRequests);
+    let hist = endpoint_histogram(&req.method, &segments);
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let queue_depth = shared.queue.lock().expect("queue poisoned").len();
@@ -436,6 +466,27 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
                     shared.cfg.default_executor.label(),
                     bbncg_par::max_threads(),
                 ),
+            );
+        }
+        ("GET", ["metrics"]) => {
+            // Gauges are sampled at scrape time — they describe "now",
+            // not a cumulative history, so this is the one place they
+            // are written.
+            bbncg_obs::gauge_set(
+                Gauge::QueueDepth,
+                shared.queue.lock().expect("queue poisoned").len() as u64,
+            );
+            bbncg_obs::gauge_set(
+                Gauge::InFlightJobs,
+                shared.running.load(Ordering::SeqCst) as u64,
+            );
+            let body = bbncg_obs::render_prometheus();
+            let _ = write_response(
+                w,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
             );
         }
         ("POST", ["jobs"]) => submit(shared, req, w),
@@ -489,6 +540,9 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
             &format!("no route {} {}", req.method, req.path),
         ),
     }
+    // For `stream`, this is the whole follow duration — which is the
+    // honest latency of a streaming endpoint.
+    bbncg_obs::observe(hist, t0.elapsed().as_micros() as u64);
 }
 
 fn lookup(shared: &Shared, id: &str) -> Option<Arc<Job>> {
@@ -520,6 +574,7 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
         }
         if q.len() >= shared.cfg.queue_capacity {
             drop(q);
+            bbncg_obs::counter_inc(Counter::HttpRejected429);
             return error_json(
                 w,
                 429,
@@ -553,6 +608,7 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
         }
         q.push_back(Arc::clone(&job));
         shared.queue_cv.notify_one();
+        bbncg_obs::counter_inc(Counter::JobsSubmitted);
         job
     };
     respond_json(

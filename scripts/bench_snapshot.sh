@@ -69,6 +69,30 @@
 #   rounds_total_steps_n{256,1024}   — applied deviations (identical
 #                                      across executors; asserted)
 #
+# Speculation / pruning health (read from the `bbncg_obs` registry,
+# which the binary enables only after every timed measurement so the
+# perf series keeps measuring the disabled, zero-cost configuration):
+#   rounds_commit_rate               — speculative commits / evals on
+#                                      the n=1024 rounds workload
+#                                      (wasted-work complement:
+#                                      1 - commit - discard is window
+#                                      positions invalidated/unused)
+#   rounds_discard_rate              — speculative evals discarded
+#                                      after an earlier commit / evals
+#   prune_hit_rate_{queue,bitset,sparse}
+#                                    — Lemma 2.2 lower-bound skips /
+#                                      (skips + priced candidates) per
+#                                      kernel on the n=1024 scale
+#                                      workload
+#
+# Both JSON files carry a schema_version field (bumped on any
+# field add/rename/remove) and are published atomically
+# (write temp + rename), so concurrent readers never see a torn
+# snapshot. The separate `obs_guard` bin (cargo run -p bbncg-bench
+# --bin obs_guard) enforces the zero-cost-when-off promise:
+# enabled-registry throughput must stay within a few percent of
+# disabled on the n=1024 speculative workload.
+#
 # Also emits BENCH_serve.json via the `loadgen` bin: an in-process
 # bbncg-serve instance (4 workers, bounded queue) hammered by 64
 # concurrent TCP clients, each stream verified byte-for-byte against

@@ -28,7 +28,10 @@
 //! * [`serve`] — the dependency-free HTTP job server: scenario/verify
 //!   jobs over a bounded queue and worker pool, chunked JSONL result
 //!   streams byte-identical to offline runs;
-//! * [`par`] — the minimal parallel-execution substrate.
+//! * [`par`] — the minimal parallel-execution substrate;
+//! * [`obs`] — zero-cost-when-off observability: the sharded metrics
+//!   registry behind `GET /metrics` and the span-tracing layer behind
+//!   `--trace`.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use bbncg_core as game;
 pub use bbncg_directed as directed;
 pub use bbncg_facility as facility;
 pub use bbncg_graph as graph;
+pub use bbncg_obs as obs;
 pub use bbncg_par as par;
 pub use bbncg_scenario as scenario;
 pub use bbncg_serve as serve;
