@@ -50,6 +50,16 @@ const SCALE_SMALL_N: usize = 1024;
 const SCALE_MID_N: usize = 16384;
 const SCALE_LARGE_N: usize = 100_000;
 
+/// Wall-clock budget per scale leg: a leg stops early once it exceeds
+/// this (always completing at least one activation), so a slow kernel
+/// at a big size bounds the snapshot's runtime instead of multiplying
+/// it. Kernels may therefore complete different activation counts;
+/// the committed move sequences are asserted identical over the
+/// *common prefix*, which keeps the per-activation rates comparable
+/// (both kernels walked the same committed trajectory as far as they
+/// got).
+const SCALE_TIME_BUDGET_SECS: f64 = 20.0;
+
 /// The round-executor workloads: unit budgets under exact best
 /// response, capped rounds (the affordability trick the kernel
 /// comparison already uses) — but with enough rounds that the
@@ -147,12 +157,13 @@ fn measure_kernels(n: usize, runs: u64, max_rounds: usize) -> (f64, f64, usize) 
     (queue_sps, bitset_sps, queue_steps)
 }
 
-/// One kernel's leg of the scale series: `k` round-robin best-swap
-/// activations from a fresh `n`-vertex unit-budget start, committing
-/// each strictly improving move (the same decision body as a dynamics
-/// round). Returns `(activations_per_sec, committed move sequence)`;
-/// callers assert the sequences agree across kernels before reporting
-/// any ratio.
+/// One kernel's leg of the scale series: up to `k` round-robin
+/// best-swap activations from a fresh `n`-vertex unit-budget start,
+/// committing each strictly improving move (the same decision body as
+/// a dynamics round), stopping early once [`SCALE_TIME_BUDGET_SECS`]
+/// is spent (minimum one activation). Returns `(activations_per_sec,
+/// committed move sequence)`; callers assert the sequences agree over
+/// the common prefix before reporting any ratio.
 fn measure_kernel_scale(
     n: usize,
     k: usize,
@@ -164,6 +175,9 @@ fn measure_kernel_scale(
     let mut moves = Vec::with_capacity(k);
     let t = Instant::now();
     for i in 0..k {
+        if i > 0 && t.elapsed().as_secs_f64() >= SCALE_TIME_BUDGET_SECS {
+            break; // budget spent; the completed prefix is the leg
+        }
         let u = NodeId::new(i % n);
         if state.graph().out_degree(u) == 0 {
             moves.push((i % n, None));
@@ -177,7 +191,35 @@ fn measure_kernel_scale(
         }
     }
     let secs = t.elapsed().as_secs_f64();
-    (k as f64 / secs, moves)
+    (moves.len() as f64 / secs, moves)
+}
+
+/// Assert two kernels committed identical moves over the activations
+/// both completed (time-budgeted legs may differ in length).
+fn assert_move_prefix(
+    a: &[(usize, Option<Vec<NodeId>>)],
+    b: &[(usize, Option<Vec<NodeId>>)],
+    label: &str,
+) {
+    let k = a.len().min(b.len());
+    assert!(k > 0, "no common activations to compare ({label})");
+    assert_eq!(
+        &a[..k],
+        &b[..k],
+        "kernels must commit identical moves ({label})"
+    );
+}
+
+/// Format a rate with at least three significant digits. A fixed
+/// `{:.1}` collapses sub-0.05 rates — the n=100000 sparse leg runs at
+/// a handful of activations per *minute* — to a meaningless `0.0`.
+fn sig3(x: f64) -> String {
+    if x <= 0.0 || !x.is_finite() {
+        return "0.0".to_string();
+    }
+    let mag = x.log10().floor() as i32;
+    let decimals = (2 - mag).clamp(1, 9) as usize;
+    format!("{x:.decimals$}")
 }
 
 /// Peak resident set size (`VmHWM`) in MiB from `/proc/self/status` —
@@ -295,7 +337,7 @@ fn main() {
     let _ = writeln!(json, "{{");
     // Bumped whenever a field is added/renamed/removed, so trajectory
     // tooling can tell a schema change from a perf change.
-    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
     let _ = writeln!(
         json,
         "  \"workload\": \"unit-budget exact dynamics, n={N}, {RUNS} seeds\","
@@ -339,56 +381,56 @@ fn main() {
         measure_kernel_scale(SCALE_SMALL_N, SCALE_ACTIVATIONS, CostKernel::Bitset);
     let (scale_s1024, mv_s1024) =
         measure_kernel_scale(SCALE_SMALL_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
-    assert_eq!(
-        mv_q1024, mv_b1024,
-        "kernels must commit identical moves (n={SCALE_SMALL_N}, bitset)"
-    );
-    assert_eq!(
-        mv_q1024, mv_s1024,
-        "kernels must commit identical moves (n={SCALE_SMALL_N}, sparse)"
-    );
+    assert_move_prefix(&mv_q1024, &mv_b1024, "n=1024 queue vs bitset");
+    assert_move_prefix(&mv_q1024, &mv_s1024, "n=1024 queue vs sparse");
     let (scale_q16384, mv_q16384) =
         measure_kernel_scale(SCALE_MID_N, SCALE_ACTIVATIONS, CostKernel::Queue);
     let (scale_s16384, mv_s16384) =
         measure_kernel_scale(SCALE_MID_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
-    assert_eq!(
-        mv_q16384, mv_s16384,
-        "kernels must commit identical moves (n={SCALE_MID_N})"
-    );
+    assert_move_prefix(&mv_q16384, &mv_s16384, "n=16384 queue vs sparse");
     let sparse_speedup_16384 = scale_s16384 / scale_q16384;
     let (scale_s100k, _) =
         measure_kernel_scale(SCALE_LARGE_N, SCALE_ACTIVATIONS, CostKernel::Sparse);
     let _ = writeln!(
         json,
-        "  \"kernel_scale_workload\": \"unit-budget best-swap partial activations, {SCALE_ACTIVATIONS} activations per kernel, move-sequence-asserted\","
+        "  \"kernel_scale_workload\": \"unit-budget best-swap partial activations, \
+         <={SCALE_ACTIVATIONS} activations per kernel within a {SCALE_TIME_BUDGET_SECS:.0}s \
+         leg budget, common-prefix move-asserted\","
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_queue_n1024\": {scale_q1024:.1},"
+        "  \"kernel_steps_per_sec_queue_n1024\": {},",
+        sig3(scale_q1024)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_bitset_n1024\": {scale_b1024:.1},"
+        "  \"kernel_steps_per_sec_bitset_n1024\": {},",
+        sig3(scale_b1024)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_sparse_n1024\": {scale_s1024:.1},"
+        "  \"kernel_steps_per_sec_sparse_n1024\": {},",
+        sig3(scale_s1024)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_queue_n16384\": {scale_q16384:.1},"
+        "  \"kernel_steps_per_sec_queue_n16384\": {},",
+        sig3(scale_q16384)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_sparse_n16384\": {scale_s16384:.1},"
+        "  \"kernel_steps_per_sec_sparse_n16384\": {},",
+        sig3(scale_s16384)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_sparse_speedup_n16384\": {sparse_speedup_16384:.2},"
+        "  \"kernel_sparse_speedup_n16384\": {},",
+        sig3(sparse_speedup_16384)
     );
     let _ = writeln!(
         json,
-        "  \"kernel_steps_per_sec_sparse_n100000\": {scale_s100k:.1},"
+        "  \"kernel_steps_per_sec_sparse_n100000\": {},",
+        sig3(scale_s100k)
     );
     let _ = writeln!(json, "  \"peak_rss_mib\": {:.1},", peak_rss_mib());
 
@@ -522,11 +564,87 @@ fn main() {
         Counter::KernelPricedSparse,
         Counter::KernelPruneSkipSparse,
     );
+    // Retained-base health: a same-source re-audit trace (the
+    // audit/verification shape) must absorb nearly every commit with
+    // the commit-time repair path instead of a full base BFS. The
+    // counters are exact, so the shape — not the wall clock — is what
+    // gets recorded (crates/core/tests/perf_guard.rs enforces the same
+    // shape in CI).
+    bbncg_obs::reset();
+    const REPAIR_N: usize = 4096;
+    const REPAIR_COMMITS: usize = 24;
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let budgets = BudgetVector::uniform(REPAIR_N, 1);
+        let mut r = Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+        let mut engine = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
+        for commit in 0..REPAIR_COMMITS {
+            let mover = NodeId::new(1 + commit % 8);
+            let new_t = NodeId::new(16 + (commit * 37) % (REPAIR_N - 16));
+            if new_t != mover {
+                r.set_strategy(mover, vec![new_t]);
+            }
+            engine.begin(&r, NodeId::new(0), CostModel::Sum);
+            let probe = NodeId::new(1 + commit % (REPAIR_N - 1));
+            let _ = engine.cost_of(&[probe]);
+        }
+        // Engine drops here, flushing its tally into the registry.
+    }
+    let repaired = bbncg_obs::counter_value(Counter::KernelBaseRepaired) as f64;
+    let full_bfs = bbncg_obs::counter_value(Counter::KernelBaseBfs) as f64;
+    let repair_rate = repaired / (repaired + full_bfs).max(1.0);
+    let repair_p90 = bbncg_obs::histogram_snapshot(bbncg_obs::Histogram::RepairAffected).p90();
+
+    // Sparse-only pruning machinery on a budget-2 workload (budget 1
+    // never reuses a per-target bound within a session, so this leg is
+    // where the bound cache and in-flight aborts show up).
+    bbncg_obs::reset();
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        let budgets = BudgetVector::uniform(SCALE_SMALL_N, 2);
+        let mut state =
+            Realization::new(generators::random_realization(budgets.as_slice(), &mut rng));
+        let mut scratch = DeviationScratch::with_kernel(&state, CostKernel::Sparse);
+        for i in 0..SCALE_ACTIVATIONS {
+            let u = NodeId::new(i % SCALE_SMALL_N);
+            if state.graph().out_degree(u) == 0 {
+                continue;
+            }
+            let applied = best_swap_response_with(&mut scratch, &state, u, CostModel::Sum)
+                .and_then(|c| (c.cost < scratch.cost_of(state.strategy(u))).then_some(c.targets));
+            if let Some(targets) = applied {
+                state.set_strategy(u, targets);
+            }
+        }
+    }
+    let aborts = bbncg_obs::counter_value(Counter::KernelPruneAbortSparse) as f64;
+    let priced_sparse = bbncg_obs::counter_value(Counter::KernelPricedSparse) as f64;
+    let abort_rate = aborts / priced_sparse.max(1.0);
+    let bound_hits = bbncg_obs::counter_value(Counter::KernelBoundCacheHits) as f64;
+    let bound_misses = bbncg_obs::counter_value(Counter::KernelBoundCacheMisses) as f64;
+    let bound_cache_hit_rate = bound_hits / (bound_hits + bound_misses).max(1.0);
+
     let _ = writeln!(json, "  \"rounds_commit_rate\": {rounds_commit_rate:.4},");
     let _ = writeln!(json, "  \"rounds_discard_rate\": {rounds_discard_rate:.4},");
     let _ = writeln!(json, "  \"prune_hit_rate_queue\": {prune_queue:.4},");
     let _ = writeln!(json, "  \"prune_hit_rate_bitset\": {prune_bitset:.4},");
-    let _ = writeln!(json, "  \"prune_hit_rate_sparse\": {prune_sparse:.4}");
+    let _ = writeln!(json, "  \"prune_hit_rate_sparse\": {prune_sparse:.4},");
+    let _ = writeln!(
+        json,
+        "  \"repair_workload\": \"same-source re-audit trace n={REPAIR_N} \
+         ({REPAIR_COMMITS} commits); abort/bound-cache leg: budget-2 best-swap \
+         n={SCALE_SMALL_N} ({SCALE_ACTIVATIONS} activations)\","
+    );
+    let _ = writeln!(json, "  \"kernel_base_repair_rate\": {repair_rate:.4},");
+    let _ = writeln!(json, "  \"kernel_repair_affected_p90\": {repair_p90},");
+    let _ = writeln!(
+        json,
+        "  \"kernel_prune_abort_rate_sparse\": {abort_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_bound_cache_hit_rate\": {bound_cache_hit_rate:.4}"
+    );
     let _ = writeln!(json, "}}");
     // Atomic publish: write a sibling temp file, then rename it over
     // the target, so a concurrent reader (CI diffing a trajectory,
@@ -545,17 +663,15 @@ fn main() {
         "acceptance: bitset kernel must be >= 2x the queue kernel at n={KERNEL_N} \
          (got {speedup256:.2}x)"
     );
-    // The sparse kernel's >=5x-vs-queue bar at n=16384 is recorded but
-    // *not* enforced: it has never held on the 1-CPU bench host (the
-    // measured ratio is ~1x — the PR 6 snapshot predating these fields
-    // was in fact a partial run whose panic here aborted the script,
-    // which is the overwrite hazard the atomic publish above fixes).
-    // Keeping it a warning lets the snapshot finish and record the
-    // honest trajectory instead of silently shipping stale fields.
-    if sparse_speedup_16384 < 5.0 {
+    // The sparse kernel's >=3x-vs-queue bar at n=16384 (the
+    // cross-activation-retention PR's acceptance target; the original
+    // PR 6 aspiration was >=5x) is recorded but *not* asserted, so a
+    // regression still publishes an honest complete snapshot instead
+    // of aborting the script and leaving stale fields behind.
+    if sparse_speedup_16384 < 3.0 {
         eprintln!(
             "WARNING: sparse kernel is only {sparse_speedup_16384:.2}x the queue kernel at \
-             n={SCALE_MID_N} (the PR 6 target was >=5x); see ROADMAP item 2 headroom"
+             n={SCALE_MID_N} (target >=3x); see ROADMAP item 2"
         );
     }
     // Speculative rounds buy wall-clock through real hardware

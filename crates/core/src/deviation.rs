@@ -64,7 +64,51 @@ struct ObsTally {
     base_bfs: u64,
     /// Pricing sessions opened.
     sessions: u64,
+    /// Retained base profiles repaired in place (no base BFS).
+    base_repaired: u64,
+    /// Retained-base repair attempts abandoned (stale epoch, journal
+    /// overflow, or damage over the threshold) — fell back to a BFS.
+    repair_fallbacks: u64,
+    /// Sparse pricings aborted mid-repair by the incumbent bound
+    /// (each also counted in `prune_skips`).
+    prune_aborts: u64,
+    /// Per-target candidate-bound cache hits / misses.
+    bound_hits: u64,
+    bound_misses: u64,
 }
+
+/// Cross-activation retention bookkeeping for the sparse tier: while a
+/// base profile is retained for some source `s`, every premise edit
+/// (strategy diff by a player other than `s` — `s`'s own arcs are
+/// never part of its premise graph) is journalled as raw arc deltas.
+/// The next `begin(s)` nets the journal into presence transitions and
+/// repairs the base in place instead of rerunning the O(n + m) BFS.
+#[derive(Debug, Default)]
+struct Retention {
+    /// `(owner, target, ±1)` arc deltas since the retained rebase.
+    pending: Vec<(NodeId, NodeId, i32)>,
+    /// Journal gave up (too many edits to be worth netting); the next
+    /// same-source session must rebase.
+    overflow: bool,
+    /// `CompactCsr::edge_epoch()` right after the last journalled edit
+    /// (or rebase). A mismatch at repair time means an edit bypassed
+    /// the journal, so the retained state cannot be trusted.
+    epoch: u64,
+}
+
+/// Journal capacity before retention gives up: past this many raw arc
+/// deltas a full base BFS is competitive with netting + repairing.
+const RETENTION_CAP: usize = 256;
+
+/// Overshoot radius for the abort-ball propagation (sparse tier, SUM
+/// model): an incumbent abort keeps repairing until its certified
+/// bound clears the incumbent by this many levels' worth of sum,
+/// which prunes every later single-target candidate within that
+/// premise-graph radius of the seed at O(1). Each extra level costs
+/// one BFS level (~a frontier's width); each pruned candidate saves a
+/// whole bounded repair — on long-diameter components the trade is
+/// lopsidedly in the ball's favour.
+const BALL_OVERSHOOT: u64 = 64;
 
 /// The editable undirected mirror backing a deviation engine: the
 /// queue/bitset tiers keep the slack-padded [`PatchableCsr`] (O(1)
@@ -172,6 +216,39 @@ pub struct DeviationScratch {
     /// Active session: `(player, model)`; the player's arcs are
     /// currently lifted out of `patch`.
     active: Option<(NodeId, CostModel)>,
+    /// Cross-activation retention journal (sparse tier; see
+    /// [`Retention`]).
+    retention: Retention,
+    /// Per-target candidate-bound memo for the current base profile
+    /// (sparse tier): `tb_stamp[t] == tb_epoch` makes `tb_gain[t]` (the
+    /// landmark gain cap) and `tb_extra[t]` (target is not an
+    /// in-neighbour) valid. Strategies share targets, so multi-slot
+    /// searches hit this cache once per (target, base profile) instead
+    /// of recomputing per candidate.
+    tb_stamp: Vec<u32>,
+    tb_gain: Vec<u64>,
+    tb_extra: Vec<bool>,
+    tb_epoch: u32,
+    /// Per-target *cost* lower bounds propagated out of overshot
+    /// incumbent aborts (sparse tier, single-target candidates): when
+    /// a pricing of `[t]` aborts with a certified bound well over the
+    /// incumbent, every vertex `v` the repair touched near `t` gets
+    /// `tb_lb[v] = bound − reachable·d(t, v)` — a sound total-cost
+    /// floor for the candidate `[v]` in this session (same component,
+    /// same disconnection penalty). Candidates whose floor meets the
+    /// incumbent skip their BFS entirely. `tb_lb_stamp` shares
+    /// `tb_epoch` with the bound memo above.
+    tb_lb_stamp: Vec<u32>,
+    tb_lb: Vec<u64>,
+    /// Reusable `(vertex, distance)` buffer for the overshoot ball.
+    ball_buf: Vec<(NodeId, u32)>,
+    /// Memoized cost of the player's *current* strategy this session
+    /// (the improvement gate prices it after the rules already did).
+    memo_current: Option<u64>,
+    /// Net-diff scratch for the repair decision.
+    diff_net: Vec<(NodeId, NodeId, i32)>,
+    diff_removed: Vec<(NodeId, NodeId)>,
+    diff_inserted: Vec<(NodeId, NodeId)>,
     label_buf: Vec<u32>,
     dedup_buf: Vec<NodeId>,
     /// Candidate-target pool, lent to best-response search loops.
@@ -187,9 +264,19 @@ pub struct DeviationScratch {
 /// removed arc clears its bit only when the patch (already updated)
 /// lost the last occurrence of the edge — a brace owned from the other
 /// side keeps the bit alive.
+///
+/// On the sparse tier this is also the single funnel every premise
+/// edit flows through, so the retention journal is maintained here:
+/// edits by players other than the retained source are recorded as
+/// raw arc deltas (the source's own arcs are excluded from its premise
+/// graph, so its edits — including the detach/attach session protocol
+/// — are net zero and skipped), and the recorded edge epoch is
+/// advanced so a bypassing edit is detectable at repair time.
 fn apply_strategy_patch(
     patch: &mut Backing,
     bits: Option<&mut BitAdjacency>,
+    retention: &mut Retention,
+    retained_source: Option<NodeId>,
     owner: NodeId,
     old: &[NodeId],
     new: &[NodeId],
@@ -203,6 +290,24 @@ fn apply_strategy_patch(
         }
         for &t in new.iter().filter(|t| !old.contains(t)) {
             bits.set_edge(owner, t);
+        }
+    }
+    if let Backing::Compact(c) = patch {
+        if let Some(s) = retained_source {
+            if owner != s && !retention.overflow {
+                if retention.pending.len() + old.len() + new.len() > RETENTION_CAP {
+                    retention.overflow = true;
+                    retention.pending.clear();
+                } else {
+                    for &t in old {
+                        retention.pending.push((owner, t, -1));
+                    }
+                    for &t in new {
+                        retention.pending.push((owner, t, 1));
+                    }
+                }
+            }
+            retention.epoch = c.edge_epoch();
         }
     }
 }
@@ -246,6 +351,18 @@ impl DeviationScratch {
             comp_sizes: Vec::new(),
             distinct_in: 0,
             active: None,
+            retention: Retention::default(),
+            tb_stamp: Vec::new(),
+            tb_gain: Vec::new(),
+            tb_extra: Vec::new(),
+            tb_epoch: 0,
+            tb_lb_stamp: Vec::new(),
+            tb_lb: Vec::new(),
+            ball_buf: Vec::new(),
+            memo_current: None,
+            diff_net: Vec::new(),
+            diff_removed: Vec::new(),
+            diff_inserted: Vec::new(),
             label_buf: Vec::with_capacity(8),
             dedup_buf: Vec::with_capacity(8),
             pool_buf: Vec::with_capacity(n),
@@ -277,6 +394,11 @@ impl DeviationScratch {
         if matches!(self.patch, Backing::Compact(_)) {
             // Sparse pricing is one decrease-only repair per candidate.
             bbncg_obs::counter_add(Counter::KernelSsspRepairs, t.priced);
+            bbncg_obs::counter_add(Counter::KernelBaseRepaired, t.base_repaired);
+            bbncg_obs::counter_add(Counter::KernelRepairFallbacks, t.repair_fallbacks);
+            bbncg_obs::counter_add(Counter::KernelPruneAbortSparse, t.prune_aborts);
+            bbncg_obs::counter_add(Counter::KernelBoundCacheHits, t.bound_hits);
+            bbncg_obs::counter_add(Counter::KernelBoundCacheMisses, t.bound_misses);
         }
     }
 
@@ -323,6 +445,8 @@ impl DeviationScratch {
             apply_strategy_patch(
                 &mut self.patch,
                 self.bits.as_mut(),
+                &mut self.retention,
+                self.sssp.source(),
                 u,
                 &[],
                 self.mirror.out(u),
@@ -345,7 +469,15 @@ impl DeviationScratch {
             let want = r.graph().out(u);
             let have = self.mirror.out(u);
             if have != want {
-                apply_strategy_patch(&mut self.patch, self.bits.as_mut(), u, have, want);
+                apply_strategy_patch(
+                    &mut self.patch,
+                    self.bits.as_mut(),
+                    &mut self.retention,
+                    self.sssp.source(),
+                    u,
+                    have,
+                    want,
+                );
                 self.mirror.set_out_from_slice(u, want);
             }
         }
@@ -374,11 +506,14 @@ impl DeviationScratch {
         apply_strategy_patch(
             &mut self.patch,
             self.bits.as_mut(),
+            &mut self.retention,
+            self.sssp.source(),
             u,
             self.mirror.out(u),
             &[],
         );
         self.active = Some((u, model));
+        self.memo_current = None;
         self.recompute_components();
         self.recompute_distinct_in(u);
         if matches!(self.patch, Backing::Compact(_)) {
@@ -386,16 +521,36 @@ impl DeviationScratch {
         }
     }
 
-    /// Sparse-kernel session prep: one full BFS from `u` over the
-    /// detached graph fixes the base distance profile every candidate
-    /// repair starts from, and its histogram is folded into the
-    /// landmark gain tables that widen the per-candidate lower bound.
+    /// Sparse-kernel session prep: fix the base distance profile every
+    /// candidate repair starts from — by repairing the retained
+    /// profile in place when this player was also the previous
+    /// sparse source and the journalled premise diff is in-bounds,
+    /// otherwise by a full BFS from `u` over the detached graph — and
+    /// fold its histogram into the landmark gain tables that widen the
+    /// per-candidate lower bound.
     fn rebase_sparse_session(&mut self, u: NodeId) {
-        let Backing::Compact(c) = &self.patch else {
-            unreachable!("sparse session over padded backing");
-        };
-        self.tally.base_bfs += 1;
-        self.sssp.rebase(c, u);
+        if !self.try_repair_retained(u) {
+            let Backing::Compact(c) = &self.patch else {
+                unreachable!("sparse session over padded backing");
+            };
+            self.tally.base_bfs += 1;
+            self.sssp.rebase(c, u);
+            self.retention.pending.clear();
+            self.retention.overflow = false;
+            let Backing::Compact(c) = &self.patch else {
+                unreachable!();
+            };
+            self.retention.epoch = c.edge_epoch();
+        }
+        // Fresh base profile (either way) ⇒ new bound-cache epoch.
+        self.tb_epoch = self.tb_epoch.wrapping_add(1);
+        if self.tb_stamp.len() != self.n() {
+            self.tb_stamp = vec![self.tb_epoch.wrapping_sub(1); self.n()];
+            self.tb_gain = vec![0; self.n()];
+            self.tb_extra = vec![false; self.n()];
+            self.tb_lb_stamp = vec![self.tb_epoch.wrapping_sub(1); self.n()];
+            self.tb_lb = vec![0; self.n()];
+        }
         // gain_ub(bt) = Σ_v max(0, improvement cap of a target at base
         // distance bt on a vertex at base distance d), split by branch:
         //   d ≥ bt  → bt − 1          (suffix count × (bt−1))
@@ -416,6 +571,82 @@ impl DeviationScratch {
         }
         for d in (0..dmax).rev() {
             self.lmk_cnt_ge[d] = self.lmk_cnt_ge[d + 1] + hist[d] as u64;
+        }
+    }
+
+    /// Attempt to reuse the retained base profile for a new session of
+    /// the same source: net the journalled arc deltas into presence
+    /// transitions against the current premise graph (the player is
+    /// already detached here, so `patch` *is* the premise) and run the
+    /// bounded dynamic-SSSP repair. Returns `false` — caller must
+    /// rebase — when the source differs, the journal overflowed, the
+    /// edge epoch shows an unjournalled edit, or the deletion damage
+    /// exceeded the n/4 threshold.
+    fn try_repair_retained(&mut self, u: NodeId) -> bool {
+        if self.sssp.source() != Some(u) {
+            return false;
+        }
+        let Backing::Compact(c) = &self.patch else {
+            return false;
+        };
+        if self.retention.overflow || c.edge_epoch() != self.retention.epoch {
+            self.tally.repair_fallbacks += 1;
+            self.sssp.invalidate();
+            return false;
+        }
+        // Net the raw arc deltas per undirected edge.
+        self.diff_net.clear();
+        for &(a, b, d) in &self.retention.pending {
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            self.diff_net.push((a, b, d));
+        }
+        self.diff_net.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        self.diff_removed.clear();
+        self.diff_inserted.clear();
+        let mut i = 0;
+        while i < self.diff_net.len() {
+            let (a, b, _) = self.diff_net[i];
+            let mut delta = 0i32;
+            while i < self.diff_net.len() && (self.diff_net[i].0, self.diff_net[i].1) == (a, b) {
+                delta += self.diff_net[i].2;
+                i += 1;
+            }
+            if delta == 0 {
+                continue;
+            }
+            // Presence transition: multiplicity now (in the premise —
+            // the source's own arcs are detached and were never
+            // journalled, so the units agree) vs before the journal.
+            let now = c.neighbors(a).iter().filter(|&&x| x == b).count() as i64;
+            let before = now - delta as i64;
+            if before < 0 {
+                // Journal out of step with the graph — never expected;
+                // fail safe into a rebase.
+                self.tally.repair_fallbacks += 1;
+                self.sssp.invalidate();
+                return false;
+            }
+            if before > 0 && now == 0 {
+                self.diff_removed.push((a, b));
+            } else if before == 0 && now > 0 {
+                self.diff_inserted.push((a, b));
+            }
+        }
+        let threshold = (self.n() / 4).max(16);
+        match self
+            .sssp
+            .repair_batch(c, u, &self.diff_removed, &self.diff_inserted, threshold)
+        {
+            bbncg_graph::RepairOutcome::Repaired(touched) => {
+                self.tally.base_repaired += 1;
+                bbncg_obs::observe(bbncg_obs::Histogram::RepairAffected, touched as u64);
+                self.retention.pending.clear();
+                true
+            }
+            bbncg_graph::RepairOutcome::TooDamaged => {
+                self.tally.repair_fallbacks += 1;
+                false
+            }
         }
     }
 
@@ -500,8 +731,21 @@ impl DeviationScratch {
     /// Panics if no session is open.
     pub fn cost_of(&mut self, targets: &[NodeId]) -> u64 {
         let (u, _) = self.active.expect("no deviation session open");
+        // Rules price the player's current strategy and the
+        // improvement gate prices it again; one memo slot kills the
+        // second BFS (session state is fixed, so the cost is too).
+        let is_current = targets == self.mirror.out(u);
+        if is_current {
+            if let Some(c) = self.memo_current {
+                return c;
+            }
+        }
         let (kappa, _) = self.merge_stats(u, targets);
-        self.cost_with_kappa(targets, kappa)
+        let cost = self.cost_with_kappa(targets, kappa);
+        if is_current {
+            self.memo_current = Some(cost);
+        }
+        cost
     }
 
     /// Kernel-dispatched pricing with the component count already in
@@ -538,7 +782,7 @@ impl DeviationScratch {
     /// # Panics
     /// Panics if no session is open.
     pub fn cost_of_pruned(&mut self, targets: &[NodeId], incumbent: u64) -> Option<u64> {
-        let (bound, exact, kappa) = self.candidate_bound(targets);
+        let (bound, exact, kappa, reachable) = self.candidate_bound(targets);
         if bound >= incumbent {
             self.tally.prune_skips += 1;
             return None;
@@ -548,7 +792,115 @@ impl DeviationScratch {
             self.tally.prune_exact += 1;
             return Some(bound);
         }
+        // Sparse tier: price with a mid-repair incumbent abort — a
+        // candidate whose final cost provably meets the incumbent is
+        // abandoned part-way and reported as a prune skip (it can
+        // never be *strictly* better, so tie-breaking is unchanged).
+        if matches!(self.patch, Backing::Compact(_)) {
+            // Ball floor first: an earlier overshot abort may have
+            // already certified this single-target candidate at or
+            // over the incumbent — same skip semantics, zero BFS.
+            if let [t] = targets {
+                let ti = t.index();
+                if self.tb_lb_stamp[ti] == self.tb_epoch && self.tb_lb[ti] >= incumbent {
+                    self.tally.prune_skips += 1;
+                    return None;
+                }
+            }
+            return match self.cost_bounded(targets, kappa, reachable, incumbent) {
+                Some(cost) => Some(cost),
+                None => {
+                    self.tally.prune_skips += 1;
+                    self.tally.prune_aborts += 1;
+                    None
+                }
+            };
+        }
         Some(self.cost_with_kappa(targets, kappa))
+    }
+
+    /// Sparse pricing through [`SparseSssp::price_bounded`]: exact
+    /// stats unless the incumbent is provably unbeatable mid-repair.
+    fn cost_bounded(
+        &mut self,
+        targets: &[NodeId],
+        kappa: usize,
+        reachable: usize,
+        incumbent: u64,
+    ) -> Option<u64> {
+        let (u, model) = self.active.expect("no deviation session open");
+        let n = self.n();
+        let cinf = c_inf(n);
+        self.tally.priced += 1;
+        let budget = match model {
+            // SUM: cost = sum + (n − reachable)·C_inf, so the sum may
+            // not reach incumbent − penalty. `max_dist` is never read.
+            CostModel::Sum => bbncg_graph::PriceBudget {
+                sum: incumbent.saturating_sub((n - reachable) as u64 * cinf),
+                max: u32::MAX,
+                reachable,
+                need_max: false,
+            },
+            // MAX: disconnected candidates were priced exactly by the
+            // bound, so reachable == n and cost = eccentricity +
+            // (κ − 1)·C_inf.
+            CostModel::Max => bbncg_graph::PriceBudget {
+                sum: u64::MAX,
+                max: incumbent
+                    .saturating_sub((kappa as u64 - 1) * cinf)
+                    .min(u32::MAX as u64) as u32,
+                reachable,
+                need_max: true,
+            },
+        };
+        let Backing::Compact(c) = &self.patch else {
+            unreachable!("bounded pricing over padded backing");
+        };
+        // Single-target SUM candidates overshoot their abort so the
+        // certified bound clears the incumbent by BALL_OVERSHOOT
+        // levels' worth of sum — every vertex the repair touched
+        // within that radius inherits a total-cost floor at or over
+        // the incumbent and skips its own BFS later this session
+        // (see `tb_lb`).
+        let ball = matches!(model, CostModel::Sum) && targets.len() == 1 && budget.sum < u64::MAX;
+        let overshoot = if ball { BALL_OVERSHOOT } else { 0 };
+        let mut buf = std::mem::take(&mut self.ball_buf);
+        let res = self
+            .sssp
+            .price_bounded_ball(c, u, targets, &budget, overshoot, &mut buf);
+        match res {
+            Ok(stats) => {
+                self.ball_buf = buf;
+                Some(cost_from_bfs(
+                    model,
+                    n,
+                    kappa,
+                    stats.visited,
+                    stats.max_dist,
+                    stats.sum_dist,
+                ))
+            }
+            Err(lb_sum) => {
+                if ball && lb_sum > 0 {
+                    let penalty = (n - reachable) as u64 * cinf;
+                    let floor = lb_sum + penalty;
+                    let reach = reachable as u64;
+                    for &(v, d) in &buf {
+                        let vi = v.index();
+                        let vlb = floor.saturating_sub(reach * (d as u64 - 1));
+                        if self.tb_lb_stamp[vi] == self.tb_epoch {
+                            self.tb_lb[vi] = self.tb_lb[vi].max(vlb);
+                        } else {
+                            self.tb_lb_stamp[vi] = self.tb_epoch;
+                            self.tb_lb[vi] = vlb;
+                        }
+                    }
+                    buf.clear();
+                }
+                self.ball_buf = buf;
+                None
+            }
+        }
     }
 
     /// Lower bound on the cost of the *specific* candidate `targets`
@@ -564,25 +916,27 @@ impl DeviationScratch {
         self.candidate_bound(targets).0
     }
 
-    /// `(bound, is_exact, κ after the move)` for
+    /// `(bound, is_exact, κ after the move, reachable)` for
     /// [`Self::candidate_lower_bound`]; `is_exact` holds when the
     /// bound equals the true cost (every reached vertex provably at
     /// distance 1, or a MAX-model candidate that leaves the graph
-    /// disconnected). κ rides along so the pruned pricing path never
-    /// recomputes the merge stats.
-    fn candidate_bound(&mut self, targets: &[NodeId]) -> (u64, bool, usize) {
+    /// disconnected). κ and the reachable count ride along so the
+    /// pruned pricing path never recomputes the merge stats.
+    fn candidate_bound(&mut self, targets: &[NodeId]) -> (u64, bool, usize, usize) {
         let (u, model) = self.active.expect("no deviation session open");
         let (kappa, reachable) = self.merge_stats(u, targets);
         let n = self.n();
         if n <= 1 {
-            return (0, false, kappa);
+            return (0, false, kappa, reachable);
         }
         let cinf = c_inf(n);
         let sparse = matches!(self.patch, Backing::Compact(_));
         // |targets ∪ in-neighbours(u)|: targets are tiny, so dedup by
         // scan; in-neighbour membership via binary search in the sorted
         // distinct-in list `dedup_buf` built at session open. Sparse
-        // sessions fold the landmark accumulators into the same pass.
+        // sessions fold the landmark accumulators into the same pass,
+        // memoized per (target, base profile) — strategies share
+        // targets, so multi-slot searches pay each target once.
         let mut extra = 0usize;
         let mut gain: u64 = 0; // Σ landmark gain caps, in-component targets
         let mut out_targets = 0usize; // distinct targets outside the base component
@@ -591,19 +945,39 @@ impl DeviationScratch {
             if t == u || targets[..i].contains(&t) {
                 continue;
             }
-            if self.dedup_buf.binary_search(&t).is_err() {
-                extra += 1;
-            }
             if sparse {
+                let ti = t.index();
+                let (t_gain, t_extra) = if self.tb_stamp[ti] == self.tb_epoch {
+                    self.tally.bound_hits += 1;
+                    (self.tb_gain[ti], self.tb_extra[ti])
+                } else {
+                    self.tally.bound_misses += 1;
+                    let bd = self.sssp.base_dist(t);
+                    let g = if bd == UNREACHED {
+                        0
+                    } else {
+                        self.landmark_gain_ub(bd as usize)
+                    };
+                    let e = self.dedup_buf.binary_search(&t).is_err();
+                    self.tb_stamp[ti] = self.tb_epoch;
+                    self.tb_gain[ti] = g;
+                    self.tb_extra[ti] = e;
+                    (g, e)
+                };
+                if t_extra {
+                    extra += 1;
+                }
                 let bd = self.sssp.base_dist(t);
                 if bd == UNREACHED {
                     out_targets += 1;
                 } else {
-                    gain += self.landmark_gain_ub(bd as usize);
+                    gain += t_gain;
                     if bd > max_bt {
                         max_bt = bd;
                     }
                 }
+            } else if self.dedup_buf.binary_search(&t).is_err() {
+                extra += 1;
             }
         }
         let d1 = (self.distinct_in + extra).min(reachable - 1);
@@ -632,7 +1006,7 @@ impl DeviationScratch {
                     let widened = in_r0 + new_part + (n - reachable) as u64 * cinf;
                     bound = bound.max(widened);
                 }
-                (bound, all_at_one, kappa)
+                (bound, all_at_one, kappa, reachable)
             }
             CostModel::Max => {
                 if reachable == n {
@@ -652,11 +1026,11 @@ impl DeviationScratch {
                         };
                         bound = bound.max(widened);
                     }
-                    (bound, all_at_one, kappa)
+                    (bound, all_at_one, kappa, reachable)
                 } else {
                     // Disconnected MAX cost is κ'·n² regardless of the
                     // BFS: the local-diameter term saturates at n².
-                    (kappa as u64 * cinf, true, kappa)
+                    (kappa as u64 * cinf, true, kappa, reachable)
                 }
             }
         }
@@ -882,10 +1256,14 @@ mod tests {
                         assert!(lb <= cost, "bound {lb} > cost {cost} ({u}->{t} {model:?})");
                         // cost_of_pruned is exact below the incumbent…
                         assert_eq!(scratch.cost_of_pruned(&[v(t)], u64::MAX), Some(cost));
-                        // …and only ever skips candidates that cannot
-                        // strictly beat it.
-                        if scratch.cost_of_pruned(&[v(t)], cost).is_none() {
-                            assert!(lb >= cost);
+                        // …never skips a candidate that strictly beats
+                        // the incumbent (pruning + in-flight aborts are
+                        // lossless)…
+                        assert_eq!(scratch.cost_of_pruned(&[v(t)], cost + 1), Some(cost));
+                        // …and at incumbent == cost may skip (a tie
+                        // cannot strictly improve), but never misprices.
+                        if let Some(c) = scratch.cost_of_pruned(&[v(t)], cost) {
+                            assert_eq!(c, cost);
                         }
                     }
                 }

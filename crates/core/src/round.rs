@@ -199,7 +199,14 @@ pub(crate) fn respond(
 /// rebuilding per `par_map_init` call. Reuse is sound because
 /// [`DeviationScratch::begin`] re-syncs its mirror to the passed
 /// profile by diffing — a pooled engine that is several commits behind
-/// pays exactly the diff, nothing more.
+/// pays exactly the diff, nothing more. For the sparse kernel the
+/// pooled engine also carries its retained base-distance tree and the
+/// repair journal that records those diffs: when a worker's next
+/// activation lands on the same source (re-evaluation after an
+/// invalidated window, revalidation sweeps), the base is *repaired*
+/// from the journalled presence deltas instead of re-BFS'd, and any
+/// unjournalled or oversized damage falls back to a full rebase — so
+/// pooling changes cost, never pricing.
 pub(crate) struct PooledEngine<'a> {
     pool: &'a Mutex<Vec<DeviationScratch>>,
     engine: Option<DeviationScratch>,

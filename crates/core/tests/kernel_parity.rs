@@ -132,6 +132,53 @@ proptest! {
         }
     }
 
+    /// Cross-activation retention is exact: a persistent sparse scratch
+    /// re-auditing the same player across committed moves (diff-synced
+    /// through the patch journal, base *repaired* rather than rebuilt
+    /// where the damage allows) prices every candidate identically to a
+    /// queue scratch built fresh at each step — across move sequences
+    /// produced by all four rules and both models.
+    #[test]
+    fn retained_sparse_base_prices_exactly_across_commits(
+        n in 4usize..10, moves in 2usize..8, seed in 0u64..300,
+    ) {
+        let r0 = random_instance(n, seed);
+        for model in CostModel::ALL {
+            let mut r = r0.clone();
+            let watcher = v(0);
+            let mut sparse = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
+            let mut mover_scratch = DeviationScratch::with_kernel(&r, CostKernel::Queue);
+            for step in 0..moves {
+                // Audit the watcher on the retained base.
+                sparse.begin(&r, watcher, model);
+                let mut fresh = DeviationScratch::with_kernel(&r, CostKernel::Queue);
+                fresh.begin(&r, watcher, model);
+                for t in (0..n).map(NodeId::new).filter(|&t| t != watcher) {
+                    let want = fresh.cost_of(&[t]);
+                    prop_assert_eq!(sparse.cost_of(&[t]), want);
+                    prop_assert!(sparse.candidate_lower_bound(&[t]) <= want);
+                    // A strictly larger incumbent must price exactly
+                    // (in-flight aborts are lossless).
+                    prop_assert_eq!(sparse.cost_of_pruned(&[t], want + 1), Some(want));
+                }
+                // Commit another player's move, rotating the rule.
+                let mover = v(1 + step % (n - 1));
+                if r.graph().out_degree(mover) == 0 {
+                    continue;
+                }
+                let resp = match step % 4 {
+                    0 => Some(exact_best_response_with(&mut mover_scratch, &r, mover, model)),
+                    1 => Some(greedy_best_response_with(&mut mover_scratch, &r, mover, model)),
+                    2 => first_improving_response_with(&mut mover_scratch, &r, mover, model),
+                    _ => bbncg_core::best_swap_response_with(&mut mover_scratch, &r, mover, model),
+                };
+                if let Some(resp) = resp {
+                    r.set_strategy(mover, resp.targets);
+                }
+            }
+        }
+    }
+
     /// The candidate lower bound itself is sound: never above the true
     /// cost of the candidate it bounds.
     /// Soundness must hold for every kernel: the sparse kernel widens

@@ -1,0 +1,87 @@
+//! Counter-based perf guard for cross-activation base retention.
+//!
+//! No wall clock: the guard asserts the *shape* of the work, via the
+//! `bbncg-obs` repair/rebuild counters, on a fixed scripted dynamics
+//! trace at n = 4096. A persistent sparse engine re-audits one fixed
+//! player after every commit; each commit reaches the engine as a raw
+//! arc delta through the patch journal, so the engine must absorb it
+//! with the commit-time repair path instead of a full base BFS.
+//!
+//! This file holds exactly one `#[test]` on purpose: the obs registry
+//! is process-global and integration-test binaries run their tests in
+//! parallel threads, so a second test here could race the counters.
+
+use bbncg_core::{CostKernel, CostModel, DeviationScratch, Realization};
+use bbncg_graph::{generators, NodeId};
+use bbncg_obs::Counter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn retained_base_avoids_full_rebuilds_on_dynamics_trace() {
+    const N: usize = 4096;
+    const COMMITS: usize = 32;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let budgets = vec![1usize; N];
+    let mut r = Realization::new(generators::random_realization(&budgets, &mut rng));
+    let watcher = NodeId::new(0);
+
+    bbncg_obs::enable();
+    bbncg_obs::reset();
+
+    {
+        let mut engine = DeviationScratch::with_kernel(&r, CostKernel::Sparse);
+        let mut oracle = DeviationScratch::with_kernel(&r, CostKernel::Queue);
+        for commit in 0..COMMITS {
+            // Scripted commit: one player retargets its single arc —
+            // exactly the delta shape a dynamics step produces.
+            let mover = NodeId::new(1 + commit % 8);
+            let new_t = NodeId::new(16 + (commit * 37) % (N - 16));
+            if new_t != mover {
+                r.set_strategy(mover, vec![new_t]);
+            }
+            // Re-audit the watcher on the retained (now repaired) base.
+            let model = if commit % 2 == 0 {
+                CostModel::Sum
+            } else {
+                CostModel::Max
+            };
+            engine.begin(&r, watcher, model);
+            oracle.begin(&r, watcher, model);
+            for probe in 0..3usize {
+                let t = NodeId::new(1 + (commit * 11 + probe * 101) % (N - 1));
+                let want = oracle.cost_of(&[t]);
+                assert_eq!(engine.cost_of(&[t]), want, "commit {commit} probe {probe}");
+                // A strictly larger incumbent must price exactly
+                // (aborts are lossless).
+                assert_eq!(engine.cost_of_pruned(&[t], want + 1), Some(want));
+            }
+        }
+        // Engines drop here, flushing their tallies to the registry.
+    }
+
+    let full = bbncg_obs::counter_value(Counter::KernelBaseBfs);
+    let repaired = bbncg_obs::counter_value(Counter::KernelBaseRepaired);
+    let fallbacks = bbncg_obs::counter_value(Counter::KernelRepairFallbacks);
+
+    // The very first session has no retained base (one honest BFS);
+    // after that, at most one commit in eight may damage the base past
+    // the repair threshold.
+    assert!(
+        full <= 1 + (COMMITS as u64) / 8,
+        "retained base rebuilt too often: {full} full BFS over {COMMITS} commits \
+         (repaired {repaired}, fallbacks {fallbacks})"
+    );
+    // And the repair path must be doing the work, not a loophole.
+    assert!(
+        repaired >= (COMMITS as u64) * 3 / 4,
+        "repair path underused: {repaired} repairs over {COMMITS} commits \
+         (full {full}, fallbacks {fallbacks})"
+    );
+    // Every sparse session resolved its base exactly one way: a
+    // successful repair or a full BFS (fallbacks are a subset of the
+    // latter).
+    assert_eq!(full + repaired, COMMITS as u64);
+    assert!(fallbacks < full);
+}

@@ -37,18 +37,21 @@ const RULES: [ResponseRule; 4] = [
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Speculative ≡ sequential for all four rules × both kernels ×
-    /// both models × both activation orders, on random (often
+    /// Speculative ≡ sequential for all four rules × all three kernels
+    /// × both models × both activation orders, on random (often
     /// disconnected, brace-rich) instances. Random permutations use
     /// the same seeded RNG on both sides, so the executors see the
-    /// identical order stream.
+    /// identical order stream. The sparse kernel matters here: pooled
+    /// worker engines carry a retained base + repair journal across
+    /// windows, and presence-changing commits must flow into it as
+    /// journalled deltas without perturbing the committed trajectory.
     #[test]
     fn speculative_rounds_are_step_identical(n in 3usize..12, seed in 0u64..200) {
         let initial = random_instance(n, seed);
         for model in CostModel::ALL {
             for rule in RULES {
                 for order in [PlayerOrder::RoundRobin, PlayerOrder::RandomPermutation] {
-                    for kernel in [CostKernel::Queue, CostKernel::Bitset] {
+                    for kernel in [CostKernel::Queue, CostKernel::Bitset, CostKernel::Sparse] {
                         let cfg = DynamicsConfig {
                             rule,
                             order,

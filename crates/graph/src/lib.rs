@@ -68,4 +68,4 @@ pub use distance::{
 pub use metrics::GraphMetrics;
 pub use node::{node_ids, NodeId};
 pub use patch::PatchableCsr;
-pub use sssp::SparseSssp;
+pub use sssp::{PriceBudget, RepairOutcome, SparseSssp};

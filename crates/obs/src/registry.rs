@@ -80,12 +80,28 @@ pub enum Counter {
     KernelPruneSkipQueue,
     /// Candidates skipped by the Lemma 2.2 lower bound (bitset kernel).
     KernelPruneSkipBitset,
-    /// Candidates skipped by the Lemma 2.2 lower bound (sparse kernel).
+    /// Candidates skipped without a traversal (sparse kernel): the
+    /// Lemma 2.2 lower bound, in-flight incumbent aborts, and
+    /// overshoot-ball floors all land here.
     KernelPruneSkipSparse,
     /// Candidates priced exactly from the bound, without a BFS.
     KernelPruneExact,
     /// Decrease-only dynamic-SSSP repairs run by the sparse kernel.
     KernelSsspRepairs,
+    /// Retained base profiles repaired in place at session open
+    /// (instead of a full base BFS).
+    KernelBaseRepaired,
+    /// Retained-base repair attempts abandoned (damage over threshold,
+    /// epoch mismatch, or diff-journal overflow) — each one costs a
+    /// full base BFS.
+    KernelRepairFallbacks,
+    /// Sparse pricings aborted mid-repair by the incumbent bound
+    /// (counted inside the prune-skip totals as well).
+    KernelPruneAbortSparse,
+    /// Per-target candidate-bound cache hits (sparse sessions).
+    KernelBoundCacheHits,
+    /// Per-target candidate-bound cache misses (sparse sessions).
+    KernelBoundCacheMisses,
     /// Speculative windows opened by the parallel round executor.
     RoundsWindows,
     /// Speculative proposal evaluations (parallel best-response calls).
@@ -122,7 +138,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters in the catalogue.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in export order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -136,6 +152,11 @@ impl Counter {
         Counter::KernelPruneSkipSparse,
         Counter::KernelPruneExact,
         Counter::KernelSsspRepairs,
+        Counter::KernelBaseRepaired,
+        Counter::KernelRepairFallbacks,
+        Counter::KernelPruneAbortSparse,
+        Counter::KernelBoundCacheHits,
+        Counter::KernelBoundCacheMisses,
         Counter::RoundsWindows,
         Counter::RoundsEvals,
         Counter::RoundsCommits,
@@ -167,6 +188,13 @@ impl Counter {
             | Counter::KernelPruneSkipSparse => "bbncg_kernel_prune_skips_total",
             Counter::KernelPruneExact => "bbncg_kernel_prune_exact_total",
             Counter::KernelSsspRepairs => "bbncg_kernel_sssp_repairs_total",
+            Counter::KernelBaseRepaired | Counter::KernelRepairFallbacks => {
+                "bbncg_kernel_base_repairs_total"
+            }
+            Counter::KernelPruneAbortSparse => "bbncg_kernel_prune_aborts_total",
+            Counter::KernelBoundCacheHits | Counter::KernelBoundCacheMisses => {
+                "bbncg_kernel_bound_cache_total"
+            }
             Counter::RoundsWindows => "bbncg_rounds_windows_total",
             Counter::RoundsEvals => "bbncg_rounds_evals_total",
             Counter::RoundsCommits => "bbncg_rounds_commits_total",
@@ -192,6 +220,10 @@ impl Counter {
             Counter::KernelPricedQueue | Counter::KernelPruneSkipQueue => "kernel=\"queue\"",
             Counter::KernelPricedBitset | Counter::KernelPruneSkipBitset => "kernel=\"bitset\"",
             Counter::KernelPricedSparse | Counter::KernelPruneSkipSparse => "kernel=\"sparse\"",
+            Counter::KernelBaseRepaired => "outcome=\"repaired\"",
+            Counter::KernelRepairFallbacks => "outcome=\"fallback\"",
+            Counter::KernelBoundCacheHits => "result=\"hit\"",
+            Counter::KernelBoundCacheMisses => "result=\"miss\"",
             Counter::JobsSubmitted => "state=\"submitted\"",
             Counter::JobsCompleted => "state=\"completed\"",
             Counter::JobsFailed => "state=\"failed\"",
@@ -215,6 +247,15 @@ impl Counter {
             }
             Counter::KernelPruneExact => "Candidates priced exactly from the bound without a BFS",
             Counter::KernelSsspRepairs => "Decrease-only dynamic-SSSP repairs (sparse kernel)",
+            Counter::KernelBaseRepaired | Counter::KernelRepairFallbacks => {
+                "Retained-base repair attempts at session open, by outcome"
+            }
+            Counter::KernelPruneAbortSparse => {
+                "Sparse pricings aborted mid-repair by the incumbent bound"
+            }
+            Counter::KernelBoundCacheHits | Counter::KernelBoundCacheMisses => {
+                "Per-target candidate-bound cache lookups (sparse sessions)"
+            }
             Counter::RoundsWindows => "Speculative activation windows opened",
             Counter::RoundsEvals => "Speculative proposal evaluations",
             Counter::RoundsCommits => "Speculative proposals committed",
@@ -302,11 +343,14 @@ pub enum Histogram {
     HttpShutdownMicros,
     /// Latency of requests matching no route (µs).
     HttpOtherMicros,
+    /// Affected-set size of each retained-base repair (vertices reset
+    /// or improved by the commit-time dynamic-SSSP update).
+    RepairAffected,
 }
 
 impl Histogram {
     /// Number of histograms in the catalogue.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every histogram, in export order.
     pub const ALL: [Histogram; Histogram::COUNT] = [
@@ -323,6 +367,7 @@ impl Histogram {
         Histogram::HttpStreamMicros,
         Histogram::HttpShutdownMicros,
         Histogram::HttpOtherMicros,
+        Histogram::RepairAffected,
     ];
 
     /// Prometheus metric family name (shared across labelled variants).
@@ -332,6 +377,7 @@ impl Histogram {
             Histogram::PhaseMicros => "bbncg_scenario_phase_duration_us",
             Histogram::EventMicros => "bbncg_scenario_event_duration_us",
             Histogram::SeedMicros => "bbncg_scenario_seed_duration_us",
+            Histogram::RepairAffected => "bbncg_kernel_repair_affected_vertices",
             _ => "bbncg_http_request_duration_us",
         }
     }
@@ -359,6 +405,7 @@ impl Histogram {
             Histogram::PhaseMicros => "Scenario phase wall time in microseconds",
             Histogram::EventMicros => "Perturbation event application time in microseconds",
             Histogram::SeedMicros => "Per-seed scenario run time in microseconds",
+            Histogram::RepairAffected => "Affected-set size per retained-base repair",
             _ => "HTTP request latency in microseconds, by endpoint",
         }
     }

@@ -127,4 +127,59 @@ proptest! {
             }
         }
     }
+
+    /// Repair-vs-rebuild oracle under events: a *fixed* watcher
+    /// re-audited after every perturbation keeps its retained base —
+    /// same-size events flow in through diff-sync as raw arc deltas and
+    /// are absorbed by the commit-time repair path (or a full rebase
+    /// when the damage is too broad); either way pricing must match a
+    /// fresh queue engine exactly. A final resizing event checks the
+    /// retained state is dropped, not corrupted.
+    #[test]
+    fn retained_base_survives_event_timelines(n in 5usize..9, seed in 0u64..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets: Vec<usize> = (0..n).map(|i| 1 + (i + seed as usize) % 2).collect();
+        let mut state = Realization::new(
+            bbncg_graph::generators::random_realization(&budgets, &mut rng),
+        );
+        let mut engine = DeviationScratch::with_kernel(&state, CostKernel::Sparse);
+
+        fn audit(
+            engine: &mut DeviationScratch,
+            state: &Realization,
+        ) -> Result<(), TestCaseError> {
+            let watcher = NodeId::new(0);
+            let mut queue = DeviationScratch::with_kernel(state, CostKernel::Queue);
+            for model in CostModel::ALL {
+                engine.begin(state, watcher, model);
+                queue.begin(state, watcher, model);
+                let current = state.strategy(watcher).to_vec();
+                prop_assert_eq!(engine.cost_of(&current), queue.cost_of(&current));
+                for t in (0..state.n()).map(NodeId::new).filter(|&t| t != watcher) {
+                    let want = queue.cost_of(&[t]);
+                    prop_assert_eq!(engine.cost_of(&[t]), want);
+                    prop_assert!(engine.candidate_lower_bound(&[t]) <= want);
+                    prop_assert_eq!(engine.cost_of_pruned(&[t], want + 1), Some(want));
+                }
+            }
+            Ok(())
+        }
+
+        audit(&mut engine, &state)?;
+        // Same-size events: these reach the engine as diff-synced arc
+        // deltas, the shape the repair journal is built for.
+        state = events::delete_edges(&state, 1, true, &mut rng);
+        audit(&mut engine, &state)?;
+        let who = events::pick_nodes(&state, 1, &mut rng);
+        state = events::budget_shock(&state, &who, 1, &mut rng).unwrap();
+        audit(&mut engine, &state)?;
+        state = events::reorient(&state, &mut rng);
+        audit(&mut engine, &state)?;
+        state = events::delete_edges(&state, 2, false, &mut rng);
+        audit(&mut engine, &state)?;
+        // Resizing event: retention cannot survive, pricing still must.
+        let leavers = events::pick_departures(&state, 1, &mut rng);
+        state = events::depart(&state, &leavers, &mut rng).unwrap();
+        audit(&mut engine, &state)?;
+    }
 }

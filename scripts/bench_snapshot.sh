@@ -23,17 +23,21 @@
 #                                      asserted)
 #
 # Kernel scale fields (the sparse-kernel series — unit-budget
-# best-swap *partial activations*: each kernel prices the same fixed
-# round-robin activation budget from the same start, and the committed
-# move sequences are asserted identical, so the ratios are
-# workload-fair even where full trajectories are unaffordable):
+# best-swap *partial activations*: each kernel prices the same
+# round-robin activation stream from the same start, stopping at 8
+# activations or a 20s leg budget, whichever first (never fewer than
+# one); committed move sequences are asserted identical over the
+# common prefix, so the ratios stay workload-fair even where full
+# trajectories are unaffordable. Rates carry >=3 significant digits —
+# the n=100000 leg runs at activations per *minute*):
 #   kernel_scale_workload            — the workload description
 #   kernel_steps_per_sec_{queue,bitset,sparse}_n1024
 #                                    — three-way comparison inside the
 #                                      bitset Auto band
 #   kernel_steps_per_sec_{queue,sparse}_n16384
 #                                    — the sparse acceptance size; the
-#                                      binary asserts sparse >= 5x queue
+#                                      binary warns below 3x (the
+#                                      cross-activation-retention bar)
 #   kernel_sparse_speedup_n16384     — sparse/queue ratio at n=16384
 #   kernel_steps_per_sec_sparse_n100000
 #                                    — the large-n soak regime (sparse
@@ -83,7 +87,33 @@
 #                                    — Lemma 2.2 lower-bound skips /
 #                                      (skips + priced candidates) per
 #                                      kernel on the n=1024 scale
-#                                      workload
+#                                      workload. The three rates were
+#                                      byte-identical through PR 7
+#                                      because the skip decision is
+#                                      bound-based and kernel-agnostic;
+#                                      the sparse rate now genuinely
+#                                      diverges — in-flight incumbent
+#                                      aborts and overshoot-ball skips
+#                                      (candidates pre-certified by a
+#                                      neighbouring abort's bound)
+#                                      count as skips there
+#   repair_workload                  — the two counter-health legs for
+#                                      the fields below
+#   kernel_base_repair_rate          — commits absorbed by the
+#                                      retained-base repair path /
+#                                      all base resolutions, on a
+#                                      same-source re-audit trace at
+#                                      n=4096 (perf_guard.rs enforces
+#                                      the same shape in CI)
+#   kernel_repair_affected_p90       — p90 affected-set size per repair
+#   kernel_prune_abort_rate_sparse   — in-flight incumbent aborts /
+#                                      priced candidates on a budget-2
+#                                      best-swap leg at n=1024
+#   kernel_bound_cache_hit_rate      — per-target bound-cache hits /
+#                                      lookups on the same leg (budget
+#                                      1 never reuses a target's bound
+#                                      within a session, hence the
+#                                      dedicated budget-2 leg)
 #
 # Both JSON files carry a schema_version field (bumped on any
 # field add/rename/remove) and are published atomically
