@@ -13,6 +13,12 @@
 //! Output: a `BENCH_serve.json` snapshot (path = first arg, default
 //! `BENCH_serve.json`) with requests/sec and p50/p99 latency, written
 //! by `scripts/bench_snapshot.sh` alongside `BENCH_dynamics.json`.
+//! Before shutting the server down, the run scrapes `GET /metrics`
+//! and records the *server-side* view next to the client-side numbers
+//! (429 count, per-endpoint latency p99), so the two perspectives can
+//! be cross-checked: client `retries_429` must equal the server's
+//! rejected-counter, and a client/server p99 gap exposes queueing or
+//! transport overhead rather than handler cost.
 
 use bbncg_scenario::{parse_spec, run_scenario, MemorySink};
 use bbncg_serve::{client, spawn, ServerConfig};
@@ -53,10 +59,73 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
+/// One endpoint's cumulative histogram buckets: `(le, count)` pairs in
+/// exposition order, `le = None` for the `+Inf` sentinel.
+type BucketSeries = Vec<(Option<u64>, u64)>;
+
+/// The server-side view, parsed from one `GET /metrics` Prometheus
+/// scrape: total 429 rejections and per-endpoint p99 latency (µs,
+/// bucket upper bound) from the cumulative
+/// `bbncg_http_request_duration_us_bucket{endpoint=…,le=…}` series.
+fn parse_server_view(metrics: &str) -> (u64, Vec<(String, u64)>) {
+    let rejected = metrics
+        .lines()
+        .find(|l| l.starts_with("bbncg_http_rejected_total "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    // endpoint → cumulative (le, count) series, first-appearance order.
+    let mut series: Vec<(String, BucketSeries)> = Vec::new();
+    for line in metrics.lines() {
+        let Some(rest) = line.strip_prefix("bbncg_http_request_duration_us_bucket{endpoint=\"")
+        else {
+            continue;
+        };
+        let Some((endpoint, rest)) = rest.split_once("\",le=\"") else {
+            continue;
+        };
+        let Some((le, value)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        let le = if le == "+Inf" { None } else { le.parse().ok() };
+        let Ok(cumulative) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        match series.iter_mut().find(|(e, _)| e == endpoint) {
+            Some((_, buckets)) => buckets.push((le, cumulative)),
+            None => series.push((endpoint.to_string(), vec![(le, cumulative)])),
+        }
+    }
+    let mut p99s = Vec::new();
+    for (endpoint, buckets) in series {
+        let total = buckets.last().map(|&(_, c)| c).unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let need = (total as f64 * 0.99).ceil() as u64;
+        // First bucket holding the p99 observation; if only the +Inf
+        // bucket does, report the largest finite bound (the registry's
+        // top finite bucket is ~2^38 µs, so this is theoretical).
+        let p99 = buckets
+            .iter()
+            .find(|&&(le, c)| le.is_some() && c >= need)
+            .and_then(|&(le, _)| le)
+            .or_else(|| buckets.iter().rev().find_map(|&(le, _)| le))
+            .unwrap_or(0);
+        p99s.push((endpoint, p99));
+    }
+    (rejected, p99s)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    // The registry is off by default (zero-cost); switch it on so the
+    // end-of-run /metrics scrape carries real server-side numbers.
+    bbncg_obs::enable();
 
     let server = spawn(ServerConfig {
         workers: SERVER_WORKERS,
@@ -126,6 +195,11 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = started.elapsed().as_secs_f64();
+    // Scrape the server's own accounting before tearing it down.
+    let metrics = client::request(&addr, "GET", "/metrics", b"")
+        .expect("scrape /metrics")
+        .text();
+    let (server_rejected_429, server_p99) = parse_server_view(&metrics);
     server.shutdown(false);
     server.join();
 
@@ -140,13 +214,20 @@ fn main() {
     );
     assert_eq!(corrupted, 0, "corrupted streams detected");
 
+    let server_p99_json = server_p99
+        .iter()
+        .map(|(endpoint, us)| format!("\"{endpoint}\": {us}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"schema_version\": 2,\n  \
+        "{{\n  \"schema_version\": 3,\n  \
          \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
          \"server_workers\": {SERVER_WORKERS},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
          \"requests_total\": {total},\n  \"requests_per_sec\": {:.1},\n  \
          \"latency_p50_ms\": {:.2},\n  \"latency_p99_ms\": {:.2},\n  \
-         \"retries_429\": {},\n  \"dropped_streams\": 0,\n  \"corrupted_streams\": {corrupted}\n}}\n",
+         \"retries_429\": {},\n  \"dropped_streams\": 0,\n  \"corrupted_streams\": {corrupted},\n  \
+         \"server_rejected_429\": {server_rejected_429},\n  \
+         \"server_p99_us\": {{{server_p99_json}}}\n}}\n",
         total as f64 / wall,
         percentile(&all, 0.50),
         percentile(&all, 0.99),

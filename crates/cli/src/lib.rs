@@ -52,6 +52,7 @@ const SWITCHES: &[&str] = &[
     "--abort",
     "--obs",
     "--stats",
+    "--dry-run",
 ];
 
 impl Args {
@@ -780,7 +781,117 @@ pub fn cmd_submit(args: &Args) -> Result<String, String> {
         // comment trailer so the JSONL stream above stays unpolluted.
         let _ = writeln!(out, "# stats: {status}");
     }
+    if let Some(report_path) = args.get("report") {
+        // Fetch the server-rendered HTML report for the completed job
+        // (byte-identical to `bbncg report --from` on the streamed
+        // JSONL) and save it next to the stream output.
+        let resp = client::request(addr, "GET", &format!("/jobs/{id}/report"), b"")?;
+        if resp.status != 200 {
+            return Err(format!(
+                "report for job {id} answered HTTP {}: {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        std::fs::write(report_path, &resp.body)
+            .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "# report: wrote {} bytes to {report_path}",
+            resp.body.len()
+        );
+    }
     Ok(out)
+}
+
+/// `bbncg report` — declarative analysis reports: scenario JSONL in,
+/// one self-contained HTML page out (inline SVG, no scripts, no
+/// external assets).
+///
+/// * `report SPEC [--out FILE] [--from FILE] [--seed S] [--dry-run]` —
+///   execute a report spec: each listed analysis either consumes the
+///   scenario record stream (run fresh, or ingested from `--from`) or
+///   runs its own equilibrium sampling; `--dry-run` prints the plan
+///   and executes nothing.
+/// * `report --from FILE [--out FILE]` — no spec: the default "stream
+///   report" (convergence + recovery) straight from a JSONL file.
+///   Byte-identical to serve's `GET /jobs/{id}/report` for the same
+///   stream.
+pub fn cmd_report(args: &Args) -> Result<String, String> {
+    use bbncg_report::{parse_report, AnalysisSpec, ReportInputs, ReportSpec};
+    let from_path = args.get("from").map(str::to_string);
+    let spec_path = args.positional(0).map(str::to_string);
+    let dry_run = args.has("--dry-run");
+
+    let (mut spec, scenario_text) = match &spec_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
+            // Scenario paths resolve relative to the report spec file.
+            // A dry run only prints the plan, so it must not require
+            // the scenario file to exist.
+            let scenario_text = match (&spec.scenario, spec.needs_records() && !dry_run, &from_path)
+            {
+                (Some(rel), true, None) => {
+                    let base = std::path::Path::new(path)
+                        .parent()
+                        .unwrap_or_else(|| std::path::Path::new("."));
+                    let sp = base.join(rel);
+                    Some(
+                        std::fs::read_to_string(&sp)
+                            .map_err(|e| format!("cannot read scenario {}: {e}", sp.display()))?,
+                    )
+                }
+                _ => None,
+            };
+            (spec, scenario_text)
+        }
+        None => {
+            if from_path.is_none() {
+                return Err(
+                    "report needs a SPEC file, or --from FILE for the default stream report".into(),
+                );
+            }
+            let spec = ReportSpec {
+                title: "stream report".to_string(),
+                scenario: None,
+                seed: None,
+                analyses: vec![AnalysisSpec::Convergence, AnalysisSpec::Recovery],
+            };
+            (spec, None)
+        }
+    };
+    if let Some(s) = args.get("seed") {
+        spec.seed = Some(s.parse().map_err(|e| format!("--seed: {e}"))?);
+    }
+
+    if dry_run {
+        return Ok(bbncg_report::plan(&spec, from_path.as_deref()));
+    }
+
+    let jsonl = from_path
+        .as_deref()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}")))
+        .transpose()?;
+    let html = if spec_path.is_none() {
+        bbncg_report::render_stream_report(jsonl.as_deref().expect("checked above"))?
+    } else {
+        bbncg_report::run_report(
+            &spec,
+            ReportInputs {
+                scenario_text: scenario_text.as_deref(),
+                jsonl: jsonl.as_deref(),
+            },
+        )?
+    };
+    match args.get("out") {
+        Some(p) => {
+            std::fs::write(p, &html).map_err(|e| format!("cannot write {p}: {e}"))?;
+            Ok(format!("wrote {} bytes to {p}\n", html.len()))
+        }
+        None => Ok(html),
+    }
 }
 
 /// `bbncg dot FILE` — DOT rendering of a saved profile.
@@ -812,11 +923,13 @@ COMMANDS:
                   | resume SPEC --checkpoint FILE [--out FILE]
                   | validate SPEC...
                   (all: [--kernel queue|bitset|sparse|auto] [--rounds MODE], overriding the spec)
+  report          SPEC [--out FILE] [--from FILE] [--seed S] [--dry-run]
+                  | --from FILE [--out FILE]  (default stream report, no spec)
   serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR] [--rounds MODE]
                   [--obs]  (GET /metrics serves Prometheus text either way)
   submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
                   [--kernel K] [--rounds MODE] [--seed S] [--no-stream] [--stats]
-                  [--wait-server SECS]
+                  [--report FILE] [--wait-server SECS]
                   | --status --addr ... | --shutdown [--abort] --addr ...
   dot             FILE
 
@@ -848,6 +961,13 @@ metric records are JSONL, one line per phase.
 to /jobs, stream /jobs/{id}/stream, and the JSONL you get is byte-
 identical to the offline `scenario run` for the same spec and seed
 (429 = queue full; retry later). `submit` is the matching client.
+`report` renders declarative analysis reports (see README \"Reports\"):
+a TOML-subset spec lists analyses (convergence, recovery, poa-spectrum,
+census, obs-digest); the output is one self-contained HTML file with
+inline SVG charts plus schema-versioned JSON fragments. Serve exposes
+the same renderer as GET /jobs/{id}/report (fetch it with
+`submit --report FILE`), byte-identical to `report --from` on the
+job's streamed JSONL.
 ";
 
 /// Dispatch a full command line (without the program name).
@@ -887,6 +1007,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         "analyze" => cmd_analyze(&args),
         "exact-poa" => cmd_exact_poa(&args),
         "scenario" => cmd_scenario(&args),
+        "report" => cmd_report(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "dot" => cmd_dot(&args),
@@ -1207,6 +1328,150 @@ kind = "dynamics"
         }
         std::fs::remove_file(&spec).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    /// Every `--trace` line must be a complete JSON object with the
+    /// full documented span schema — `span`, `start_us`, `dur_us`,
+    /// `fields` (string-valued object), in that order — so downstream
+    /// consumers can parse the stream without per-line special cases.
+    #[test]
+    fn trace_lines_round_trip_full_span_schema() {
+        use bbncg_report::json::{parse, Json};
+        let dir = std::env::temp_dir();
+        let spec = dir.join("bbncg_cli_trace_schema.toml");
+        let trace = dir.join("bbncg_cli_trace_schema.jsonl");
+        std::fs::write(
+            &spec,
+            TINY_SCENARIO.replace("name = \"tiny\"", "name = \"trace-schema\""),
+        )
+        .unwrap();
+        run(&[
+            "scenario",
+            "run",
+            spec.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.lines().count() >= 3, "{jsonl}");
+        for line in jsonl.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            let Json::Obj(entries) = &v else {
+                panic!("trace line is not an object: {line}");
+            };
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["span", "start_us", "dur_us", "fields"], "{line}");
+            assert!(v.get("span").and_then(Json::as_str).is_some(), "{line}");
+            assert!(v.get("start_us").and_then(Json::as_u64).is_some(), "{line}");
+            assert!(v.get("dur_us").and_then(Json::as_u64).is_some(), "{line}");
+            let Some(Json::Obj(fields)) = v.get("fields") else {
+                panic!("fields is not an object: {line}");
+            };
+            for (k, fv) in fields {
+                assert!(fv.as_str().is_some(), "field {k} is not a string: {line}");
+            }
+        }
+        std::fs::remove_file(&spec).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    const TINY_REPORT: &str = r#"
+[report]
+title = "cli test report"
+scenario = "bbncg_cli_report_scenario.toml"
+
+[[analysis]]
+kind = "convergence"
+
+[[analysis]]
+kind = "recovery"
+"#;
+
+    #[test]
+    fn report_dry_run_prints_plan_without_executing() {
+        let dir = std::env::temp_dir();
+        let spec = dir.join("bbncg_cli_report_dry.toml");
+        // Deliberately do NOT write the scenario file: --dry-run must
+        // not read it, let alone run it.
+        std::fs::write(
+            &spec,
+            TINY_REPORT.replace(
+                "bbncg_cli_report_scenario.toml",
+                "bbncg_cli_report_missing.toml",
+            ),
+        )
+        .unwrap();
+        let plan = run(&["report", spec.to_str().unwrap(), "--dry-run"]).unwrap();
+        assert!(plan.contains("report: cli test report"), "{plan}");
+        assert!(plan.contains("convergence"), "{plan}");
+        assert!(plan.contains("recovery"), "{plan}");
+        assert!(!plan.contains("<html"), "{plan}");
+        std::fs::remove_file(&spec).ok();
+    }
+
+    #[test]
+    fn report_runs_from_spec_and_from_stream() {
+        let dir = std::env::temp_dir();
+        let scenario = dir.join("bbncg_cli_report_scenario.toml");
+        let spec = dir.join("bbncg_cli_report.toml");
+        let jsonl_path = dir.join("bbncg_cli_report.jsonl");
+        let out = dir.join("bbncg_cli_report.html");
+        std::fs::write(&scenario, TINY_SCENARIO).unwrap();
+        std::fs::write(&spec, TINY_REPORT).unwrap();
+
+        // Spec-driven run, written to --out.
+        let msg = run(&[
+            "report",
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let html = std::fs::read_to_string(&out).unwrap();
+        assert!(html.contains("cli test report"), "missing title");
+        assert!(html.contains("id=\"convergence\""), "missing section");
+        assert!(html.contains("id=\"recovery\""), "missing section");
+        assert_eq!(bbncg_report::self_containment_violation(&html), None);
+
+        // Stream report from a captured JSONL file must be byte-equal
+        // to the library renderer on the same bytes (the serve parity
+        // contract).
+        run(&[
+            "scenario",
+            "run",
+            scenario.to_str().unwrap(),
+            "--out",
+            jsonl_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        let via_cli = run(&["report", "--from", jsonl_path.to_str().unwrap()]).unwrap();
+        let via_lib = bbncg_report::render_stream_report(&jsonl).unwrap();
+        assert_eq!(via_cli, via_lib);
+
+        std::fs::remove_file(&scenario).ok();
+        std::fs::remove_file(&spec).ok();
+        std::fs::remove_file(&jsonl_path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn report_errors_are_descriptive() {
+        assert!(run(&["report"]).unwrap_err().contains("SPEC"));
+        assert!(run(&["report", "nope.toml"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let bad = std::env::temp_dir().join("bbncg_cli_report_bad.toml");
+        std::fs::write(
+            &bad,
+            "[report]\ntitle = \"x\"\n[[analysis]]\nkind = \"frob\"\n",
+        )
+        .unwrap();
+        let err = run(&["report", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("frob"), "{err}");
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

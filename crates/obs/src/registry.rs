@@ -339,6 +339,9 @@ pub enum Histogram {
     /// `GET /jobs/{id}/stream` request latency (µs; includes the full
     /// stream, so long-poll follows dominate the top buckets).
     HttpStreamMicros,
+    /// `GET /jobs/{id}/report` request latency (µs; includes waiting
+    /// for the job to finish plus the render).
+    HttpReportMicros,
     /// `POST /shutdown` request latency (µs).
     HttpShutdownMicros,
     /// Latency of requests matching no route (µs).
@@ -350,7 +353,7 @@ pub enum Histogram {
 
 impl Histogram {
     /// Number of histograms in the catalogue.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every histogram, in export order.
     pub const ALL: [Histogram; Histogram::COUNT] = [
@@ -365,6 +368,7 @@ impl Histogram {
         Histogram::HttpJobStatusMicros,
         Histogram::HttpCancelMicros,
         Histogram::HttpStreamMicros,
+        Histogram::HttpReportMicros,
         Histogram::HttpShutdownMicros,
         Histogram::HttpOtherMicros,
         Histogram::RepairAffected,
@@ -392,6 +396,7 @@ impl Histogram {
             Histogram::HttpJobStatusMicros => "endpoint=\"job_status\"",
             Histogram::HttpCancelMicros => "endpoint=\"cancel\"",
             Histogram::HttpStreamMicros => "endpoint=\"stream\"",
+            Histogram::HttpReportMicros => "endpoint=\"report\"",
             Histogram::HttpShutdownMicros => "endpoint=\"shutdown\"",
             Histogram::HttpOtherMicros => "endpoint=\"other\"",
             _ => "",

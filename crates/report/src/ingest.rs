@@ -1,0 +1,208 @@
+//! Ingesting scenario metric streams: JSONL lines (or in-process
+//! [`MetricRecord`]s) → [`Record`]s the analyses consume.
+//!
+//! The stream schema is versioned (`schema_version`, absent = v1): v1
+//! streams predate the field, v2 added it. Both parse to the same
+//! [`Record`]; analyses never branch on the version.
+
+use crate::json::{self, Json};
+use bbncg_scenario::MetricRecord;
+
+/// One ingested metric record — [`MetricRecord`] with owned strings
+/// (the JSONL side has no `&'static str` kinds) plus the stream's
+/// schema version.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Stream schema version (1 when the line carried no field).
+    pub schema_version: u64,
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// 0-based phase index (`phases.len()` for the summary record).
+    pub phase: u64,
+    /// Phase kind (`"dynamics"`, `"arrive"`, …, `"summary"`).
+    pub kind: String,
+    /// Players after the phase.
+    pub n: u64,
+    /// Arcs after the phase.
+    pub arcs: u64,
+    /// Applied deviations.
+    pub steps: u64,
+    /// Completed dynamics rounds.
+    pub rounds: u64,
+    /// Social cost: diameter, or `n²` when disconnected.
+    pub social_cost: u64,
+    /// Finite diameter, if connected.
+    pub diameter: Option<u64>,
+    /// Dynamics phases: did the phase converge?
+    pub converged: Option<bool>,
+    /// Dynamics phases: was a best-response cycle proven?
+    pub cycled: Option<bool>,
+    /// Stable FNV-1a hash of the post-phase profile (16 hex digits).
+    pub state_hash: String,
+}
+
+impl Record {
+    /// Ingest an in-process record (a fresh run's `MemorySink`), so
+    /// fresh runs and `--from` streams share one analysis path.
+    pub fn from_metric(rec: &MetricRecord) -> Record {
+        Record {
+            schema_version: bbncg_scenario::sink::SCHEMA_VERSION,
+            scenario: rec.scenario.clone(),
+            seed: rec.seed,
+            phase: rec.phase as u64,
+            kind: rec.kind.to_string(),
+            n: rec.n as u64,
+            arcs: rec.arcs as u64,
+            steps: rec.steps as u64,
+            rounds: rec.rounds as u64,
+            social_cost: rec.social_cost,
+            diameter: rec.diameter.map(u64::from),
+            converged: rec.converged,
+            cycled: rec.cycled,
+            state_hash: format!("{:016x}", rec.state_hash),
+        }
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn field_opt_bool(v: &Json, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(format!(
+            "field {key:?} must be boolean or null, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// Parse one JSONL line into a [`Record`].
+pub fn parse_record(line: &str) -> Result<Record, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(format!("expected a JSON object, got {}", v.type_name()));
+    }
+    let schema_version = match v.get("schema_version") {
+        // Pre-versioning streams are v1 by definition.
+        None => 1,
+        Some(sv) => sv
+            .as_u64()
+            .ok_or_else(|| "schema_version must be an integer".to_string())?,
+    };
+    let diameter = match v.get("diameter") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| "diameter must be an integer or null".to_string())?,
+        ),
+    };
+    Ok(Record {
+        schema_version,
+        scenario: field_str(&v, "scenario")?,
+        seed: field_u64(&v, "seed")?,
+        phase: field_u64(&v, "phase")?,
+        kind: field_str(&v, "kind")?,
+        n: field_u64(&v, "n")?,
+        arcs: field_u64(&v, "arcs")?,
+        steps: field_u64(&v, "steps")?,
+        rounds: field_u64(&v, "rounds")?,
+        social_cost: field_u64(&v, "social_cost")?,
+        diameter,
+        converged: field_opt_bool(&v, "converged")?,
+        cycled: field_opt_bool(&v, "cycled")?,
+        state_hash: field_str(&v, "state_hash")?,
+    })
+}
+
+/// Parse a whole JSONL stream; blank lines are skipped, anything else
+/// malformed fails with its 1-based line number.
+pub fn parse_lines(text: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_record(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    if out.is_empty() {
+        return Err("record stream is empty".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricRecord {
+        MetricRecord {
+            scenario: "tiny".to_string(),
+            seed: 3,
+            phase: 1,
+            kind: "dynamics",
+            n: 6,
+            arcs: 6,
+            steps: 4,
+            rounds: 2,
+            social_cost: 3,
+            diameter: Some(3),
+            converged: Some(true),
+            cycled: Some(false),
+            state_hash: 0xabc,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_ingester() {
+        let rec = sample();
+        let parsed = parse_record(&rec.to_json()).unwrap();
+        assert_eq!(parsed, Record::from_metric(&rec));
+        assert_eq!(parsed.schema_version, bbncg_scenario::sink::SCHEMA_VERSION);
+        assert_eq!(parsed.state_hash, "0000000000000abc");
+    }
+
+    #[test]
+    fn absent_schema_version_means_v1() {
+        let line = "{\"scenario\":\"t\",\"seed\":0,\"phase\":0,\"kind\":\"summary\",\
+                    \"n\":4,\"arcs\":4,\"steps\":0,\"rounds\":0,\"social_cost\":2,\
+                    \"diameter\":2,\"converged\":null,\"cycled\":null,\
+                    \"state_hash\":\"0000000000000001\"}";
+        let parsed = parse_record(line).unwrap();
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.diameter, Some(2));
+        assert_eq!(parsed.converged, None);
+    }
+
+    #[test]
+    fn parse_lines_skips_blanks_and_pins_errors_to_lines() {
+        let rec = sample();
+        let text = format!("\n{}\n\n{}\n", rec.to_json(), rec.to_json());
+        assert_eq!(parse_lines(&text).unwrap().len(), 2);
+
+        let bad = format!("{}\nnot json\n", rec.to_json());
+        let err = parse_lines(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+
+        assert!(parse_lines("\n\n").is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_loud() {
+        assert!(parse_record("{\"scenario\":\"t\"}").is_err());
+        assert!(parse_record("[1]").is_err());
+    }
+}

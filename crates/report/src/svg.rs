@@ -1,0 +1,353 @@
+//! Dependency-free inline SVG charts: line series, bars, CDF steps.
+//!
+//! Every chart is a single `<svg>` element with fixed geometry and all
+//! coordinates printed at one decimal place — the HTML artifact must be
+//! byte-stable across runs and platforms, so no floating formatting is
+//! left to chance. Styling rides on the page's inline stylesheet
+//! (classes, not per-element attributes); nothing references an
+//! external asset.
+
+use std::fmt::Write as _;
+
+/// Chart canvas geometry (view box `W × H`, data area inset by the
+/// margins for axis labels).
+const W: f64 = 560.0;
+const H: f64 = 260.0;
+const ML: f64 = 52.0;
+const MR: f64 = 14.0;
+const MT: f64 = 14.0;
+const MB: f64 = 36.0;
+
+/// Series stroke classes, cycled in order (`.s0` … `.s5` in the page
+/// stylesheet).
+const PALETTE: usize = 6;
+
+/// One named line-series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Tick label: integers print exactly, everything else at one decimal.
+fn tick_label(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        fmt1(v)
+    }
+}
+
+struct Scale {
+    min: f64,
+    max: f64,
+    lo_px: f64,
+    hi_px: f64,
+}
+
+impl Scale {
+    fn to_px(&self, v: f64) -> f64 {
+        if self.max <= self.min {
+            return (self.lo_px + self.hi_px) / 2.0;
+        }
+        self.lo_px + (v - self.min) / (self.max - self.min) * (self.hi_px - self.lo_px)
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values.filter(|v| v.is_finite()) {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn open_svg(out: &mut String) {
+    let _ = write!(
+        out,
+        "<svg class=\"chart\" viewBox=\"0 0 {} {}\" role=\"img\">",
+        tick_label(W),
+        tick_label(H)
+    );
+}
+
+/// Axes, gridless: one x rule, one y rule, three ticks each.
+fn axes(out: &mut String, x: &Scale, y: &Scale, x_label: &str, y_label: &str) {
+    let _ = write!(
+        out,
+        "<line class=\"axis\" x1=\"{l}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\"/>\
+         <line class=\"axis\" x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\"/>",
+        l = fmt1(ML),
+        r = fmt1(W - MR),
+        t = fmt1(MT),
+        b = fmt1(H - MB),
+    );
+    for i in 0..3 {
+        let f = i as f64 / 2.0;
+        let xv = x.min + (x.max - x.min) * f;
+        let yv = y.min + (y.max - y.min) * f;
+        let _ = write!(
+            out,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            fmt1(x.to_px(xv)),
+            fmt1(H - MB + 16.0),
+            tick_label(xv)
+        );
+        let _ = write!(
+            out,
+            "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            fmt1(ML - 6.0),
+            fmt1(y.to_px(yv) + 4.0),
+            tick_label(yv)
+        );
+    }
+    let _ = write!(
+        out,
+        "<text class=\"label\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        fmt1((ML + W - MR) / 2.0),
+        fmt1(H - 4.0),
+        crate::render::html_escape(x_label)
+    );
+    let _ = write!(
+        out,
+        "<text class=\"label\" x=\"{}\" y=\"{}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 12 {mid})\">{}</text>",
+        fmt1(12.0),
+        fmt1((MT + H - MB) / 2.0),
+        crate::render::html_escape(y_label),
+        mid = fmt1((MT + H - MB) / 2.0),
+    );
+}
+
+/// A multi-series line chart. `hline` draws a labelled horizontal
+/// reference line (e.g. a theorem bound) at the given y value.
+pub fn line_chart(
+    series: &[Series],
+    x_label: &str,
+    y_label: &str,
+    hline: Option<(f64, &str)>,
+) -> String {
+    let (x_min, x_max) = bounds(series.iter().flat_map(|s| s.points.iter().map(|p| p.0)));
+    let (mut y_min, mut y_max) = bounds(series.iter().flat_map(|s| s.points.iter().map(|p| p.1)));
+    if let Some((v, _)) = hline {
+        y_min = y_min.min(v);
+        y_max = y_max.max(v);
+    }
+    y_min = y_min.min(0.0);
+    let x = Scale {
+        min: x_min,
+        max: x_max,
+        lo_px: ML,
+        hi_px: W - MR,
+    };
+    let y = Scale {
+        min: y_min,
+        max: y_max,
+        lo_px: H - MB,
+        hi_px: MT,
+    };
+    let mut out = String::new();
+    open_svg(&mut out);
+    axes(&mut out, &x, &y, x_label, y_label);
+    if let Some((v, label)) = hline {
+        let py = fmt1(y.to_px(v));
+        let _ = write!(
+            out,
+            "<line class=\"bound\" x1=\"{}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\"/>\
+             <text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            fmt1(ML),
+            fmt1(W - MR),
+            fmt1(W - MR),
+            fmt1(y.to_px(v) - 4.0),
+            crate::render::html_escape(label)
+        );
+    }
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let mut path = String::new();
+        for (j, &(px, py)) in s.points.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{},{}",
+                if j == 0 { "" } else { " " },
+                fmt1(x.to_px(px)),
+                fmt1(y.to_px(py))
+            );
+        }
+        let cls = i % PALETTE;
+        let _ = write!(out, "<polyline class=\"s{cls}\" points=\"{path}\"/>");
+        for &(px, py) in &s.points {
+            let _ = write!(
+                out,
+                "<circle class=\"s{cls}\" cx=\"{}\" cy=\"{}\" r=\"2.5\"/>",
+                fmt1(x.to_px(px)),
+                fmt1(y.to_px(py))
+            );
+        }
+    }
+    // Legend, top-right, one row per series.
+    for (i, s) in series.iter().enumerate() {
+        let ly = MT + 6.0 + i as f64 * 14.0;
+        let cls = i % PALETTE;
+        let _ = write!(
+            out,
+            "<line class=\"s{cls}\" x1=\"{}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\"/>\
+             <text class=\"tick\" x=\"{}\" y=\"{}\">{}</text>",
+            fmt1(W - MR - 120.0),
+            fmt1(W - MR - 100.0),
+            fmt1(W - MR - 96.0),
+            fmt1(ly + 4.0),
+            crate::render::html_escape(&s.label),
+            ly = fmt1(ly),
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// A labelled vertical bar chart.
+pub fn bar_chart(bars: &[(String, f64)], x_label: &str, y_label: &str) -> String {
+    let (_, y_max) = bounds(bars.iter().map(|b| b.1));
+    let y = Scale {
+        min: 0.0,
+        max: y_max.max(1.0),
+        lo_px: H - MB,
+        hi_px: MT,
+    };
+    let x = Scale {
+        min: 0.0,
+        max: bars.len().max(1) as f64,
+        lo_px: ML,
+        hi_px: W - MR,
+    };
+    let mut out = String::new();
+    open_svg(&mut out);
+    axes(
+        &mut out,
+        &Scale {
+            min: 0.0,
+            max: 0.0,
+            lo_px: ML,
+            hi_px: W - MR,
+        },
+        &y,
+        x_label,
+        y_label,
+    );
+    let slot = (x.hi_px - x.lo_px) / bars.len().max(1) as f64;
+    let bw = (slot * 0.7).min(48.0);
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let cx = x.lo_px + slot * (i as f64 + 0.5);
+        let top = y.to_px(*v);
+        let _ = write!(
+            out,
+            "<rect class=\"bar\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"/>\
+             <text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            fmt1(cx - bw / 2.0),
+            fmt1(top),
+            fmt1(bw),
+            fmt1((H - MB - top).max(0.0)),
+            fmt1(cx),
+            fmt1(H - MB + 16.0),
+            crate::render::html_escape(label)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Empirical CDF of integer-valued observations as a step line.
+pub fn cdf_chart(values: &[u64], x_label: &str) -> String {
+    if values.is_empty() {
+        return line_chart(&[], x_label, "P(X <= x)", None);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let total = sorted.len() as f64;
+    let mut points = Vec::new();
+    let mut seen = 0usize;
+    let mut i = 0usize;
+    points.push((sorted[0] as f64, 0.0));
+    while i < sorted.len() {
+        let v = sorted[i];
+        while i < sorted.len() && sorted[i] == v {
+            seen += 1;
+            i += 1;
+        }
+        points.push((v as f64, seen as f64 / total));
+        if i < sorted.len() {
+            // Horizontal run to the next distinct value (step shape).
+            points.push((sorted[i] as f64, seen as f64 / total));
+        }
+    }
+    let series = [Series {
+        label: "cdf".to_string(),
+        points,
+    }];
+    line_chart(&series, x_label, "P(X <= x)", None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charts_are_single_svg_elements() {
+        let s = [Series {
+            label: "seed 0".to_string(),
+            points: vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)],
+        }];
+        for svg in [
+            line_chart(&s, "phase", "steps", Some((4.0, "bound"))),
+            bar_chart(
+                &[("a".to_string(), 2.0), ("b".to_string(), 5.0)],
+                "event",
+                "rounds",
+            ),
+            cdf_chart(&[1, 2, 2, 3], "eccentricity"),
+        ] {
+            assert!(svg.starts_with("<svg"), "{svg}");
+            assert!(svg.ends_with("</svg>"));
+            assert_eq!(svg.matches("<svg").count(), 1);
+            assert!(!svg.contains("http"));
+        }
+    }
+
+    #[test]
+    fn charts_are_deterministic() {
+        let s = [Series {
+            label: "x".to_string(),
+            points: vec![(0.0, 0.3333333), (7.0, 9.9999999)],
+        }];
+        assert_eq!(
+            line_chart(&s, "a", "b", None),
+            line_chart(&s, "a", "b", None)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_render() {
+        assert!(line_chart(&[], "x", "y", None).contains("</svg>"));
+        assert!(bar_chart(&[], "x", "y").contains("</svg>"));
+        assert!(cdf_chart(&[], "x").contains("</svg>"));
+        let flat = [Series {
+            label: "flat".to_string(),
+            points: vec![(1.0, 5.0)],
+        }];
+        assert!(line_chart(&flat, "x", "y", None).contains("circle"));
+    }
+}

@@ -62,6 +62,8 @@ pub use engine::{
     run_scenario, run_scenario_with_engine, run_sweep, run_sweep_cancellable, state_hash,
     Checkpoint, RunOutcome,
 };
-pub use sink::{JsonlSink, MemorySink, MetricRecord, MetricSink, NullSink, StringSink};
+pub use sink::{
+    JsonlSink, MemorySink, MetricRecord, MetricSink, NullSink, StringSink, SCHEMA_VERSION,
+};
 pub use spec::{fnv1a, parse_spec, InitSpec, PhaseSpec, ScenarioSpec, Variant};
 pub use toml::SpecError;

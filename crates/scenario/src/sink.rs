@@ -8,6 +8,12 @@
 
 use std::collections::BTreeMap;
 
+/// Schema version stamped into every emitted record line. Lines
+/// without the field (pre-versioning streams) parse as version 1;
+/// version 2 added the stamp itself. Consumers (`bbncg-report`) accept
+/// both.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One metric record: the state of the world after a phase (or the
 /// run-final summary, `kind = "summary"`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +52,8 @@ impl MetricRecord {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(192);
         s.push('{');
-        s.push_str(&format!("\"scenario\":\"{}\"", escape(&self.scenario)));
+        s.push_str(&format!("\"schema_version\":{SCHEMA_VERSION}"));
+        s.push_str(&format!(",\"scenario\":\"{}\"", escape(&self.scenario)));
         s.push_str(&format!(",\"seed\":{}", self.seed));
         s.push_str(&format!(",\"phase\":{}", self.phase));
         s.push_str(&format!(",\"kind\":\"{}\"", self.kind));
@@ -219,6 +226,7 @@ mod tests {
     fn json_is_one_escaped_line() {
         let j = rec(7).to_json();
         assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"schema_version\":2,"));
         assert!(j.contains("\"scenario\":\"t \\\"quoted\\\"\""));
         assert!(j.contains("\"diameter\":null"));
         assert!(j.contains("\"converged\":true"));

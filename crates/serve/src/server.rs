@@ -30,6 +30,7 @@
 //! | GET    | `/jobs`             | id + state of every job |
 //! | GET    | `/jobs/{id}`        | one job's status document |
 //! | GET    | `/jobs/{id}/stream` | chunked JSONL result stream |
+//! | GET    | `/jobs/{id}/report` | self-contained HTML report of a completed scenario job |
 //! | POST   | `/jobs/{id}/cancel` | fire the job's cancel token |
 //! | POST   | `/shutdown`         | drain (finish queue) or `?mode=abort` |
 
@@ -433,6 +434,7 @@ fn endpoint_histogram(method: &str, segments: &[&str]) -> Histogram {
         ("GET", ["jobs", _]) => Histogram::HttpJobStatusMicros,
         ("POST", ["jobs", _, "cancel"]) => Histogram::HttpCancelMicros,
         ("GET", ["jobs", _, "stream"]) => Histogram::HttpStreamMicros,
+        ("GET", ["jobs", _, "report"]) => Histogram::HttpReportMicros,
         ("POST", ["shutdown"]) => Histogram::HttpShutdownMicros,
         _ => Histogram::HttpOtherMicros,
     }
@@ -523,6 +525,10 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
         },
         ("GET", ["jobs", id, "stream"]) => match lookup(shared, id) {
             Some(job) => stream_job(&job, w),
+            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+        },
+        ("GET", ["jobs", id, "report"]) => match lookup(shared, id) {
+            Some(job) => report_job(&job, w),
             None => error_json(w, 404, "Not Found", &format!("no job {id}")),
         },
         ("POST", ["shutdown"]) => {
@@ -691,6 +697,42 @@ fn build_job_kind(req: &Request, default_executor: RoundExecutor) -> Result<JobK
             })
         }
         other => Err(format!("unknown job type {other:?} (scenario|verify)")),
+    }
+}
+
+/// `GET /jobs/{id}/report`: render the default stream report from the
+/// job's buffered JSONL. Blocks until the job is terminal (like a
+/// stream follow), then renders from the complete line buffer — the
+/// same lines `JsonlSink` would have written offline, so the HTML is
+/// byte-identical to `bbncg report --from` on the streamed output.
+fn report_job(job: &Arc<Job>, w: &mut TcpStream) {
+    if !matches!(job.kind, JobKind::Scenario { .. }) {
+        return error_json(
+            w,
+            409,
+            "Conflict",
+            "reports are only available for scenario jobs",
+        );
+    }
+    let status = job.wait_terminal();
+    if status != JobStatus::Completed {
+        return error_json(
+            w,
+            409,
+            "Conflict",
+            &format!("job is {} — no report", status.label()),
+        );
+    }
+    let mut jsonl = String::new();
+    for line in job.lines.snapshot() {
+        jsonl.push_str(&line);
+        jsonl.push('\n');
+    }
+    match bbncg_report::render_stream_report(&jsonl) {
+        Ok(html) => {
+            let _ = write_response(w, 200, "OK", "text/html; charset=utf-8", html.as_bytes());
+        }
+        Err(e) => error_json(w, 500, "Internal Server Error", &e),
     }
 }
 

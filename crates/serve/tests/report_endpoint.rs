@@ -1,0 +1,103 @@
+//! `GET /jobs/{id}/report` contracts: the served HTML is
+//! byte-identical to the offline stream report rendered from the same
+//! record bytes, non-scenario jobs are refused, and unknown jobs 404.
+
+use bbncg_serve::{client, spawn, ServerConfig};
+use std::time::Duration;
+
+const CHURN_SPEC: &str = "\
+[scenario]
+name = \"report-parity\"
+seed = 11
+seeds = 2
+
+[init]
+family = \"uniform\"
+n = 12
+budget = 1
+
+[dynamics]
+model = \"sum\"
+rule = \"exact\"
+max_rounds = 200
+
+[[phase]]
+kind = \"dynamics\"
+
+[[phase]]
+kind = \"arrive\"
+count = 2
+budget = 1
+
+[[phase]]
+kind = \"dynamics\"
+";
+
+fn submit(addr: &str, query: &str, body: &str) -> String {
+    let resp = client::request(addr, "POST", &format!("/jobs{query}"), body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    client::job_id(&resp.text()).unwrap().to_string()
+}
+
+/// Drain the stream (blocks until the job is terminal) and return the
+/// record lines — the exact bytes the report endpoint renders from.
+fn drain(addr: &str, id: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    client::stream_lines(addr, &format!("/jobs/{id}/stream"), |l| {
+        lines.push(l.to_string());
+        true
+    })
+    .unwrap();
+    lines
+}
+
+#[test]
+fn served_report_is_byte_identical_to_offline_render() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    let id = submit(&addr, "", CHURN_SPEC);
+    let lines = drain(&addr, &id);
+
+    let resp = client::request(&addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let served = resp.text();
+
+    // The offline contract: `bbncg report --from captured.jsonl` goes
+    // through the same pure renderer on the same bytes.
+    let offline = bbncg_report::render_stream_report(&lines.join("\n")).unwrap();
+    assert_eq!(served, offline, "served report must match offline render");
+    assert!(served.contains("report-parity"), "scenario name in title");
+    assert_eq!(bbncg_report::self_containment_violation(&served), None);
+
+    // Fetching twice yields the same bytes (report is a pure function
+    // of the completed job's record buffer).
+    let again = client::request(&addr, "GET", &format!("/jobs/{id}/report"), b"")
+        .unwrap()
+        .text();
+    assert_eq!(again, served);
+
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn report_refuses_verify_jobs_and_unknown_ids() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    let triangle = "bbncg v1\nn 3\nbudgets 1 1 1\narcs\n0 1\n1 2\n2 0\n";
+    let id = submit(&addr, "?type=verify&model=sum", triangle);
+    drain(&addr, &id);
+    let resp = client::request(&addr, "GET", &format!("/jobs/{id}/report"), b"").unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    assert!(resp.text().contains("scenario"), "{}", resp.text());
+
+    let resp = client::request(&addr, "GET", "/jobs/999/report", b"").unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.text());
+
+    server.shutdown(false);
+    server.join();
+}
