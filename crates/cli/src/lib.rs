@@ -637,6 +637,15 @@ pub fn cmd_exact_poa(args: &Args) -> Result<String, String> {
 /// * `--checkpoint-dir DIR` — persist a `job-{id}.ck` checkpoint after
 ///   every phase of single-seed scenario jobs (crash recovery via
 ///   `bbncg scenario resume`).
+/// * `--conn auto|epoll|poll|threads` (default auto) — connection
+///   front end: the non-blocking readiness loop (epoll on Linux, poll
+///   elsewhere) or the legacy thread-per-connection fallback.
+/// * `--cache N` (default 128; 0 disables) — content-addressed result
+///   cache: an identical re-submission answers with the original
+///   job's stream instead of recomputing (`?nocache=1` bypasses).
+/// * `--peers HOST:PORT,…` — act as sweep shard coordinator: sweep
+///   jobs split into contiguous seed chunks across this process and
+///   the listed peers, merged back byte-identically.
 ///
 /// The bound address is printed (and flushed) before the server
 /// blocks, so scripts can scrape it even under `--addr ...:0`.
@@ -651,6 +660,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     if let Some(d) = &checkpoint_dir {
         std::fs::create_dir_all(d).map_err(|e| format!("--checkpoint-dir {}: {e}", d.display()))?;
     }
+    let conn = bbncg_serve::ConnMode::parse(args.get("conn").unwrap_or("auto"))
+        .map_err(|e| format!("--conn: {e}"))?;
+    let cache_capacity: usize = args
+        .get("cache")
+        .unwrap_or("128")
+        .parse()
+        .map_err(|e| format!("--cache: {e}"))?;
+    let peers: Vec<String> = args
+        .get("peers")
+        .map(|p| {
+            p.split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
     let handle = bbncg_serve::spawn(bbncg_serve::ServerConfig {
         addr: addr.to_string(),
         workers: 0, // bbncg_par::max_threads(), i.e. --threads / BBNCG_THREADS
@@ -663,14 +688,18 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         // carrying it in the config keeps the server self-describing
         // (and lets library users opt in without the CLI).
         obs: args.has("--obs"),
+        conn,
+        cache_capacity,
+        peers,
         ..bbncg_serve::ServerConfig::default()
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
     println!(
-        "bbncg-serve listening on {} (workers = {}, queue = {})",
+        "bbncg-serve listening on {} (workers = {}, queue = {}, conn = {})",
         handle.addr(),
         handle.workers(),
-        queue_capacity
+        queue_capacity,
+        handle.conn_mode(),
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -735,7 +764,9 @@ pub fn cmd_submit(args: &Args) -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
     };
     let mut query = Vec::new();
-    for key in ["type", "model", "kernel", "seed", "rounds"] {
+    for key in [
+        "type", "model", "kernel", "seed", "seeds", "rounds", "nocache",
+    ] {
         if let Some(v) = args.get(key) {
             query.push(format!("{key}={v}"));
         }
@@ -926,10 +957,11 @@ COMMANDS:
   report          SPEC [--out FILE] [--from FILE] [--seed S] [--dry-run]
                   | --from FILE [--out FILE]  (default stream report, no spec)
   serve           [--addr HOST:PORT] [--queue N] [--checkpoint-dir DIR] [--rounds MODE]
+                  [--conn auto|epoll|poll|threads] [--cache N] [--peers HOST:PORT,...]
                   [--obs]  (GET /metrics serves Prometheus text either way)
   submit          SPEC --addr HOST:PORT [--type scenario|verify] [--model sum|max]
-                  [--kernel K] [--rounds MODE] [--seed S] [--no-stream] [--stats]
-                  [--report FILE] [--wait-server SECS]
+                  [--kernel K] [--rounds MODE] [--seed S] [--seeds N] [--nocache 1]
+                  [--no-stream] [--stats] [--report FILE] [--wait-server SECS]
                   | --status --addr ... | --shutdown [--abort] --addr ...
   dot             FILE
 
@@ -961,6 +993,12 @@ metric records are JSONL, one line per phase.
 to /jobs, stream /jobs/{id}/stream, and the JSONL you get is byte-
 identical to the offline `scenario run` for the same spec and seed
 (429 = queue full; retry later). `submit` is the matching client.
+The front end is a non-blocking epoll/poll readiness loop with
+HTTP/1.1 keep-alive (--conn threads restores one thread per
+connection); identical re-submissions answer from a content-addressed
+result cache (--cache, ?nocache=1 bypasses), and --peers makes the
+server a sweep shard coordinator whose merged stream stays
+byte-identical to a single-process run.
 `report` renders declarative analysis reports (see README \"Reports\"):
 a TOML-subset spec lists analyses (convergence, recovery, poa-spectrum,
 census, obs-digest); the output is one self-contained HTML file with

@@ -134,11 +134,26 @@ pub enum Counter {
     JobsFailed,
     /// Jobs cancelled before or during execution.
     JobsCancelled,
+    /// Result-cache lookups answered from a terminal cached job.
+    ServeCacheHits,
+    /// Result-cache lookups that admitted a fresh job.
+    ServeCacheMisses,
+    /// Result-cache lookups coalesced onto a still-running job (the
+    /// duplicate submission attaches to the same stream instead of
+    /// recomputing).
+    ServeCacheCoalesced,
+    /// Cached jobs evicted by the LRU bound or history retention.
+    ServeCacheEvictions,
+    /// HTTP requests served on a reused keep-alive connection (the
+    /// second and later requests of each connection).
+    HttpKeepaliveReuses,
+    /// Sweep sub-jobs fanned out to shard peers by a coordinator.
+    ServeShardSubjobs,
 }
 
 impl Counter {
     /// Number of counters in the catalogue.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 37;
 
     /// Every counter, in export order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -173,6 +188,12 @@ impl Counter {
         Counter::JobsCompleted,
         Counter::JobsFailed,
         Counter::JobsCancelled,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheCoalesced,
+        Counter::ServeCacheEvictions,
+        Counter::HttpKeepaliveReuses,
+        Counter::ServeShardSubjobs,
     ];
 
     /// Prometheus metric family name (shared across labelled variants).
@@ -211,6 +232,12 @@ impl Counter {
             | Counter::JobsCompleted
             | Counter::JobsFailed
             | Counter::JobsCancelled => "bbncg_jobs_total",
+            Counter::ServeCacheHits | Counter::ServeCacheMisses | Counter::ServeCacheCoalesced => {
+                "bbncg_serve_cache_total"
+            }
+            Counter::ServeCacheEvictions => "bbncg_serve_cache_evictions_total",
+            Counter::HttpKeepaliveReuses => "bbncg_http_keepalive_reuses_total",
+            Counter::ServeShardSubjobs => "bbncg_serve_shard_subjobs_total",
         }
     }
 
@@ -228,6 +255,9 @@ impl Counter {
             Counter::JobsCompleted => "state=\"completed\"",
             Counter::JobsFailed => "state=\"failed\"",
             Counter::JobsCancelled => "state=\"cancelled\"",
+            Counter::ServeCacheHits => "result=\"hit\"",
+            Counter::ServeCacheMisses => "result=\"miss\"",
+            Counter::ServeCacheCoalesced => "result=\"coalesced\"",
             _ => "",
         }
     }
@@ -272,6 +302,12 @@ impl Counter {
             | Counter::JobsCompleted
             | Counter::JobsFailed
             | Counter::JobsCancelled => "Serve jobs by terminal state",
+            Counter::ServeCacheHits | Counter::ServeCacheMisses | Counter::ServeCacheCoalesced => {
+                "Serve result-cache lookups, by outcome"
+            }
+            Counter::ServeCacheEvictions => "Cached serve jobs evicted (LRU or history bound)",
+            Counter::HttpKeepaliveReuses => "HTTP requests served on reused keep-alive connections",
+            Counter::ServeShardSubjobs => "Sweep sub-jobs fanned out to shard peers",
         }
     }
 }

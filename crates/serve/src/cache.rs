@@ -1,0 +1,287 @@
+//! Content-addressed result cache: identical scenario submissions
+//! answer with the *same job* instead of recomputing.
+//!
+//! Why this is trivially correct: the serve crate's load-bearing
+//! invariant (CI-enforced) is that a job's record stream is
+//! byte-identical to the offline run of the same effective spec. Two
+//! submissions with the same canonical spec therefore produce the same
+//! byte stream — so the cache does not copy results anywhere, it just
+//! hands the duplicate submission the original job's id. Streaming,
+//! replay, status, and reports all fall out of the existing job
+//! machinery, and **in-flight coalescing is free**: a duplicate POST
+//! while the first run is still executing attaches to the same
+//! [`LineBuffer`](crate::LineBuffer) and follows it live.
+//!
+//! The key is an FNV-1a hash of the parsed spec *after* submit-time
+//! overrides (`?seed=`, `?seeds=`, `?kernel=`, `?model=`, `?rounds=`)
+//! are applied, with the raw-source `spec_hash` field zeroed — so two
+//! texts that parse to the same scenario share an entry, and an
+//! override changing anything observable changes the key. Executors
+//! and kernels are stream-neutral, but they are deliberately part of
+//! the key: a cached hit must also reproduce the *performance* shape
+//! the caller asked to measure (`?nocache=1` exists for benchmarking
+//! the compute path itself).
+//!
+//! Concurrency: one mutex guards the whole map, and the submit path
+//! holds it across lookup → queue admission → insert (the
+//! [`CacheGuard`] API), so two racing identical POSTs can never both
+//! admit a job — one inserts, the other coalesces. Lock order is
+//! cache → queue → jobs, everywhere. Failed and cancelled jobs are
+//! evicted on retirement (a transient failure must not be replayed
+//! forever), and history eviction drops cache entries so a cached id
+//! can never dangle.
+
+use crate::job::{Job, JobStatus};
+use bbncg_obs::Counter;
+use bbncg_scenario::{fnv1a, ScenarioSpec};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Cache key for a scenario spec with all overrides applied: FNV-1a
+/// over the canonical (Debug) form, source-text hash excluded.
+pub(crate) fn scenario_cache_key(spec: &ScenarioSpec) -> u64 {
+    let mut canon = spec.clone();
+    canon.spec_hash = 0;
+    fnv1a(format!("{canon:?}").as_bytes())
+}
+
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<u64, Arc<Job>>,
+    /// LRU order: front = coldest. Touched entries move to the back.
+    lru: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache statistics for `/healthz`.
+pub(crate) struct CacheStats {
+    pub size: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    pub evictions: u64,
+}
+
+/// The bounded LRU job cache. `capacity == 0` disables it entirely
+/// (every lookup misses without counting, every insert is a no-op).
+pub(crate) struct ResultCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    pub(crate) fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lock the cache for an atomic lookup-or-admit sequence. Acquire
+    /// *before* the queue lock (the one ordering rule).
+    pub(crate) fn lock(&self) -> CacheGuard<'_> {
+        CacheGuard {
+            capacity: self.capacity,
+            st: self.state.lock().expect("result cache poisoned"),
+        }
+    }
+
+    /// Drop `key` if it still maps to job `id` — the retirement path
+    /// for failed/cancelled jobs, called without any other lock held.
+    pub(crate) fn forget(&self, key: u64, id: u64) {
+        self.lock().forget(key, id);
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let st = self.state.lock().expect("result cache poisoned");
+        CacheStats {
+            size: st.map.len(),
+            hits: st.hits,
+            misses: st.misses,
+            coalesced: st.coalesced,
+            evictions: st.evictions,
+        }
+    }
+}
+
+/// Exclusive access to the cache across a submit critical section.
+pub(crate) struct CacheGuard<'a> {
+    capacity: usize,
+    st: MutexGuard<'a, CacheState>,
+}
+
+impl CacheGuard<'_> {
+    /// Look up `key`, counting the outcome. Live entries (queued,
+    /// running, or completed) return their job; failed/cancelled
+    /// entries are dropped and report as a miss, so a transient
+    /// failure is recomputed rather than replayed.
+    pub(crate) fn lookup(&mut self, key: u64) -> Option<Arc<Job>> {
+        let job = self.st.map.get(&key).cloned();
+        match job {
+            Some(job) => match job.status() {
+                JobStatus::Failed(_) | JobStatus::Cancelled => {
+                    self.forget(key, job.id);
+                    self.count_miss();
+                    None
+                }
+                JobStatus::Completed => {
+                    self.touch(key);
+                    self.st.hits += 1;
+                    bbncg_obs::counter_inc(Counter::ServeCacheHits);
+                    Some(job)
+                }
+                JobStatus::Queued | JobStatus::Running => {
+                    self.touch(key);
+                    self.st.coalesced += 1;
+                    bbncg_obs::counter_inc(Counter::ServeCacheCoalesced);
+                    Some(job)
+                }
+            },
+            None => {
+                self.count_miss();
+                None
+            }
+        }
+    }
+
+    fn count_miss(&mut self) {
+        self.st.misses += 1;
+        bbncg_obs::counter_inc(Counter::ServeCacheMisses);
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.st.lru.iter().position(|&k| k == key) {
+            self.st.lru.remove(pos);
+            self.st.lru.push_back(key);
+        }
+    }
+
+    /// Insert a freshly admitted job under `key`, evicting the
+    /// least-recently-used entries beyond capacity.
+    pub(crate) fn insert(&mut self, key: u64, job: &Arc<Job>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.st.map.insert(key, Arc::clone(job)).is_none() {
+            self.st.lru.push_back(key);
+        } else {
+            self.touch(key);
+        }
+        while self.st.map.len() > self.capacity {
+            let Some(cold) = self.st.lru.pop_front() else {
+                break;
+            };
+            self.st.map.remove(&cold);
+            self.st.evictions += 1;
+            bbncg_obs::counter_inc(Counter::ServeCacheEvictions);
+        }
+    }
+
+    /// Drop `key` if it still maps to job `id` (identity-checked so a
+    /// replacement entry under the same key survives a late forget of
+    /// its predecessor).
+    pub(crate) fn forget(&mut self, key: u64, id: u64) {
+        if self.st.map.get(&key).is_some_and(|j| j.id == id) {
+            self.st.map.remove(&key);
+            self.st.lru.retain(|&k| k != key);
+            self.st.evictions += 1;
+            bbncg_obs::counter_inc(Counter::ServeCacheEvictions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn job(id: u64) -> Arc<Job> {
+        let spec = bbncg_scenario::parse_spec(
+            "[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"",
+        )
+        .unwrap();
+        Job::new(
+            id,
+            JobKind::Scenario {
+                spec: Box::new(spec),
+                source: String::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn key_ignores_source_text_but_sees_overrides() {
+        let a = bbncg_scenario::parse_spec(
+            "[scenario]\nname = \"k\"\nseed = 3\n[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"",
+        )
+        .unwrap();
+        // Same scenario, different formatting/comments → same key.
+        let b = bbncg_scenario::parse_spec(
+            "# comment\n[scenario]\nname = \"k\"\nseed = 3\n\n[init]\nfamily = \"path\"\nparams = [4]\n[[phase]]\nkind = \"dynamics\"\n",
+        )
+        .unwrap();
+        assert_eq!(scenario_cache_key(&a), scenario_cache_key(&b));
+        // A seed override changes the key.
+        let mut c = a.clone();
+        c.seed = 4;
+        assert_ne!(scenario_cache_key(&a), scenario_cache_key(&c));
+        // So does a kernel override (perf shape is part of the ask).
+        let mut d = a.clone();
+        d.kernel = bbncg_core::CostKernel::Queue;
+        assert_ne!(scenario_cache_key(&a), scenario_cache_key(&d));
+    }
+
+    #[test]
+    fn lru_bound_holds_and_coldest_goes_first() {
+        let cache = ResultCache::new(2);
+        let (j1, j2, j3) = (job(1), job(2), job(3));
+        j1.set_status(JobStatus::Running);
+        j1.set_status(JobStatus::Completed);
+        j2.set_status(JobStatus::Running);
+        j2.set_status(JobStatus::Completed);
+        {
+            let mut g = cache.lock();
+            g.insert(10, &j1);
+            g.insert(20, &j2);
+            // Touch 10 so 20 is the LRU victim.
+            assert!(g.lookup(10).is_some());
+            g.insert(30, &j3);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.size, 2);
+        assert_eq!(stats.evictions, 1);
+        let mut g = cache.lock();
+        assert!(g.lookup(20).is_none(), "LRU victim evicted");
+        assert!(g.lookup(10).is_some(), "recently used survives");
+    }
+
+    #[test]
+    fn dead_jobs_fall_out_on_lookup() {
+        let cache = ResultCache::new(4);
+        let j = job(9);
+        cache.lock().insert(7, &j);
+        j.set_status(JobStatus::Failed("boom".into()));
+        assert!(cache.lock().lookup(7).is_none());
+        assert_eq!(cache.stats().size, 0);
+        // forget() is identity-checked: a successor entry survives a
+        // stale forget of its predecessor.
+        let j2 = job(10);
+        cache.lock().insert(7, &j2);
+        cache.forget(7, 9);
+        assert_eq!(cache.stats().size, 1);
+        cache.forget(7, 10);
+        assert_eq!(cache.stats().size, 0);
+    }
+}

@@ -1,7 +1,14 @@
 //! A minimal blocking HTTP/1.1 client for the server's own dialect —
 //! what `bbncg submit`, the load generator, and the end-to-end tests
 //! speak. Supports exactly what the server emits: `Content-Length`
-//! bodies and chunked streaming responses, one request per connection.
+//! bodies and chunked streaming responses.
+//!
+//! Two usage styles: the free functions ([`request`],
+//! [`stream_lines`]) open one connection per exchange
+//! (`Connection: close` — simple and always correct), while [`Conn`]
+//! holds a keep-alive connection across exchanges and transparently
+//! reconnects when the server has culled it — what the load generator
+//! uses to measure the event loop's connection reuse.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -37,9 +44,11 @@ fn send_request(
     method: &str,
     target: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> Result<(), String> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: bbncg\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: bbncg\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     stream
@@ -53,6 +62,8 @@ struct ResponseHead {
     status: u16,
     chunked: bool,
     content_length: Option<usize>,
+    /// Server announced `Connection: close` — do not reuse.
+    close: bool,
 }
 
 fn read_head(r: &mut BufReader<TcpStream>) -> Result<ResponseHead, String> {
@@ -66,6 +77,7 @@ fn read_head(r: &mut BufReader<TcpStream>) -> Result<ResponseHead, String> {
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
     let mut chunked = false;
     let mut content_length = None;
+    let mut close = false;
     loop {
         let mut line = String::new();
         r.read_line(&mut line)
@@ -81,6 +93,8 @@ fn read_head(r: &mut BufReader<TcpStream>) -> Result<ResponseHead, String> {
                 chunked = true;
             } else if name == "content-length" {
                 content_length = value.parse().ok();
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
             }
         }
     }
@@ -88,6 +102,7 @@ fn read_head(r: &mut BufReader<TcpStream>) -> Result<ResponseHead, String> {
         status,
         chunked,
         content_length,
+        close,
     })
 }
 
@@ -112,7 +127,7 @@ fn read_chunk(r: &mut BufReader<TcpStream>) -> Result<Option<Vec<u8>>, String> {
 /// into `body` (use [`stream_lines`] to observe records as they land).
 pub fn request(addr: &str, method: &str, target: &str, body: &[u8]) -> Result<Response, String> {
     let mut stream = connect(addr)?;
-    send_request(&mut stream, method, target, body)?;
+    send_request(&mut stream, method, target, body, false)?;
     let mut reader = BufReader::new(stream);
     let head = read_head(&mut reader)?;
     let mut body = Vec::new();
@@ -159,7 +174,7 @@ pub fn stream_lines(
     mut on_line: impl FnMut(&str) -> bool,
 ) -> Result<u16, String> {
     let mut stream = connect(addr)?;
-    send_request(&mut stream, "GET", target, b"")?;
+    send_request(&mut stream, "GET", target, b"", false)?;
     let mut reader = BufReader::new(stream);
     let head = read_head(&mut reader)?;
     // The head answered within the timeout, so the server is alive;
@@ -185,6 +200,160 @@ pub fn stream_lines(
         }
     }
     Ok(head.status)
+}
+
+/// A keep-alive connection to the server: exchanges reuse one TCP
+/// connection while the server allows it, and transparently reconnect
+/// when it does not (server restarted, idle cull, `Connection: close`).
+///
+/// The retry discipline is deliberately narrow: an exchange on a
+/// *reused* connection that fails before completing retries exactly
+/// once on a fresh connection (the stale-keep-alive race every HTTP
+/// client must handle — for idempotent GETs and for this server's
+/// POSTs, whose submission is cheap and cache-coalesced, a replay is
+/// safe). A failure on a fresh connection is reported, not retried.
+pub struct Conn {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Conn {
+    /// A lazily-connected keep-alive client for `addr`.
+    pub fn new(addr: &str) -> Conn {
+        Conn {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    /// Is a connection currently held open for reuse?
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn take_or_connect(&mut self) -> Result<(bool, BufReader<TcpStream>), String> {
+        match self.stream.take() {
+            Some(r) => Ok((true, r)),
+            None => Ok((false, BufReader::new(connect(&self.addr)?))),
+        }
+    }
+
+    /// One request/response exchange over the held connection.
+    pub fn request(&mut self, method: &str, target: &str, body: &[u8]) -> Result<Response, String> {
+        let (reused, reader) = self.take_or_connect()?;
+        match self.try_request(reader, method, target, body) {
+            Err(_) if reused => {
+                let (_, fresh) = self.take_or_connect()?;
+                self.try_request(fresh, method, target, body)
+            }
+            done => done,
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        mut reader: BufReader<TcpStream>,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<Response, String> {
+        send_request(reader.get_mut(), method, target, body, true)?;
+        let head = read_head(&mut reader)?;
+        let mut out = Vec::new();
+        if head.chunked {
+            while let Some(chunk) = read_chunk(&mut reader)? {
+                out.extend_from_slice(&chunk);
+            }
+        } else if let Some(len) = head.content_length {
+            out.resize(len, 0);
+            reader
+                .read_exact(&mut out)
+                .map_err(|e| format!("read body: {e}"))?;
+        } else {
+            // No framing: the body runs to EOF, so the connection is
+            // spent either way.
+            reader
+                .read_to_end(&mut out)
+                .map_err(|e| format!("read body: {e}"))?;
+            return Ok(Response {
+                status: head.status,
+                body: out,
+            });
+        }
+        if !head.close {
+            self.stream = Some(reader);
+        }
+        Ok(Response {
+            status: head.status,
+            body: out,
+        })
+    }
+
+    /// GET a chunked stream over the held connection, handing each
+    /// complete line to `on_line` (same contract as [`stream_lines`]).
+    /// An early disconnect (`on_line` returning `false`) spends the
+    /// connection; a stream followed to its trailer keeps it reusable.
+    pub fn stream_lines(
+        &mut self,
+        target: &str,
+        mut on_line: impl FnMut(&str) -> bool,
+    ) -> Result<u16, String> {
+        let (reused, reader) = self.take_or_connect()?;
+        match self.try_stream(reader, target, &mut on_line) {
+            Err(_) if reused => {
+                let (_, fresh) = self.take_or_connect()?;
+                self.try_stream(fresh, target, &mut on_line)
+            }
+            done => done,
+        }
+    }
+
+    fn try_stream(
+        &mut self,
+        mut reader: BufReader<TcpStream>,
+        target: &str,
+        on_line: &mut impl FnMut(&str) -> bool,
+    ) -> Result<u16, String> {
+        send_request(reader.get_mut(), "GET", target, b"", true)?;
+        let head = read_head(&mut reader)?;
+        if !head.chunked {
+            let mut out = Vec::new();
+            if let Some(len) = head.content_length {
+                out.resize(len, 0);
+                reader
+                    .read_exact(&mut out)
+                    .map_err(|e| format!("read body: {e}"))?;
+                if !head.close {
+                    self.stream = Some(reader);
+                }
+            } else {
+                let _ = reader.read_to_end(&mut out);
+            }
+            return Ok(head.status);
+        }
+        // Quiet for as long as the job's current phase runs; block
+        // indefinitely like the one-shot helper does.
+        let _ = reader.get_ref().set_read_timeout(None);
+        let mut pending = String::new();
+        let mut complete = true;
+        'chunks: while let Some(chunk) = read_chunk(&mut reader)? {
+            pending.push_str(&String::from_utf8_lossy(&chunk));
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                if !on_line(line.trim_end_matches('\n')) {
+                    complete = false;
+                    break 'chunks;
+                }
+            }
+        }
+        if complete && !head.close {
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_secs(120)));
+            self.stream = Some(reader);
+        }
+        Ok(head.status)
+    }
 }
 
 /// Poll `GET /healthz` until the server answers 200 or the timeout

@@ -3,9 +3,16 @@
 //! The workspace builds fully offline, so — in the `io.rs`/`toml.rs`
 //! tradition — this is a small, strict parser over `std::net` rather
 //! than a dependency. The accepted subset is exactly what the job
-//! server needs: one request per connection (`Connection: close`
-//! semantics), `Content-Length` bodies with a hard size cap, and
-//! chunked transfer encoding on responses for streaming JSONL.
+//! server needs: `Content-Length` bodies with a hard size cap, chunked
+//! transfer encoding on responses for streaming JSONL, and HTTP/1.1
+//! keep-alive (the event-loop front end reuses connections; the
+//! legacy thread-per-connection mode stays one request per
+//! connection).
+//!
+//! Two entry points share one grammar: [`read_request`] blocks on a
+//! `BufReader` (threads mode), [`parse_request`] consumes a byte
+//! buffer incrementally (the epoll/poll readiness loop feeds it
+//! whatever has arrived and retries on [`ParseStatus::Partial`]).
 //!
 //! Anything outside the subset fails loudly with a 4xx so clients
 //! never see silent misbehaviour: an over-long request line or header
@@ -69,6 +76,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client may reuse this connection after the
+    /// response: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only
+    /// with `Connection: keep-alive`. Only the event-loop front end
+    /// honours it; threads mode always closes.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -125,10 +137,10 @@ fn read_head_line(
     String::from_utf8(line).map_err(|_| HttpError::BadRequest("non-UTF-8 in request head".into()))
 }
 
-/// Parse one request from `stream`, capping the body at `max_body`.
-pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Request, HttpError> {
-    let mut head_budget = MAX_HEAD;
-    let request_line = read_head_line(r, &mut head_budget)?;
+/// Parsed request line: `(method, path, query, is_http11)`.
+type RequestLine = (String, String, Vec<(String, String)>, bool);
+
+fn parse_request_line(request_line: &str) -> Result<RequestLine, HttpError> {
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
@@ -164,19 +176,24 @@ pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Req
             None => (pair.to_string(), String::new()),
         })
         .collect();
+    Ok((
+        method.to_string(),
+        path.to_string(),
+        query,
+        version == "HTTP/1.1",
+    ))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let line = read_head_line(r, &mut head_budget)?;
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
 
+/// Validated body length from the header block (`413` beyond the cap,
+/// `400` for chunked request bodies — the server never accepts them).
+fn body_length(headers: &[(String, String)], max_body: usize) -> Result<usize, HttpError> {
     let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
         None => 0,
         Some((_, v)) => v
@@ -196,20 +213,177 @@ pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Req
             "chunked request bodies are not supported".into(),
         ));
     }
+    Ok(content_length)
+}
+
+fn wants_keep_alive(http11: bool, headers: &[(String, String)]) -> bool {
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.as_str());
+    match connection {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http11,
+    }
+}
+
+/// Parse one request from `stream`, capping the body at `max_body`.
+pub fn read_request(r: &mut BufReader<TcpStream>, max_body: usize) -> Result<Request, HttpError> {
+    let mut head_budget = MAX_HEAD;
+    let request_line = read_head_line(r, &mut head_budget)?;
+    let (method, path, query, http11) = parse_request_line(&request_line)?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(r, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+    let content_length = body_length(&headers, max_body)?;
     let mut body = vec![0u8; content_length];
     r.read_exact(&mut body)
         .map_err(|_| HttpError::Disconnected)?;
+    let keep_alive = wants_keep_alive(http11, &headers);
     Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
+        method,
+        path,
         query,
         headers,
         body,
+        keep_alive,
     })
 }
 
+/// Outcome of one [`parse_request`] attempt over a byte buffer.
+pub enum ParseStatus {
+    /// A complete request, plus the number of buffer bytes it consumed
+    /// (the caller drains them; any remainder is pipelined input for
+    /// the next request on the connection).
+    Complete(Box<Request>, usize),
+    /// The buffer holds a valid prefix; feed more bytes and retry.
+    Partial,
+}
+
+/// Incrementally parse a request from `buf` (the readiness-loop entry
+/// point — same grammar and limits as [`read_request`], but
+/// non-blocking). Over-cap bodies fail at head-complete time, before
+/// the body has arrived, so a `413` goes out without buffering it.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<ParseStatus, HttpError> {
+    // Walk '\n'-terminated head lines until the blank line.
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let mut pos = 0;
+    let head_len = loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            if buf.len() > MAX_HEAD {
+                return Err(HttpError::TooLarge("request head too large".into()));
+            }
+            return Ok(ParseStatus::Partial);
+        };
+        let mut line = &buf[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        pos += nl + 1;
+        if pos > MAX_HEAD {
+            return Err(HttpError::TooLarge("request head too large".into()));
+        }
+        if line.is_empty() {
+            break pos;
+        }
+        lines.push(line);
+    };
+    let mut lines = lines.into_iter().map(|l| {
+        std::str::from_utf8(l)
+            .map_err(|_| HttpError::BadRequest("non-UTF-8 in request head".into()))
+    });
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request head".into()))??;
+    let (method, path, query, http11) = parse_request_line(request_line)?;
+    let headers = lines
+        .map(|l| parse_header_line(l?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let content_length = body_length(&headers, max_body)?;
+    if buf.len() < head_len + content_length {
+        return Ok(ParseStatus::Partial);
+    }
+    let body = buf[head_len..head_len + content_length].to_vec();
+    let keep_alive = wants_keep_alive(http11, &headers);
+    Ok(ParseStatus::Complete(
+        Box::new(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        }),
+        head_len + content_length,
+    ))
+}
+
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Encode a complete (non-streaming) response with a `Content-Length`
+/// body. The event loop queues these bytes on the connection's write
+/// buffer; `keep_alive` decides the `Connection:` header.
+pub fn response_bytes(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        connection_header(keep_alive),
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encode the head of a chunked streaming response; follow with
+/// [`chunk_bytes`] per chunk and [`CHUNKED_TRAILER`] to terminate.
+pub fn chunked_head_bytes(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        connection_header(keep_alive),
+    )
+    .into_bytes()
+}
+
+/// Encode one chunk (empty data encodes to nothing — an empty chunk
+/// would terminate the stream).
+pub fn chunk_bytes(data: &[u8]) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating zero chunk of a chunked stream.
+pub const CHUNKED_TRAILER: &[u8] = b"0\r\n\r\n";
+
 /// Write a complete (non-streaming) response with a `Content-Length`
-/// body. Always `Connection: close` — the server is one request per
+/// body. Always `Connection: close` — threads mode is one request per
 /// connection by design.
 pub fn write_response(
     w: &mut impl Write,
@@ -218,12 +392,7 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    w.write_all(body)?;
+    w.write_all(&response_bytes(status, reason, content_type, body, false))?;
     w.flush()
 }
 
@@ -235,10 +404,7 @@ pub fn start_chunked(
     reason: &str,
     content_type: &str,
 ) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
-    )?;
+    w.write_all(&chunked_head_bytes(status, reason, content_type, false))?;
     w.flush()
 }
 
@@ -248,15 +414,13 @@ pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
     if data.is_empty() {
         return Ok(()); // an empty chunk would terminate the stream
     }
-    write!(w, "{:x}\r\n", data.len())?;
-    w.write_all(data)?;
-    w.write_all(b"\r\n")?;
+    w.write_all(&chunk_bytes(data))?;
     w.flush()
 }
 
 /// Terminate a chunked stream.
 pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
-    w.write_all(b"0\r\n\r\n")?;
+    w.write_all(CHUNKED_TRAILER)?;
     w.flush()
 }
 

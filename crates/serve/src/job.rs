@@ -18,6 +18,10 @@ pub enum JobKind {
         /// The validated spec (validated at submit time, so a bad spec
         /// is a 400 at the door, not a failed job later).
         spec: Box<ScenarioSpec>,
+        /// The raw TOML the spec was parsed from. A shard coordinator
+        /// forwards this text (plus override query params) to its
+        /// peers, so peers re-validate exactly what the client posted.
+        source: String,
     },
     /// Audit a posted `bbncg v1` profile for Nash equilibrium: one
     /// JSON verdict line streams out.
@@ -110,6 +114,10 @@ pub struct Job {
     /// boundary (single-seed scenario jobs only; sweeps interleave
     /// phases across seeds, so per-phase timing is not well-defined).
     phase_us: Mutex<Vec<u64>>,
+    /// The result-cache key this job is (or was) registered under —
+    /// how retirement paths (failure, cancellation, history eviction)
+    /// find their cache entry to drop.
+    cache_key: Mutex<Option<u64>>,
 }
 
 impl Job {
@@ -126,7 +134,18 @@ impl Job {
             started_us: AtomicU64::new(0),
             finished_us: AtomicU64::new(0),
             phase_us: Mutex::new(Vec::new()),
+            cache_key: Mutex::new(None),
         })
+    }
+
+    /// Record the cache key this job was inserted under.
+    pub fn set_cache_key(&self, key: u64) {
+        *self.cache_key.lock().expect("cache key poisoned") = Some(key);
+    }
+
+    /// The cache key this job was inserted under, if any.
+    pub fn cache_key(&self) -> Option<u64> {
+        *self.cache_key.lock().expect("cache key poisoned")
     }
 
     /// Record a completed phase boundary (worker hook; feeds the
@@ -251,6 +270,7 @@ mod tests {
             id,
             JobKind::Scenario {
                 spec: Box::new(spec),
+                source: String::new(),
             },
         )
     }

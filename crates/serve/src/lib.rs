@@ -7,10 +7,14 @@
 //! equilibrium queries continuously — not a one-shot CLI run. This
 //! crate is that service, built entirely on `std::net` in the
 //! workspace's vendored-shim tradition: a hand-rolled HTTP/1.1 subset
-//! ([`http`]), a bounded job queue with a worker pool that reuses one
-//! deviation engine per worker across jobs ([`server`]), and chunked
-//! JSONL result streaming backed by a replay-and-follow line buffer
-//! ([`stream`]).
+//! with keep-alive ([`http`]), a non-blocking epoll/poll connection
+//! front end over vendored readiness bindings ([`sys`],
+//! `event_loop`), a bounded job queue with a worker pool that reuses
+//! one deviation engine per worker across jobs ([`server`]), a
+//! content-addressed result cache that coalesces duplicate
+//! submissions (`cache`), sweep sharding across peer processes
+//! (`shard`), and chunked JSONL result streaming backed by a
+//! replay-and-follow line buffer ([`stream`]).
 //!
 //! The load-bearing invariant: **a served record stream is
 //! byte-identical to the offline run.** Submitting a spec and
@@ -38,13 +42,19 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod client;
+#[cfg(unix)]
+mod event_loop;
 pub mod http;
 pub mod job;
 pub mod server;
+mod shard;
 pub mod stream;
+#[cfg(unix)]
+pub mod sys;
 
 pub use http::{HttpError, Request};
 pub use job::{Job, JobKind, JobStatus};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use server::{spawn, ConnMode, ServerConfig, ServerHandle};
 pub use stream::{BufferSink, LineBuffer};

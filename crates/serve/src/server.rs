@@ -1,17 +1,34 @@
-//! The job server: listener, router, bounded queue, worker pool.
+//! The job server: connection front end, router, bounded queue,
+//! result cache, worker pool, and shard coordination.
 //!
 //! Architecture (all `std`, no dependencies):
 //!
-//! * an **accept loop** takes one thread and hands each connection to
-//!   a short-lived handler thread (one request per connection);
+//! * a **connection front end** in one of three modes (`/healthz`
+//!   reports which): `epoll` — a non-blocking readiness loop over raw
+//!   `epoll(7)` bindings ([`crate::sys`]), the production path;
+//!   `poll` — the same loop on portable `poll(2)`; `threads` — the
+//!   legacy one-thread-per-connection fallback. The readiness loop
+//!   ([`crate::event_loop`]) speaks HTTP/1.1 keep-alive and drives
+//!   chunked streaming by write interest, so a stalled reader can
+//!   never pin a handler thread;
 //! * a **bounded job queue** (`VecDeque` + condvar) decouples
 //!   submission from execution — when it is full, `POST /jobs`
 //!   answers `429` immediately instead of queueing unbounded work
 //!   (backpressure the client can see and retry on);
+//! * a **content-addressed result cache** ([`crate::cache`]): an
+//!   identical re-submission answers with the original job's id —
+//!   byte-identical streams make that trivially correct — and a
+//!   duplicate POST racing a still-running job coalesces onto the
+//!   same stream. `?nocache=1` bypasses; `cache_capacity: 0`
+//!   disables;
 //! * a **worker pool** of `workers` threads executes jobs; each worker
 //!   owns one reusable [`DeviationScratch`] slot (the
 //!   `par_map_init` discipline lifted to job granularity), so
 //!   consecutive same-size jobs never rebuild the engine arena;
+//! * with `peers` configured, sweep jobs run as **shard coordinator**
+//!   ([`crate::shard`]): contiguous seed chunks fan out to peer
+//!   processes over the same HTTP protocol and merge back
+//!   byte-identically;
 //! * every job streams its results through a [`LineBuffer`], which any
 //!   number of `GET /jobs/{id}/stream` connections replay-and-follow;
 //! * **graceful drain**: `POST /shutdown` (or
@@ -25,7 +42,7 @@
 //!
 //! | Method | Path                | Answer |
 //! |--------|---------------------|--------|
-//! | GET    | `/healthz`          | server + pool stats |
+//! | GET    | `/healthz`          | server + pool + cache + shard stats |
 //! | POST   | `/jobs`             | submit (body = scenario spec TOML, or `?type=verify` + `bbncg v1` profile) |
 //! | GET    | `/jobs`             | id + state of every job |
 //! | GET    | `/jobs/{id}`        | one job's status document |
@@ -34,6 +51,7 @@
 //! | POST   | `/jobs/{id}/cancel` | fire the job's cancel token |
 //! | POST   | `/shutdown`         | drain (finish queue) or `?mode=abort` |
 
+use crate::cache::{scenario_cache_key, ResultCache};
 use crate::http::{
     finish_chunked, json_escape, read_request, start_chunked, write_chunk, write_response,
     HttpError, Request, DEFAULT_MAX_BODY,
@@ -47,11 +65,41 @@ use bbncg_core::{
 use bbncg_obs::{Counter, Gauge, Histogram};
 use bbncg_scenario::{parse_spec, run_scenario_with_engine, run_sweep_cancellable, Checkpoint};
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which connection front end to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnMode {
+    /// Best available: epoll on Linux, else poll, else threads.
+    Auto,
+    /// The epoll readiness loop (Linux only; spawn errors elsewhere).
+    Epoll,
+    /// The same readiness loop on portable `poll(2)`.
+    Poll,
+    /// Legacy thread-per-connection handling (one request per
+    /// connection, no keep-alive).
+    Threads,
+}
+
+impl ConnMode {
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Result<ConnMode, String> {
+        match s {
+            "auto" => Ok(ConnMode::Auto),
+            "epoll" => Ok(ConnMode::Epoll),
+            "poll" => Ok(ConnMode::Poll),
+            "threads" => Ok(ConnMode::Threads),
+            other => Err(format!(
+                "unknown conn mode {other:?} (auto|epoll|poll|threads)"
+            )),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -75,7 +123,8 @@ pub struct ServerConfig {
     /// for status queries and stream replay. Beyond it, the oldest
     /// terminal jobs are evicted at submission time, bounding the
     /// server's memory over an unbounded lifetime; queued and running
-    /// jobs are never evicted.
+    /// jobs are never evicted. Evicted jobs leave the result cache
+    /// too.
     pub history_limit: usize,
     /// Default round executor for jobs. Precedence per job:
     /// `?rounds=` query override, else a non-auto `[dynamics] rounds`
@@ -89,6 +138,21 @@ pub struct ServerConfig {
     /// Prometheus exposition either way — with observability off it
     /// simply reads all-zero counters.
     pub obs: bool,
+    /// Connection front end (see [`ConnMode`]). `/healthz` reports the
+    /// effective mode as `conn`.
+    pub conn: ConnMode,
+    /// Result-cache capacity in jobs; 0 disables caching. The library
+    /// default is 0 (a POST always creates a job — what embedding
+    /// tests expect); the `bbncg serve` CLI defaults it on.
+    pub cache_capacity: usize,
+    /// Shard peers (`host:port`). Non-empty makes this server a sweep
+    /// coordinator: sweep jobs split into contiguous seed chunks, one
+    /// per process (self + peers), merged back byte-identically.
+    pub peers: Vec<String>,
+    /// How long a connection may take to deliver (each of) its
+    /// requests before being dropped — the slow-loris bound. Applies
+    /// per request, including between keep-alive requests.
+    pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -102,25 +166,34 @@ impl Default for ServerConfig {
             history_limit: 256,
             default_executor: RoundExecutor::Auto,
             obs: false,
+            conn: ConnMode::Auto,
+            cache_capacity: 0,
+            peers: Vec::new(),
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    addr: SocketAddr,
-    workers: usize,
-    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
-    next_id: AtomicU64,
-    queue: Mutex<VecDeque<Arc<Job>>>,
-    queue_cv: Condvar,
-    running: AtomicUsize,
-    draining: AtomicBool,
-    /// In-flight connection handlers; join() waits for zero so every
-    /// response written during a drain (including /shutdown's own 200)
-    /// reaches its client before the process exits.
-    open_conns: Mutex<usize>,
-    conns_cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) workers: usize,
+    pub(crate) jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) queue: Mutex<VecDeque<Arc<Job>>>,
+    pub(crate) queue_cv: Condvar,
+    pub(crate) running: AtomicUsize,
+    pub(crate) draining: AtomicBool,
+    /// In-flight connection handlers (threads mode); join() waits for
+    /// zero so every response written during a drain (including
+    /// /shutdown's own 200) reaches its client before the process
+    /// exits. The event loop keeps this at zero — its conns close
+    /// before the loop thread exits.
+    pub(crate) open_conns: Mutex<usize>,
+    pub(crate) conns_cv: Condvar,
+    pub(crate) cache: ResultCache,
+    /// Effective connection front end (`epoll`/`poll`/`threads`).
+    pub(crate) conn_label: &'static str,
 }
 
 /// A running server: its bound address plus the accept/worker threads.
@@ -139,6 +212,12 @@ impl ServerHandle {
     /// Worker-pool size.
     pub fn workers(&self) -> usize {
         self.shared.workers
+    }
+
+    /// Effective connection front end (`"epoll"`, `"poll"`, or
+    /// `"threads"`).
+    pub fn conn_mode(&self) -> &'static str {
+        self.shared.conn_label
     }
 
     /// Begin a graceful drain: stop accepting connections and reject
@@ -166,7 +245,7 @@ impl ServerHandle {
         // Connection handlers are detached threads; wait for the last
         // of them so no response (the drain's own 200 in particular)
         // is cut off by process exit. Bounded: handlers either answer
-        // promptly or hit the 30s request read timeout, and by now
+        // promptly or hit the request read timeout, and by now
         // every job is terminal so no stream can follow forever.
         let mut open = self.shared.open_conns.lock().expect("conns poisoned");
         while *open > 0 {
@@ -185,7 +264,7 @@ impl ServerHandle {
     }
 }
 
-fn begin_drain(shared: &Arc<Shared>, abort: bool) {
+pub(crate) fn begin_drain(shared: &Arc<Shared>, abort: bool) {
     shared.draining.store(true, Ordering::SeqCst);
     if abort {
         for job in shared.jobs.lock().expect("jobs poisoned").values() {
@@ -193,23 +272,63 @@ fn begin_drain(shared: &Arc<Shared>, abort: bool) {
         }
     }
     shared.queue_cv.notify_all();
-    // Wake the accept loop out of its blocking accept() with a throwaway
-    // connection; it re-checks the drain flag before handling anything.
+    // Wake the connection front end out of its blocking accept()/wait()
+    // with a throwaway connection; it re-checks the drain flag before
+    // handling anything. (The event loop also re-checks on its
+    // periodic tick, so a refused connect — listener already closed —
+    // is harmless.)
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// Bind, spawn the worker pool and accept loop, and return the handle.
+/// Bind, spawn the worker pool and connection front end, and return
+/// the handle.
 pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     if cfg.obs {
         bbncg_obs::enable();
     }
     let listener = TcpListener::bind(&cfg.addr)?;
+    // std hard-codes a backlog of 128; with syncookies on, a connect
+    // burst beyond that gets RST instead of queued. Deepen the queue
+    // to ride out many-hundred-client bursts (best effort).
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        let _ = crate::sys::set_backlog(listener.as_raw_fd(), 1024);
+    }
     let addr = listener.local_addr()?;
     let workers = if cfg.workers == 0 {
         bbncg_par::max_threads()
     } else {
         cfg.workers
     };
+
+    // Resolve the connection front end up front so /healthz can report
+    // it and an impossible explicit ask (epoll off-Linux) fails the
+    // spawn, not the first request.
+    #[cfg(unix)]
+    let poller = match cfg.conn {
+        ConnMode::Threads => None,
+        ConnMode::Epoll => Some(crate::sys::Poller::new_epoll()?),
+        ConnMode::Poll => Some(crate::sys::Poller::new_poll()),
+        ConnMode::Auto => Some(crate::sys::Poller::new_auto()),
+    };
+    #[cfg(not(unix))]
+    let poller: Option<()> = match cfg.conn {
+        ConnMode::Threads | ConnMode::Auto => None,
+        ConnMode::Epoll | ConnMode::Poll => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "readiness front ends need a Unix host; use conn=threads",
+            ))
+        }
+    };
+
+    #[cfg(unix)]
+    let conn_label = poller.as_ref().map_or("threads", |p| p.label());
+    #[cfg(not(unix))]
+    let conn_label = "threads";
+
+    let cache_capacity = cfg.cache_capacity;
     let shared = Arc::new(Shared {
         cfg,
         addr,
@@ -222,6 +341,8 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         open_conns: Mutex::new(0),
         conns_cv: Condvar::new(),
+        cache: ResultCache::new(cache_capacity),
+        conn_label,
     });
     let mut worker_threads = Vec::with_capacity(workers);
     for _ in 0..workers {
@@ -229,6 +350,12 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         worker_threads.push(std::thread::spawn(move || worker_loop(sh)));
     }
     let sh = Arc::clone(&shared);
+    #[cfg(unix)]
+    let accept_thread = Some(match poller {
+        Some(poller) => std::thread::spawn(move || crate::event_loop::run(sh, listener, poller)),
+        None => std::thread::spawn(move || accept_loop(sh, listener)),
+    });
+    #[cfg(not(unix))]
     let accept_thread = Some(std::thread::spawn(move || accept_loop(sh, listener)));
     Ok(ServerHandle {
         shared,
@@ -292,6 +419,18 @@ fn worker_loop(shared: Arc<Shared>) {
         shared.running.fetch_add(1, Ordering::SeqCst);
         execute_job(&shared, &job, &mut scratch);
         shared.running.fetch_sub(1, Ordering::SeqCst);
+        uncache_if_dead(&shared, &job);
+    }
+}
+
+/// Drop a job's cache entry if it retired without a replayable result
+/// (failed or cancelled) — a transient failure must be recomputed,
+/// not served from cache forever.
+pub(crate) fn uncache_if_dead(shared: &Shared, job: &Arc<Job>) {
+    if matches!(job.status(), JobStatus::Failed(_) | JobStatus::Cancelled) {
+        if let Some(key) = job.cache_key() {
+            shared.cache.forget(key, job.id);
+        }
     }
 }
 
@@ -302,7 +441,13 @@ fn execute_job(shared: &Shared, job: &Arc<Job>, scratch: &mut Option<DeviationSc
     }
     job.set_status(JobStatus::Running);
     match &job.kind {
-        JobKind::Scenario { spec } => {
+        JobKind::Scenario { spec, source } => {
+            if spec.seeds > 1 && !shared.cfg.peers.is_empty() {
+                // Shard coordinator: chunk the sweep across self +
+                // peers, merge byte-identically (see crate::shard).
+                crate::shard::run_sharded(&shared.cfg.peers, job, spec, source);
+                return;
+            }
             let mut sink = BufferSink::new(Arc::clone(&job.lines));
             if spec.seeds > 1 {
                 let outcomes = run_sweep_cancellable(spec, &mut sink, &job.cancel);
@@ -375,8 +520,8 @@ fn execute_job(shared: &Shared, job: &Arc<Job>, scratch: &mut Option<DeviationSc
 
 fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    // A client gets 30 seconds to deliver its request head + body; an
-    // idle or byte-trickling connection then errors out of
+    // A client gets read_timeout to deliver its request head + body;
+    // an idle or byte-trickling connection then errors out of
     // read_request and releases this handler thread, instead of
     // pinning it forever (responses are writes, so streaming followers
     // are unaffected by the *read* timeout). Writes get their own cap:
@@ -384,7 +529,7 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     // would otherwise block write_chunk forever and stall join()'s
     // open-connection wait. 60s per write is generous for any reader
     // that is actually consuming.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(60)));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -410,17 +555,46 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     route(&shared, &req, &mut writer);
 }
 
-fn respond_json(w: &mut impl Write, status: u16, reason: &str, body: String) {
-    let _ = write_response(w, status, reason, "application/json", body.as_bytes());
+fn error_body(detail: &str) -> Vec<u8> {
+    format!("{{\"error\":\"{}\"}}", json_escape(detail)).into_bytes()
 }
 
-fn error_json(w: &mut impl Write, status: u16, reason: &str, detail: &str) {
-    respond_json(
-        w,
-        status,
-        reason,
-        format!("{{\"error\":\"{}\"}}", json_escape(detail)),
-    );
+/// A routed request's disposition — shared by both front ends. `Full`
+/// responses are complete bytes; `Stream`/`Report` need job-lifecycle
+/// waiting, which threads mode does by blocking and the event loop by
+/// waker-driven state machines.
+pub(crate) enum Routed {
+    /// A complete response, ready to encode.
+    Full {
+        status: u16,
+        reason: &'static str,
+        content_type: &'static str,
+        body: Vec<u8>,
+    },
+    /// Follow the job's line buffer as a chunked JSONL stream.
+    Stream { job: Arc<Job> },
+    /// Wait for the job to finish, then render its HTML report.
+    Report { job: Arc<Job> },
+}
+
+impl Routed {
+    pub(crate) fn ok_json(body: String) -> Routed {
+        Routed::Full {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    pub(crate) fn error_json(status: u16, reason: &'static str, detail: &str) -> Routed {
+        Routed::Full {
+            status,
+            reason,
+            content_type: "application/json",
+            body: error_body(detail),
+        }
+    }
 }
 
 /// Which latency histogram a request lands in. Unrouted requests go
@@ -440,35 +614,52 @@ fn endpoint_histogram(method: &str, segments: &[&str]) -> Histogram {
     }
 }
 
-fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
+/// Route one parsed request to its disposition. Every arm here is
+/// non-blocking (submit parses and enqueues; nothing waits on a job),
+/// so the event loop calls this inline.
+pub(crate) fn route_request(shared: &Arc<Shared>, req: &Request) -> (Routed, Histogram) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    let t0 = std::time::Instant::now();
     bbncg_obs::counter_inc(Counter::HttpRequests);
     let hist = endpoint_histogram(&req.method, &segments);
-    match (req.method.as_str(), segments.as_slice()) {
+    let routed = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let queue_depth = shared.queue.lock().expect("queue poisoned").len();
             let jobs = shared.jobs.lock().expect("jobs poisoned").len();
+            let cache = shared.cache.stats();
+            let cache_lookups = cache.hits + cache.coalesced + cache.misses;
+            let hit_rate = if cache_lookups == 0 {
+                0.0
+            } else {
+                (cache.hits + cache.coalesced) as f64 / cache_lookups as f64
+            };
             // `rounds` + `threads` make loadgen runs self-describing:
             // the default round-executor mode jobs will run under and
             // the worker-thread cap every parallel primitive obeys
-            // (`--threads` / BBNCG_THREADS / auto-detect).
-            respond_json(
-                w,
-                200,
-                "OK",
-                format!(
-                    "{{\"status\":\"{}\",\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"running\":{},\"jobs\":{},\"rounds\":\"{}\",\"threads\":{}}}",
-                    if shared.draining.load(Ordering::SeqCst) { "draining" } else { "ok" },
-                    shared.workers,
-                    queue_depth,
-                    shared.cfg.queue_capacity,
-                    shared.running.load(Ordering::SeqCst),
-                    jobs,
-                    shared.cfg.default_executor.label(),
-                    bbncg_par::max_threads(),
-                ),
-            );
+            // (`--threads` / BBNCG_THREADS / auto-detect). `conn`,
+            // the cache block, and the shard block describe this PR's
+            // front end: connection mode, result-cache pressure, and
+            // the coordinator role.
+            Routed::ok_json(format!(
+                "{{\"status\":\"{}\",\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"running\":{},\"jobs\":{},\"rounds\":\"{}\",\"threads\":{},\"conn\":\"{}\",\"cache_capacity\":{},\"cache_size\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_coalesced\":{},\"cache_evictions\":{},\"cache_hit_rate\":{:.4},\"shard_role\":\"{}\",\"shard_peers\":{}}}",
+                if shared.draining.load(Ordering::SeqCst) { "draining" } else { "ok" },
+                shared.workers,
+                queue_depth,
+                shared.cfg.queue_capacity,
+                shared.running.load(Ordering::SeqCst),
+                jobs,
+                shared.cfg.default_executor.label(),
+                bbncg_par::max_threads(),
+                shared.conn_label,
+                shared.cache.capacity(),
+                cache.size,
+                cache.hits,
+                cache.misses,
+                cache.coalesced,
+                cache.evictions,
+                hit_rate,
+                if shared.cfg.peers.is_empty() { "single" } else { "coordinator" },
+                shared.cfg.peers.len(),
+            ))
         }
         ("GET", ["metrics"]) => {
             // Gauges are sampled at scrape time — they describe "now",
@@ -482,24 +673,22 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
                 Gauge::InFlightJobs,
                 shared.running.load(Ordering::SeqCst) as u64,
             );
-            let body = bbncg_obs::render_prometheus();
-            let _ = write_response(
-                w,
-                200,
-                "OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                body.as_bytes(),
-            );
+            Routed::Full {
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: bbncg_obs::render_prometheus().into_bytes(),
+            }
         }
-        ("POST", ["jobs"]) => submit(shared, req, w),
+        ("POST", ["jobs"]) => submit(shared, req),
         ("GET", ["jobs"]) => {
             let jobs = shared.jobs.lock().expect("jobs poisoned");
             let docs: Vec<String> = jobs.values().map(|j| j.status_json()).collect();
-            respond_json(w, 200, "OK", format!("[{}]", docs.join(",")));
+            Routed::ok_json(format!("[{}]", docs.join(",")))
         }
         ("GET", ["jobs", id]) => match lookup(shared, id) {
-            Some(job) => respond_json(w, 200, "OK", job.status_json()),
-            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+            Some(job) => Routed::ok_json(job.status_json()),
+            None => Routed::error_json(404, "Not Found", &format!("no job {id}")),
         },
         ("POST", ["jobs", id, "cancel"]) => match lookup(shared, id) {
             Some(job) => {
@@ -519,17 +708,28 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
                 if job.status() == JobStatus::Queued {
                     job.set_status(JobStatus::Cancelled);
                 }
-                respond_json(w, 200, "OK", job.status_json());
+                uncache_if_dead(shared, &job);
+                Routed::ok_json(job.status_json())
             }
-            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+            None => Routed::error_json(404, "Not Found", &format!("no job {id}")),
         },
         ("GET", ["jobs", id, "stream"]) => match lookup(shared, id) {
-            Some(job) => stream_job(&job, w),
-            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+            Some(job) => Routed::Stream { job },
+            None => Routed::error_json(404, "Not Found", &format!("no job {id}")),
         },
         ("GET", ["jobs", id, "report"]) => match lookup(shared, id) {
-            Some(job) => report_job(&job, w),
-            None => error_json(w, 404, "Not Found", &format!("no job {id}")),
+            Some(job) => {
+                if matches!(job.kind, JobKind::Scenario { .. }) {
+                    Routed::Report { job }
+                } else {
+                    Routed::error_json(
+                        409,
+                        "Conflict",
+                        "reports are only available for scenario jobs",
+                    )
+                }
+            }
+            None => Routed::error_json(404, "Not Found", &format!("no job {id}")),
         },
         ("POST", ["shutdown"]) => {
             let abort = req.query_get("mode") == Some("abort");
@@ -537,14 +737,37 @@ fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
             // response, no later submission can be accepted — the 200
             // is a promise, not a prediction.
             begin_drain(shared, abort);
-            respond_json(w, 200, "OK", "{\"status\":\"draining\"}".into());
+            Routed::ok_json("{\"status\":\"draining\"}".into())
         }
-        _ => error_json(
-            w,
+        _ => Routed::error_json(
             404,
             "Not Found",
             &format!("no route {} {}", req.method, req.path),
         ),
+    };
+    (routed, hist)
+}
+
+/// Threads-mode request handling: act on the disposition, blocking
+/// where the event loop would wait on wakers.
+fn route(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
+    let t0 = std::time::Instant::now();
+    let (routed, hist) = route_request(shared, req);
+    match routed {
+        Routed::Full {
+            status,
+            reason,
+            content_type,
+            body,
+        } => {
+            let _ = write_response(w, status, reason, content_type, &body);
+        }
+        Routed::Stream { job } => stream_job(&job, w),
+        Routed::Report { job } => {
+            job.wait_terminal();
+            let (status, reason, content_type, body) = render_job_report(&job);
+            let _ = write_response(w, status, reason, content_type, &body);
+        }
     }
     // For `stream`, this is the whole follow duration — which is the
     // honest latency of a streaming endpoint.
@@ -556,14 +779,52 @@ fn lookup(shared: &Shared, id: &str) -> Option<Arc<Job>> {
     shared.jobs.lock().expect("jobs poisoned").get(&id).cloned()
 }
 
-fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
+fn receipt(job: &Arc<Job>, cached: bool) -> Routed {
+    let cached_field = if cached { ",\"cached\":true" } else { "" };
+    Routed::Full {
+        status: 202,
+        reason: "Accepted",
+        content_type: "application/json",
+        body: format!(
+            "{{\"job\":{},\"kind\":\"{}\",\"state\":\"{}\"{},\"stream\":\"/jobs/{}/stream\"}}",
+            job.id,
+            job.kind.label(),
+            job.status().label(),
+            cached_field,
+            job.id
+        )
+        .into_bytes(),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &Request) -> Routed {
     if shared.draining.load(Ordering::SeqCst) {
-        return error_json(w, 503, "Service Unavailable", "server is draining");
+        return Routed::error_json(503, "Service Unavailable", "server is draining");
     }
     let kind = match build_job_kind(req, shared.cfg.default_executor) {
         Ok(k) => k,
-        Err(e) => return error_json(w, 400, "Bad Request", &e),
+        Err(e) => return Routed::error_json(400, "Bad Request", &e),
     };
+    // `?nocache=1` (any value but "0") bypasses lookup *and* insert —
+    // the benchmarking escape hatch that always recomputes.
+    let nocache = req.query_get("nocache").is_some_and(|v| v != "0");
+    let cache_key = match (&kind, shared.cache.enabled(), nocache) {
+        (JobKind::Scenario { spec, .. }, true, false) => Some(scenario_cache_key(spec)),
+        _ => None,
+    };
+    // The cache guard spans lookup → admission → insert, so two racing
+    // identical POSTs can never both admit: one inserts, the other
+    // coalesces onto its job. Lock order: cache → queue → jobs.
+    let mut cache_guard = if shared.cache.enabled() {
+        Some(shared.cache.lock())
+    } else {
+        None
+    };
+    if let (Some(guard), Some(key)) = (cache_guard.as_mut(), cache_key) {
+        if let Some(job) = guard.lookup(key) {
+            return receipt(&job, true);
+        }
+    }
     // Reserve a queue slot and register the job in one critical
     // section, so the id is routable the instant the submitter sees it
     // and the capacity check can never over-admit.
@@ -576,13 +837,12 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
         // (202 receipt, no worker left, stream never closes).
         if shared.draining.load(Ordering::SeqCst) {
             drop(q);
-            return error_json(w, 503, "Service Unavailable", "server is draining");
+            return Routed::error_json(503, "Service Unavailable", "server is draining");
         }
         if q.len() >= shared.cfg.queue_capacity {
             drop(q);
             bbncg_obs::counter_inc(Counter::HttpRejected429);
-            return error_json(
-                w,
+            return Routed::error_json(
                 429,
                 "Too Many Requests",
                 &format!(
@@ -600,7 +860,9 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
             // history cap, so an always-on server's memory is bounded
             // (each retained job holds its whole record stream). A
             // follower mid-replay keeps its own Arc and finishes
-            // unaffected; later GETs of an evicted id are 404.
+            // unaffected; later GETs of an evicted id are 404 — and
+            // the cache drops the entry too, so a cached receipt can
+            // never point at an evicted id.
             let terminal: Vec<u64> = jobs
                 .iter()
                 .filter(|(_, j)| j.status().is_terminal())
@@ -608,26 +870,25 @@ fn submit(shared: &Arc<Shared>, req: &Request, w: &mut TcpStream) {
                 .collect();
             if terminal.len() > shared.cfg.history_limit {
                 for k in &terminal[..terminal.len() - shared.cfg.history_limit] {
-                    jobs.remove(k);
+                    if let Some(evicted) = jobs.remove(k) {
+                        if let (Some(guard), Some(ck)) = (cache_guard.as_mut(), evicted.cache_key())
+                        {
+                            guard.forget(ck, evicted.id);
+                        }
+                    }
                 }
             }
+        }
+        if let (Some(guard), Some(key)) = (cache_guard.as_mut(), cache_key) {
+            job.set_cache_key(key);
+            guard.insert(key, &job);
         }
         q.push_back(Arc::clone(&job));
         shared.queue_cv.notify_one();
         bbncg_obs::counter_inc(Counter::JobsSubmitted);
         job
     };
-    respond_json(
-        w,
-        202,
-        "Accepted",
-        format!(
-            "{{\"job\":{},\"kind\":\"{}\",\"state\":\"queued\",\"stream\":\"/jobs/{}/stream\"}}",
-            job.id,
-            job.kind.label(),
-            job.id
-        ),
-    );
+    receipt(&job, false)
 }
 
 fn parse_kernel_param(req: &Request) -> Result<CostKernel, String> {
@@ -674,6 +935,14 @@ fn build_job_kind(req: &Request, default_executor: RoundExecutor) -> Result<JobK
             if let Some(s) = req.query_get("seed") {
                 spec.seed = s.parse().map_err(|e| format!("seed: {e}"))?;
             }
+            // `?seeds=` overrides the sweep width — how a shard
+            // coordinator carves its range into peer sub-jobs.
+            if let Some(s) = req.query_get("seeds") {
+                spec.seeds = s.parse().map_err(|e| format!("seeds: {e}"))?;
+                if spec.seeds == 0 {
+                    return Err("seeds: must be at least 1".into());
+                }
+            }
             if req.query_get("kernel").is_some() {
                 spec.kernel = parse_kernel_param(req)?;
             }
@@ -685,6 +954,7 @@ fn build_job_kind(req: &Request, default_executor: RoundExecutor) -> Result<JobK
                 effective_executor(req, spec.defaults.executor, default_executor)?;
             Ok(JobKind::Scenario {
                 spec: Box::new(spec),
+                source: body.to_string(),
             })
         }
         "verify" => {
@@ -700,27 +970,19 @@ fn build_job_kind(req: &Request, default_executor: RoundExecutor) -> Result<JobK
     }
 }
 
-/// `GET /jobs/{id}/report`: render the default stream report from the
-/// job's buffered JSONL. Blocks until the job is terminal (like a
-/// stream follow), then renders from the complete line buffer — the
-/// same lines `JsonlSink` would have written offline, so the HTML is
-/// byte-identical to `bbncg report --from` on the streamed output.
-fn report_job(job: &Arc<Job>, w: &mut TcpStream) {
-    if !matches!(job.kind, JobKind::Scenario { .. }) {
-        return error_json(
-            w,
-            409,
-            "Conflict",
-            "reports are only available for scenario jobs",
-        );
-    }
-    let status = job.wait_terminal();
+/// Render a terminal job's report response: the default stream report
+/// from the job's buffered JSONL — the same lines `JsonlSink` would
+/// have written offline, so the HTML is byte-identical to
+/// `bbncg report --from` on the streamed output. Callers ensure the
+/// job is terminal first.
+pub(crate) fn render_job_report(job: &Arc<Job>) -> (u16, &'static str, &'static str, Vec<u8>) {
+    let status = job.status();
     if status != JobStatus::Completed {
-        return error_json(
-            w,
+        return (
             409,
             "Conflict",
-            &format!("job is {} — no report", status.label()),
+            "application/json",
+            error_body(&format!("job is {} — no report", status.label())),
         );
     }
     let mut jsonl = String::new();
@@ -729,10 +991,13 @@ fn report_job(job: &Arc<Job>, w: &mut TcpStream) {
         jsonl.push('\n');
     }
     match bbncg_report::render_stream_report(&jsonl) {
-        Ok(html) => {
-            let _ = write_response(w, 200, "OK", "text/html; charset=utf-8", html.as_bytes());
-        }
-        Err(e) => error_json(w, 500, "Internal Server Error", &e),
+        Ok(html) => (200, "OK", "text/html; charset=utf-8", html.into_bytes()),
+        Err(e) => (
+            500,
+            "Internal Server Error",
+            "application/json",
+            error_body(&e),
+        ),
     }
 }
 

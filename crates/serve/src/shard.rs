@@ -1,0 +1,249 @@
+//! Sweep sharding: fan a sweep's seed range out to peer worker
+//! processes and merge their streams back into one byte-identical
+//! result.
+//!
+//! A coordinator started with `--peers host:port,...` splits every
+//! sweep job (`seeds > 1`) into contiguous seed chunks — one per
+//! process, remainder spread over the leading chunks. Chunk 0 runs
+//! locally on the worker thread that owns the job (preserving the
+//! one-engine-per-worker discipline); each peer chunk is submitted
+//! over the existing HTTP job protocol (`client.rs`) as the original
+//! spec text plus `?seed=&seeds=` overrides, and its JSONL stream is
+//! consumed live by a forwarding thread.
+//!
+//! **Why the merge is byte-identical to a single-process run:** a
+//! sweep's stream is the per-seed record batches in ascending seed
+//! order, each record depending only on the spec content and its
+//! absolute seed (CI-enforced serve parity). Every seed emits exactly
+//! `phases + 1` records (one per phase, one summary), so each line of
+//! the merged stream has a computable global index — chunk-start
+//! offset × lines-per-seed plus arrival position — and the scenario
+//! crate's [`Reorderer`] (the same primitive behind parallel sweep
+//! merging) re-serializes lines in that order while streaming the
+//! frontier chunk live. Coordinator output is therefore the exact
+//! byte sequence of an unsharded run, which CI enforces with a
+//! two-process diff.
+//!
+//! Failure containment: a peer that refuses a chunk, disconnects, or
+//! returns a short stream fails the coordinator job loudly (the
+//! merged stream closes; no silent truncation). Cancellation
+//! propagates — the coordinator cancels each peer sub-job and drops
+//! its stream at the next line boundary.
+
+use crate::client;
+use crate::job::{Job, JobStatus};
+use crate::stream::LineBuffer;
+use bbncg_obs::Counter;
+use bbncg_scenario::{run_sweep_cancellable, MetricRecord, MetricSink, Reorderer, ScenarioSpec};
+use std::sync::{Arc, Mutex};
+
+/// One chunk of the seed range: `offset` seeds into the sweep, `len`
+/// seeds long.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Chunk {
+    pub offset: usize,
+    pub len: usize,
+}
+
+/// Split `total` seeds into up to `nshards` contiguous chunks, sizes
+/// as even as possible (remainder on the leading chunks). Chunks are
+/// never empty — with fewer seeds than shards, trailing shards sit
+/// out.
+pub(crate) fn chunk_seeds(total: usize, nshards: usize) -> Vec<Chunk> {
+    let nshards = nshards.max(1);
+    let base = total / nshards;
+    let rem = total % nshards;
+    let mut chunks = Vec::new();
+    let mut offset = 0;
+    for i in 0..nshards {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            break;
+        }
+        chunks.push(Chunk { offset, len });
+        offset += len;
+    }
+    chunks
+}
+
+/// The line-granular merge: producers push `(global line index, line)`
+/// and the frontier streams straight into the job's buffer.
+struct Merge<'a> {
+    reorder: Mutex<Reorderer<String>>,
+    lines: &'a LineBuffer,
+}
+
+impl Merge<'_> {
+    fn push(&self, idx: usize, line: String) {
+        self.reorder
+            .lock()
+            .expect("shard merge poisoned")
+            .push(idx, line, |l| self.lines.push(l));
+    }
+}
+
+/// `MetricSink` for the local chunk: records take their global line
+/// index from the chunk base and flow through the merge.
+struct MergeSink<'a, 'b> {
+    merge: &'a Merge<'b>,
+    next_idx: usize,
+}
+
+impl MetricSink for MergeSink<'_, '_> {
+    fn record(&mut self, rec: &MetricRecord) {
+        self.merge.push(self.next_idx, rec.to_json());
+        self.next_idx += 1;
+    }
+}
+
+/// Stream one peer chunk: submit, follow the stream into the merge,
+/// verify the line count, propagate cancellation.
+fn run_peer_chunk(
+    peer: &str,
+    source: &str,
+    spec: &ScenarioSpec,
+    chunk: Chunk,
+    lines_per_seed: usize,
+    merge: &Merge<'_>,
+    job: &Job,
+) -> Result<(), String> {
+    bbncg_obs::counter_inc(Counter::ServeShardSubjobs);
+    let target = format!(
+        "/jobs?seed={}&seeds={}&kernel={}&model={}&rounds={}",
+        spec.seed + chunk.offset as u64,
+        chunk.len,
+        spec.kernel.label(),
+        spec.defaults.model.label(),
+        spec.defaults.executor.label(),
+    );
+    let resp = client::request(peer, "POST", &target, source.as_bytes())
+        .map_err(|e| format!("peer {peer}: {e}"))?;
+    if resp.status != 202 {
+        return Err(format!(
+            "peer {peer} refused chunk ({}): {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+    let id = client::job_id(&resp.text())
+        .ok_or_else(|| format!("peer {peer}: receipt without job id: {}", resp.text()))?;
+    let base_idx = chunk.offset * lines_per_seed;
+    let expected = chunk.len * lines_per_seed;
+    let mut got = 0usize;
+    let stream = client::stream_lines(peer, &format!("/jobs/{id}/stream"), |line| {
+        if job.cancel.is_cancelled() {
+            return false;
+        }
+        merge.push(base_idx + got, line.to_string());
+        got += 1;
+        true
+    });
+    if job.cancel.is_cancelled() {
+        // Best-effort: stop the peer's compute too.
+        let _ = client::request(peer, "POST", &format!("/jobs/{id}/cancel"), b"");
+        return Ok(());
+    }
+    stream.map_err(|e| format!("peer {peer}: stream: {e}"))?;
+    if got != expected {
+        return Err(format!(
+            "peer {peer} returned {got} of {expected} lines for seeds {}..{}",
+            spec.seed + chunk.offset as u64,
+            spec.seed + (chunk.offset + chunk.len) as u64,
+        ));
+    }
+    Ok(())
+}
+
+/// Execute a sweep job as shard coordinator. Runs on the worker
+/// thread that owns `job`; peer chunks get one forwarding I/O thread
+/// each (network waiting, not compute). Sets the job's terminal
+/// status.
+pub(crate) fn run_sharded(peers: &[String], job: &Arc<Job>, spec: &ScenarioSpec, source: &str) {
+    let chunks = chunk_seeds(spec.seeds, peers.len() + 1);
+    let lines_per_seed = spec.phases.len() + 1;
+    let merge = Merge {
+        reorder: Mutex::new(Reorderer::new()),
+        lines: &job.lines,
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut cancelled = false;
+    std::thread::scope(|scope| {
+        let peer_handles: Vec<_> = chunks
+            .iter()
+            .skip(1)
+            .zip(peers.iter())
+            .map(|(&chunk, peer)| {
+                let merge = &merge;
+                let job = Arc::clone(job);
+                scope.spawn(move || {
+                    run_peer_chunk(peer, source, spec, chunk, lines_per_seed, merge, &job)
+                })
+            })
+            .collect();
+
+        // Chunk 0 runs here, inline: this thread *is* a marked job
+        // worker, so the sweep's internal parallelism keeps the same
+        // discipline as an unsharded sweep.
+        let local = chunks
+            .first()
+            .copied()
+            .unwrap_or(Chunk { offset: 0, len: 0 });
+        if local.len > 0 {
+            let mut local_spec = spec.clone();
+            local_spec.seeds = local.len;
+            let mut sink = MergeSink {
+                merge: &merge,
+                next_idx: local.offset * lines_per_seed,
+            };
+            let outcomes = run_sweep_cancellable(&local_spec, &mut sink, &job.cancel);
+            for (i, o) in outcomes.into_iter().enumerate() {
+                match o {
+                    Ok(o) => cancelled |= o.cancelled,
+                    Err(e) => errors.push(format!("seed {}: {e}", spec.seed + i as u64)),
+                }
+            }
+        }
+
+        for h in peer_handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => errors.push(e),
+                Err(_) => errors.push("peer forwarding thread panicked".into()),
+            }
+        }
+    });
+    cancelled |= job.cancel.is_cancelled();
+
+    job.set_status(if cancelled {
+        JobStatus::Cancelled
+    } else if errors.is_empty() {
+        JobStatus::Completed
+    } else {
+        JobStatus::Failed(errors.join("; "))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_contiguously() {
+        for (total, shards) in [(16, 3), (5, 2), (7, 7), (3, 5), (1, 4), (100, 1)] {
+            let chunks = chunk_seeds(total, shards);
+            assert!(chunks.len() <= shards);
+            let mut offset = 0;
+            for c in &chunks {
+                assert_eq!(c.offset, offset, "contiguous at {total}/{shards}");
+                assert!(c.len > 0);
+                offset += c.len;
+            }
+            assert_eq!(offset, total, "covers the range at {total}/{shards}");
+            // Even split: sizes differ by at most one.
+            let max = chunks.iter().map(|c| c.len).max().unwrap();
+            let min = chunks.iter().map(|c| c.len).min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+}

@@ -12,10 +12,17 @@
 use bbncg_scenario::{MetricRecord, MetricSink};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// A callback the buffer fires (outside its lock) whenever new lines
+/// land or the stream closes — how the non-blocking event loop learns
+/// that a followed stream has progressed without parking a thread on
+/// [`LineBuffer::wait_line`].
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
 #[derive(Default)]
 struct State {
     lines: Vec<String>,
     closed: bool,
+    wakers: Vec<Waker>,
 }
 
 /// An append-only, multi-reader line buffer with blocking iteration.
@@ -33,17 +40,48 @@ impl LineBuffer {
 
     /// Append one line (without trailing newline).
     pub fn push(&self, line: String) {
-        let mut st = self.state.lock().expect("line buffer poisoned");
-        st.lines.push(line);
-        self.cv.notify_all();
+        let wakers = {
+            let mut st = self.state.lock().expect("line buffer poisoned");
+            st.lines.push(line);
+            self.cv.notify_all();
+            st.wakers.clone()
+        };
+        // Fire outside the lock: wakers take the event loop's own
+        // locks, and holding the buffer lock across foreign code
+        // invites ordering deadlocks.
+        for w in wakers {
+            w();
+        }
     }
 
     /// Mark the stream complete: readers drain what is buffered and
-    /// then see end-of-stream instead of blocking forever.
+    /// then see end-of-stream instead of blocking forever. Registered
+    /// wakers fire one final time and are dropped — a closed buffer
+    /// never wakes anyone again, so long-lived (cached) buffers cannot
+    /// accumulate stale wakers.
     pub fn close(&self) {
+        let wakers = {
+            let mut st = self.state.lock().expect("line buffer poisoned");
+            st.closed = true;
+            self.cv.notify_all();
+            std::mem::take(&mut st.wakers)
+        };
+        for w in wakers {
+            w();
+        }
+    }
+
+    /// Register a waker to fire on every future push and on close.
+    /// Returns `false` (without registering) if the buffer is already
+    /// closed — nothing further will happen, so the caller should act
+    /// on the final state it can already read.
+    pub fn register_waker(&self, waker: Waker) -> bool {
         let mut st = self.state.lock().expect("line buffer poisoned");
-        st.closed = true;
-        self.cv.notify_all();
+        if st.closed {
+            return false;
+        }
+        st.wakers.push(waker);
+        true
     }
 
     /// Has [`LineBuffer::close`] been called?
@@ -75,6 +113,20 @@ impl LineBuffer {
             }
             st = self.cv.wait(st).expect("line buffer poisoned");
         }
+    }
+
+    /// Non-blocking read of up to `max` lines starting at `idx`, plus
+    /// the closed flag — the event loop's poll-style counterpart to
+    /// [`LineBuffer::wait_line`]. The cap bounds each pull so a huge
+    /// sweep buffer is streamed in batches instead of cloned whole.
+    pub fn read_from(&self, idx: usize, max: usize) -> (Vec<String>, bool) {
+        let st = self.state.lock().expect("line buffer poisoned");
+        let lines = if idx < st.lines.len() {
+            st.lines[idx..st.lines.len().min(idx + max)].to_vec()
+        } else {
+            Vec::new()
+        };
+        (lines, st.closed)
     }
 
     /// Snapshot of the whole buffer (tests, replay-only readers).
@@ -129,6 +181,32 @@ mod tests {
         t.join().unwrap();
         assert!(buf.is_closed());
         assert_eq!(buf.snapshot(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn wakers_fire_on_push_and_close_then_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let buf = LineBuffer::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        assert!(buf.register_waker(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        })));
+        buf.push("a".into());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        buf.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Closed buffers refuse registration and never fire again.
+        let g = Arc::clone(&fired);
+        assert!(!buf.register_waker(Arc::new(move || {
+            g.fetch_add(100, Ordering::SeqCst);
+        })));
+        let (lines, closed) = buf.read_from(0, 16);
+        assert_eq!(lines, vec!["a"]);
+        assert!(closed);
+        assert_eq!(buf.read_from(1, 16).0.len(), 0);
+        assert_eq!(buf.read_from(0, 0).0.len(), 0, "zero cap reads nothing");
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Server protocol edge cases: malformed request lines, oversized
-//! bodies, bad submissions, and clients that vanish mid-stream. The
-//! server must answer 4xx where an answer is possible, and must never
-//! panic or leak a queue/worker slot.
+//! bodies, bad submissions, clients that vanish mid-stream, slow-loris
+//! trickles, and keep-alive reuse/pipelining. The server must answer
+//! 4xx where an answer is possible, and must never panic or leak a
+//! queue/worker slot. The default front end here is the epoll
+//! readiness loop; a backend matrix re-runs the key cases under
+//! `poll` and `threads`.
 
-use bbncg_serve::{client, spawn, ServerConfig};
+use bbncg_serve::{client, spawn, ConnMode, ServerConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -223,6 +226,141 @@ fn disconnect_mid_stream_leaks_nothing() {
     );
     server.shutdown(true);
     server.join();
+}
+
+#[test]
+fn slow_loris_trickles_are_culled_by_the_read_deadline() {
+    let server = spawn(ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    // A partial request line that never completes: the server must cut
+    // the connection (EOF, no response) instead of pinning a slot.
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
+    loris.write_all(b"GET /healthz HT").unwrap();
+    let mut out = Vec::new();
+    let n = loris.read_to_end(&mut out).unwrap_or(0);
+    assert_eq!(n, 0, "culled mid-head, no response: {out:?}");
+
+    // A connection that sends nothing at all is culled the same way.
+    let mut silent = TcpStream::connect(&addr).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
+    let n = silent.read_to_end(&mut out).unwrap_or(0);
+    assert_eq!(n, 0);
+
+    // Honest clients are untouched before, during, and after.
+    let health = client::request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_and_honours_pipelining() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    // One connection, many exchanges: status → submit → stream → status.
+    let mut conn = client::Conn::new(&addr);
+    let h = conn.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(h.status, 200);
+    assert!(conn.is_connected(), "keep-alive retained after healthz");
+    let resp = conn.request("POST", "/jobs", TINY_SPEC.as_bytes()).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = client::job_id(&resp.text()).unwrap();
+    let mut lines = Vec::new();
+    conn.stream_lines(&format!("/jobs/{id}/stream"), |l| {
+        lines.push(l.to_string());
+        true
+    })
+    .unwrap();
+    assert_eq!(lines.len(), 2, "1 phase + summary: {lines:?}");
+    assert!(
+        conn.is_connected(),
+        "a fully-followed stream keeps the connection"
+    );
+    let h = conn.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(h.status, 200);
+
+    // Raw pipelining: two requests in one write, two in-order
+    // responses on one connection (the second asks to close, which
+    // bounds the read).
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\nHost: a\r\n\r\nGET /jobs HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(
+        text.matches("HTTP/1.1 200").count(),
+        2,
+        "two pipelined responses: {text}"
+    );
+    // In-order: healthz doc first, then the jobs array as the final
+    // body on the closed connection.
+    let health_at = text.find("\"status\":\"ok\"").unwrap();
+    let jobs_at = text.find("[{\"job\":").unwrap();
+    assert!(health_at < jobs_at, "responses in request order: {text}");
+    assert!(text.trim_end().ends_with("]"), "{text}");
+    server.shutdown(false);
+    server.join();
+}
+
+#[test]
+fn key_protocol_cases_hold_under_poll_and_threads_backends() {
+    // The readiness loop is the default; the poll fallback and the
+    // legacy threads mode must answer the same protocol the same way.
+    for (mode, label) in [(ConnMode::Poll, "poll"), (ConnMode::Threads, "threads")] {
+        let server = spawn(ServerConfig {
+            conn: mode,
+            max_body: 4096,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+        let h = client::request(&addr, "GET", "/healthz", b"")
+            .unwrap()
+            .text();
+        assert!(h.contains(&format!("\"conn\":\"{label}\"")), "{label}: {h}");
+
+        let resp = raw_exchange(&addr, b"GARBAGE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{label}: {resp:?}");
+        let resp = raw_exchange(
+            &addr,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 5000000\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{label}: {resp:?}");
+
+        let resp = client::request(&addr, "POST", "/jobs", TINY_SPEC.as_bytes()).unwrap();
+        assert_eq!(resp.status, 202, "{label}: {}", resp.text());
+        let id = client::job_id(&resp.text()).unwrap();
+        let mut lines = Vec::new();
+        client::stream_lines(&addr, &format!("/jobs/{id}/stream"), |l| {
+            lines.push(l.to_string());
+            true
+        })
+        .unwrap();
+        assert_eq!(lines.len(), 2, "{label}: {lines:?}");
+        assert!(lines[1].contains("\"kind\":\"summary\""), "{label}");
+
+        server.shutdown(false);
+        server.join();
+    }
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Sweep sharding end to end: a coordinator with two peer processes
+//! (here: two peer servers in-process — the protocol is identical)
+//! must stream a sweep byte-identically to a single-process run, with
+//! the seed range actually split across the fleet.
+
+use bbncg_serve::{client, spawn, ServerConfig};
+use std::time::Duration;
+
+const SWEEP_SPEC: &str = "\
+[scenario]
+name = \"shardable\"
+seed = 5
+seeds = 9
+
+[init]
+family = \"uniform\"
+n = 14
+budget = 1
+
+[dynamics]
+model = \"sum\"
+rule = \"exact\"
+max_rounds = 200
+
+[[phase]]
+kind = \"dynamics\"
+
+[[phase]]
+kind = \"delete-edges\"
+count = 2
+
+[[phase]]
+kind = \"dynamics\"
+";
+
+fn offline_lines(spec_text: &str) -> Vec<String> {
+    use bbncg_scenario::{parse_spec, run_sweep, MemorySink};
+    let spec = parse_spec(spec_text).unwrap();
+    let mut sink = MemorySink::default();
+    for o in run_sweep(&spec, &mut sink) {
+        o.unwrap();
+    }
+    sink.records.iter().map(|r| r.to_json()).collect()
+}
+
+fn served_lines(addr: &str, spec_text: &str, query: &str) -> Vec<String> {
+    let resp =
+        client::request(addr, "POST", &format!("/jobs{query}"), spec_text.as_bytes()).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = client::job_id(&resp.text()).unwrap();
+    let mut lines = Vec::new();
+    client::stream_lines(addr, &format!("/jobs/{id}/stream"), |l| {
+        lines.push(l.to_string());
+        true
+    })
+    .unwrap();
+    lines
+}
+
+#[test]
+fn sharded_sweep_is_byte_identical_to_single_process() {
+    let peer_a = spawn(ServerConfig::default()).unwrap();
+    let peer_b = spawn(ServerConfig::default()).unwrap();
+    let coordinator = spawn(ServerConfig {
+        peers: vec![peer_a.addr().to_string(), peer_b.addr().to_string()],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = coordinator.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+    client::wait_ready(&peer_a.addr().to_string(), Duration::from_secs(10)).unwrap();
+    client::wait_ready(&peer_b.addr().to_string(), Duration::from_secs(10)).unwrap();
+
+    // The coordinator's merged stream is the exact byte sequence of an
+    // unsharded run: 9 seeds × (3 phases + summary) = 36 lines.
+    let offline = offline_lines(SWEEP_SPEC);
+    assert_eq!(offline.len(), 36);
+    assert_eq!(served_lines(&addr, SWEEP_SPEC, ""), offline);
+
+    // The work was actually distributed: each peer ran one sub-job of
+    // the sweep (3 seeds apiece with 3 processes over 9 seeds).
+    for peer in [&peer_a, &peer_b] {
+        let jobs = client::request(&peer.addr().to_string(), "GET", "/jobs", b"")
+            .unwrap()
+            .text();
+        assert!(
+            jobs.contains("\"state\":\"completed\""),
+            "peer ran its chunk: {jobs}"
+        );
+    }
+
+    // /healthz names the role and fleet size.
+    let h = client::request(&addr, "GET", "/healthz", b"")
+        .unwrap()
+        .text();
+    assert!(h.contains("\"shard_role\":\"coordinator\""), "{h}");
+    assert!(h.contains("\"shard_peers\":2"), "{h}");
+
+    // ?seeds= widens a single-seed spec into a sweep at submit time —
+    // the coordinator shards that too, byte-identically.
+    let single = SWEEP_SPEC.replace("seeds = 9\n", "");
+    let widened = offline_lines(SWEEP_SPEC.replace("seeds = 9", "seeds = 5").as_str());
+    assert_eq!(served_lines(&addr, &single, "?seeds=5"), widened);
+
+    // Single-seed jobs never shard: they run locally even with peers
+    // configured (nothing to split).
+    let one = served_lines(&addr, &single, "");
+    assert_eq!(one.len(), 4);
+
+    coordinator.shutdown(false);
+    coordinator.join();
+    peer_a.shutdown(false);
+    peer_a.join();
+    peer_b.shutdown(false);
+    peer_b.join();
+}
+
+#[test]
+fn coordinator_fails_loudly_when_a_peer_is_unreachable() {
+    // A dead peer must fail the sweep job (no silent truncation), and
+    // the job must reach a terminal state so nothing leaks.
+    let coordinator = spawn(ServerConfig {
+        peers: vec!["127.0.0.1:1".into()], // nothing listens there
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = coordinator.addr().to_string();
+    client::wait_ready(&addr, Duration::from_secs(10)).unwrap();
+
+    let resp = client::request(&addr, "POST", "/jobs", SWEEP_SPEC.as_bytes()).unwrap();
+    assert_eq!(resp.status, 202);
+    let id = client::job_id(&resp.text()).unwrap();
+    let job = coordinator.job(id).unwrap();
+    let status = job.wait_terminal();
+    assert!(
+        matches!(status, bbncg_serve::JobStatus::Failed(_)),
+        "{status:?}"
+    );
+    let doc = client::request(&addr, "GET", &format!("/jobs/{id}"), b"")
+        .unwrap()
+        .text();
+    assert!(doc.contains("\"state\":\"failed\""), "{doc}");
+    assert!(doc.contains("peer"), "error names the peer: {doc}");
+
+    coordinator.shutdown(false);
+    coordinator.join();
+}

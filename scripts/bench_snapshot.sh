@@ -124,18 +124,34 @@
 # disabled on the n=1024 speculative workload.
 #
 # Also emits BENCH_serve.json via the `loadgen` bin: an in-process
-# bbncg-serve instance (4 workers, bounded queue) hammered by 64
-# concurrent TCP clients, each stream verified byte-for-byte against
-# the offline reference. Fields:
-#   clients / requests_per_client / server_workers / queue_capacity
-#                        — the load shape
+# bbncg-serve instance (epoll front end, 4 workers, bounded queue)
+# hammered by 640 concurrent keep-alive TCP clients (one persistent
+# connection each), every stream verified byte-for-byte against the
+# offline reference, plus a cache leg and a sharded-sweep leg. Fields:
+#   clients / requests_per_client / keep_alive / server_workers /
+#   queue_capacity       — the load shape
 #   requests_total       — completed submit+stream round trips
 #   requests_per_sec     — round trips per wall-clock second
+#   baseline_req_per_sec / req_per_sec_vs_baseline
+#                        — PR 9's thread-per-connection number and the
+#                          keep-alive front end's ratio against it
 #   latency_p50_ms, latency_p99_ms
 #                        — per-request submit→stream-complete latency
 #   retries_429          — backpressure bounces absorbed by retry
 #   dropped_streams, corrupted_streams
 #                        — must both be 0 (the binary asserts)
+#   cache_sweep_seeds / cache_recompute_p50_us / cache_hit_p50_us /
+#   cache_replay_p50_us / cache_speedup
+#                        — churn-sweep recompute (submit -> last byte)
+#                          vs content-addressed cache hit (submit ->
+#                          202 receipt naming the completed job; the
+#                          byte-verified replay is timed separately);
+#                          the binary asserts the speedup is >= 100x
+#   shard_merge_match    — coordinator + two peers merged stream is
+#                          byte-identical to the offline reference
+#                          (the binary asserts)
+#   server_rejected_429, server_p99_us
+#                        — the server's own accounting from /metrics
 #
 # Usage: scripts/bench_snapshot.sh [output.json] [serve-output.json]
 set -euo pipefail
